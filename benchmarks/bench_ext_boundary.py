@@ -1,0 +1,30 @@
+"""Extension bench: the Internet-boundary aggregate study (paper §VI).
+
+Streams to four campus clients at once (alternating Real/WMP sessions)
+and captures at the shared egress.  Checks the interaction the paper
+predicted single-client studies would miss: a steady aggregate while
+all flows overlap, then a sharp rate cliff when the front-loaded
+RealPlayer sessions finish early.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.turbulence import TurbulenceProfile
+from repro.experiments.aggregate import run_boundary_study
+
+
+def test_bench_boundary_study(benchmark):
+    result = benchmark(run_boundary_study, 4, 40.0, 150.0, 2002)
+    print()
+    print(f"egress capture: {len(result.egress_trace)} packets; "
+          f"aggregate {result.aggregate_kbps:.0f} Kbps while all "
+          "flows active")
+    print(format_table(TurbulenceProfile.SUMMARY_HEADERS,
+                       [p.summary_row() for p in result.per_flow_profiles]))
+    print(f"aggregate CV: common window {result.common_window_cv:.2f}, "
+          f"full span {result.full_span_cv:.2f} "
+          f"(cliff factor {result.cliff_factor:.1f})")
+    kinds = [p.classify() for p in result.per_flow_profiles]
+    assert kinds == ["realplayer", "mediaplayer"] * 2
+    assert result.common_window_cv < 0.30
+    assert result.cliff_factor > 1.5
+    assert result.aggregate_kbps > 3 * 150.0

@@ -1,0 +1,40 @@
+"""Extension bench: queue management versus the two players.
+
+The paper's introduction motivates realistic media models with router
+queue management research ([FKSS01], [MFW01], [SSZ98]); this bench
+runs the loop: both players through a congested bottleneck under
+drop-tail and RED, reporting what each discipline costs each product.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.queue_management import run_queue_study
+
+
+def test_bench_queue_management(benchmark):
+    benchmark.pedantic(run_queue_study, args=("droptail",),
+                       kwargs={"duration": 30.0}, rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for discipline in ("droptail", "red"):
+        result = run_queue_study(discipline, duration=40.0)
+        results[discipline] = result
+        rows.append([
+            discipline, result.bottleneck_drops,
+            result.real_packets_lost,
+            f"{result.real_frame_loss_percent:.1f}%",
+            result.wmp_packets_lost,
+            f"{result.wmp_frame_loss_percent:.1f}%",
+            f"{result.wasted_fragment_bytes / 1024:.0f} KiB",
+        ])
+    print()
+    print("~300 Kbps pair + bursty noise through a 1 Mbps bottleneck:")
+    print(format_table(
+        ("queue", "drops", "Real lost", "Real frames",
+         "WMP lost", "WMP frames", "wasted frag bytes"), rows))
+    for result in results.values():
+        assert result.bottleneck_drops > 0
+        wmp_per_packet = (result.wmp_frame_loss_percent
+                          / max(result.wmp_packets_lost, 1))
+        real_per_packet = (result.real_frame_loss_percent
+                           / max(result.real_packets_lost, 1))
+        assert wmp_per_packet > real_per_packet

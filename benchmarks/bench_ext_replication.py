@@ -1,0 +1,35 @@
+"""Extension bench: replicated studies (error bars across seeds).
+
+Runs the Table 1 sweep under three independent seeds (half-length
+clips) and prints the headline metrics with their between-replication
+spread — the robustness statement a single-afternoon measurement study
+could not make.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.replication import run_replicated_study
+
+SEEDS = (101, 202, 303)
+
+
+def test_bench_replication(benchmark):
+    result = benchmark.pedantic(run_replicated_study, args=(SEEDS,),
+                                kwargs={"duration_scale": 0.5},
+                                rounds=1, iterations=1)
+    summaries = result.summaries()
+    print()
+    print(f"headline metrics across seeds {SEEDS} "
+          "(half-length clips):")
+    print(format_table(("metric", "mean", "std", "min", "max"),
+                       [s.row() for s in summaries]))
+    by_name = {s.name: s for s in summaries}
+    frag = by_name["wmp_frag_pct_high"]
+    assert 60.0 <= frag.mean <= 75.0
+    assert frag.std < 3.0                      # tight across seeds
+    ratio = by_name["real_low_buffer_ratio"]
+    assert 2.5 <= ratio.mean <= 3.3
+    gap = by_name["low_band_fps_gap"]
+    assert gap.mean > 3.0                      # Real leads at low rates
+    stream = by_name["real_stream_fraction"]
+    assert stream.mean < 0.9                   # Real finishes early
+    assert by_name["ping_loss_pct"].mean == 0.0

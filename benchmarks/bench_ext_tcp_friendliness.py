@@ -1,0 +1,43 @@
+"""Extension bench: TCP-friendliness under constrained conditions.
+
+Not a paper artifact — the paper *proposes* this study in §VI.  The
+bench sweeps loss for an unresponsive and a scaling-enabled Windows
+Media stream and checks the expected ordering: the unresponsive flow's
+offered load ignores loss entirely; scaling reduces it but far less
+than TCP's control law would.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.tcp_friendly import run_probe
+from repro.media.clip import PlayerFamily
+
+RTT = 0.200
+
+
+def test_bench_tcp_friendliness(benchmark):
+    baseline = benchmark(run_probe, PlayerFamily.WMP, 307.2, 0.10, 30.0,
+                         RTT, False)
+    rows = []
+    results = {}
+    for loss in (0.05, 0.10, 0.15):
+        for scaling in (False, True):
+            result = run_probe(PlayerFamily.WMP, 307.2,
+                               loss_probability=loss, duration=30.0,
+                               rtt=RTT, scaling=scaling)
+            results[(loss, scaling)] = result
+            rows.append([f"{loss * 100:.0f}%",
+                         "scaling" if scaling else "unresponsive",
+                         result.offered_kbps, result.tcp_friendly_kbps,
+                         result.friendliness_index])
+    print()
+    print(format_table(("loss", "mode", "offered Kbps", "TCP bound Kbps",
+                        "index"), rows))
+    # Unresponsive flow keeps offering ~full rate at every loss level.
+    for loss in (0.05, 0.10, 0.15):
+        assert results[(loss, False)].offered_kbps > 280.0
+    # At 15% loss the unresponsive flow is clearly unfriendly...
+    assert results[(0.15, False)].friendliness_index > 1.4
+    # ...and scaling reduces the offered load.
+    assert (results[(0.15, True)].offered_kbps
+            < results[(0.15, False)].offered_kbps * 0.9)
+    assert baseline.offered_kbps > 0

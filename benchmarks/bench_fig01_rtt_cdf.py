@@ -1,0 +1,15 @@
+"""Figure 1: CDF of RTT (paper: median 40 ms, max 160 ms)."""
+
+from repro.analysis.distributions import cdf_at, percentile
+from repro.experiments.figures import fig01_rtt
+
+
+def test_bench_fig01(benchmark, study):
+    result = benchmark(fig01_rtt.generate, study)
+    print()
+    print(result.render())
+    points = result.series_named("rtt_cdf_ms")
+    median = percentile([x for x, _ in points], 50)
+    assert 25.0 <= median <= 60.0      # paper: 40 ms
+    assert points[-1][0] <= 160.0      # paper: max 160 ms
+    assert cdf_at(points, 160.0) == 1.0

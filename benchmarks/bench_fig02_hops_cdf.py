@@ -1,0 +1,14 @@
+"""Figure 2: CDF of hop count (paper: mostly 15-20 hops)."""
+
+from repro.analysis.distributions import cdf_at
+from repro.experiments.figures import fig02_hops
+
+
+def test_bench_fig02(benchmark, study):
+    result = benchmark(fig02_hops.generate, study)
+    print()
+    print(result.render())
+    points = result.series_named("hops_cdf")
+    mass_15_to_20 = cdf_at(points, 20.0) - cdf_at(points, 14.9)
+    assert mass_15_to_20 >= 0.4
+    assert 10 <= points[0][0] and points[-1][0] <= 30

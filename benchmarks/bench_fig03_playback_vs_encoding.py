@@ -1,0 +1,16 @@
+"""Figure 3: average playback vs. encoding rate with poly-2 trends.
+
+Paper: WMP's trend lies on y = x; Real's lies above it.
+"""
+
+from repro.experiments.figures import fig03_playback
+
+
+def test_bench_fig03(benchmark, study):
+    result = benchmark(fig03_playback.generate, study)
+    print()
+    print(result.render())
+    rows = {row[0]: row[1] for row in result.rows}
+    assert rows["RealPlayer"] > 10.0        # above the identity line
+    assert abs(rows["MediaPlayer"]) < 15.0  # on the identity line
+    assert rows["RealPlayer"] > rows["MediaPlayer"]

@@ -1,0 +1,17 @@
+"""Figure 4: packet arrivals vs. time (one second, set 5 high pair).
+
+Paper: WMP arrives in groups of one UDP packet plus a constant number
+of IP fragments; Real arrives irregularly.
+"""
+
+from repro.experiments.figures import fig04_arrivals
+
+
+def test_bench_fig04(benchmark, study):
+    result = benchmark(fig04_arrivals.generate, study)
+    print()
+    print(result.render())
+    assert any("constant packet count: True" in finding
+               for finding in result.findings)
+    assert len(result.series_named("wmp_arrivals")) > 10
+    assert len(result.series_named("real_arrivals")) > 10

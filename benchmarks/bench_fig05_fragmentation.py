@@ -1,0 +1,21 @@
+"""Figure 5: MediaPlayer IP fragmentation vs. encoded rate.
+
+Paper: 0% below 100 Kbps, ~66% at 300 Kbps, up to ~80% at the very
+high clip; RealPlayer never fragments.
+"""
+
+from repro.experiments.figures import fig05_frag
+
+
+def test_bench_fig05(benchmark, study):
+    result = benchmark(fig05_frag.generate, study)
+    print()
+    print(result.render(plot=False))
+    wmp = result.series_named("wmp_frag_percent")
+    real = result.series_named("real_frag_percent")
+    assert all(pct == 0.0 for _, pct in real)
+    near_300 = [pct for kbps, pct in wmp if 280 <= kbps <= 350]
+    assert near_300 and abs(sum(near_300) / len(near_300) - 66.0) < 5.0
+    assert all(pct == 0.0 for kbps, pct in wmp if kbps < 100)
+    top_kbps, top_pct = max(wmp)
+    assert top_pct >= 75.0

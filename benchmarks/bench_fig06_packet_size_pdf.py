@@ -1,0 +1,19 @@
+"""Figure 6: PDF of packet size, set 1 low pair.
+
+Paper: over 80% of WMP packets between 800 and 1000 bytes; Real spread
+over a larger range with no single peak.
+"""
+
+from repro.experiments.figures import fig06_size_pdf
+
+
+def test_bench_fig06(benchmark, study):
+    result = benchmark(fig06_size_pdf.generate, study)
+    print()
+    print(result.render())
+    wmp_pdf = result.series_named("wmp_size_pdf")
+    real_pdf = result.series_named("real_size_pdf")
+    assert max(density for _, density in wmp_pdf) > 0.5
+    assert max(density for _, density in real_pdf) < 0.5
+    assert any("over 80%" in finding or "%" in finding
+               for finding in result.findings)

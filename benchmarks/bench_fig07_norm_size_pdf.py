@@ -1,0 +1,19 @@
+"""Figure 7: PDF of normalized packet size, all data sets.
+
+Paper: WMP concentrated at 1.0; Real spread across ~0.6-1.8.
+"""
+
+from repro.experiments.figures import fig07_norm_size
+
+
+def test_bench_fig07(benchmark, study):
+    result = benchmark(fig07_norm_size.generate, study)
+    print()
+    print(result.render())
+    wmp = result.series_named("wmp_norm_size_pdf")
+    real = result.series_named("real_norm_size_pdf")
+    wmp_peak_center, wmp_peak = max(wmp, key=lambda p: p[1])
+    assert 0.8 <= wmp_peak_center <= 1.2
+    assert wmp_peak > max(density for _, density in real)
+    real_spread = sum(d for center, d in real if 0.6 <= center <= 1.8)
+    assert real_spread > 0.9

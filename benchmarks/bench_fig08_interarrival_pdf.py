@@ -1,0 +1,17 @@
+"""Figure 8: PDF of packet interarrival times, set 1 low pair.
+
+Paper: WMP approximately constant; Real over a much wider range.
+"""
+
+from repro.experiments.figures import fig08_interarrival_pdf
+
+
+def test_bench_fig08(benchmark, study):
+    result = benchmark(fig08_interarrival_pdf.generate, study)
+    print()
+    print(result.render())
+    wmp = result.series_named("wmp_interarrival_pdf")
+    real = result.series_named("real_interarrival_pdf")
+    # WMP mass concentrates in one or two bins; Real spreads.
+    assert max(density for _, density in wmp) > 0.55
+    assert max(density for _, density in real) < 0.45

@@ -1,0 +1,21 @@
+"""Figure 9: CDF of normalized packet interarrival times, all sets.
+
+Paper: WMP's CDF is a near-step at 1.0 (fragment noise removed via
+first-of-group reduction); Real's has a gradual slope.
+"""
+
+from repro.analysis.distributions import cdf_at
+from repro.experiments.figures import fig09_norm_interarrival
+
+
+def test_bench_fig09(benchmark, study):
+    result = benchmark(fig09_norm_interarrival.generate, study)
+    print()
+    print(result.render())
+    wmp = result.series_named("wmp_norm_gap_cdf")
+    real = result.series_named("real_norm_gap_cdf")
+    wmp_mass = cdf_at(wmp, 1.1) - cdf_at(wmp, 0.9)
+    real_mass = cdf_at(real, 1.1) - cdf_at(real, 0.9)
+    assert wmp_mass > 0.8
+    assert real_mass < 0.5
+    assert wmp_mass > real_mass + 0.3

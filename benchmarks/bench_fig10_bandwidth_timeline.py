@@ -1,0 +1,19 @@
+"""Figure 10: bandwidth vs. time for clip set 1.
+
+Paper: Real bursts above the playout rate until the buffer fills, then
+streams flat and finishes early; WMP is flat for the whole clip.
+"""
+
+from repro.experiments.figures import fig10_bandwidth
+
+
+def test_bench_fig10(benchmark, study):
+    result = benchmark(fig10_bandwidth.generate, study)
+    print()
+    print(result.render())
+    assert any("Real finishes before WMP: True" in finding
+               for finding in result.findings)
+    # Real clips burst visibly; WMP clips do not.
+    real_bursts = [f for f in result.findings
+                   if f.startswith("Real Player") and "burst" in f]
+    assert real_bursts

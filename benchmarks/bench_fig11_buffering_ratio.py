@@ -1,0 +1,23 @@
+"""Figure 11: Real buffering-rate/playback-rate vs. encoding rate.
+
+Paper: as high as 3 below 56 Kbps, close to 1 at 637 Kbps, decreasing
+in between; WMP's ratio is 1 everywhere.
+"""
+
+from repro.experiments.figures import fig11_buffer_ratio
+
+
+def test_bench_fig11(benchmark, study):
+    result = benchmark(fig11_buffer_ratio.generate, study)
+    print()
+    print(result.render(plot=False))
+    real = result.series_named("real_ratio")
+    wmp = result.series_named("wmp_ratio")
+    low = [ratio for kbps, ratio in real if kbps < 56]
+    very_high = [ratio for kbps, ratio in real if kbps > 500]
+    assert max(low) > 2.0           # paper: up to ~3
+    assert very_high and very_high[0] < 1.5  # paper: close to 1
+    assert all(ratio < 1.3 for _, ratio in wmp)  # paper: 1 for WMP
+    # Broad decreasing trend: low-band mean above high-band mean.
+    high = [ratio for kbps, ratio in real if 150 <= kbps <= 350]
+    assert sum(low) / len(low) > sum(high) / len(high)

@@ -1,0 +1,21 @@
+"""Figure 12: packets received by network vs. application layers.
+
+Paper: OS receipt every 100 ms; application receipt in batches of ~10
+once per second (the interleaving artifact only MediaTracker exposes).
+"""
+
+from repro.experiments.figures import fig12_layers
+
+
+def test_bench_fig12(benchmark, study):
+    result = benchmark(fig12_layers.generate, study)
+    print()
+    print(result.render())
+    findings = "\n".join(result.findings)
+    assert "network receipt interval: 100 ms" in findings
+    assert "application release interval: 1.00 s" in findings
+    batch_line = next(f for f in result.findings
+                      if f.startswith("packets per application batch"))
+    batch_mean = float(batch_line.split(":")[1].split()[0])
+    # The 4 s window clips its boundary batches, so allow ~10 +/- 1.5.
+    assert 8.5 <= batch_mean <= 11.5

@@ -1,0 +1,29 @@
+"""Figure 13: frame rate vs. time for clip set 5.
+
+Paper: both high clips reach 25 fps; the low WMP clip plays at 13 fps
+while the similarly-encoded Real clip is significantly higher.
+"""
+
+from repro.experiments.figures import fig13_framerate_time
+
+
+def test_bench_fig13(benchmark, study):
+    result = benchmark(fig13_framerate_time.generate, study)
+    print()
+    print(result.render(plot=False))
+    findings = "\n".join(result.findings)
+    assert "25+ fps" in findings or "2" in findings
+    # The explicit low-pair comparison must be present and favorable.
+    low_lines = [f for f in result.findings if f.startswith("low pair:")]
+    assert low_lines
+    wmp_fps, real_fps = _parse_low_pair(low_lines[0])
+    assert wmp_fps <= 15.0       # paper: 13 fps
+    assert real_fps >= wmp_fps + 3.0
+
+
+def _parse_low_pair(line):
+    # "low pair: WMP 13 fps vs Real 18 fps (paper: ...)"
+    parts = line.split()
+    wmp = float(parts[3])
+    real = float(parts[7])
+    return wmp, real

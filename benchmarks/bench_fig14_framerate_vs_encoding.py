@@ -1,0 +1,18 @@
+"""Figure 14: frame rate vs. average encoding rate, all data sets.
+
+Paper: Real clearly higher in the low band; similar in the high and
+very-high bands.
+"""
+
+from repro.experiments.figures import fig14_framerate_encoding
+
+
+def test_bench_fig14(benchmark, study):
+    result = benchmark(fig14_framerate_encoding.generate, study)
+    print()
+    print(result.render(plot=False))
+    rows = {(row[0], row[1]): row[3] for row in result.rows}
+    assert rows[("real", "low")] > rows[("wmp", "low")] + 3.0
+    assert abs(rows[("real", "high")] - rows[("wmp", "high")]) < 5.0
+    assert rows[("wmp", "very_high")] >= 25.0
+    assert rows[("real", "very_high")] >= 25.0

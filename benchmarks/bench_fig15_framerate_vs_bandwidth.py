@@ -1,0 +1,17 @@
+"""Figure 15: frame rate vs. average playout bandwidth, all data sets.
+
+Paper: for the same bandwidth, Real has the higher frame rate at the
+low end; both reach full motion at high bandwidth.
+"""
+
+from repro.experiments.figures import fig15_framerate_bandwidth
+
+
+def test_bench_fig15(benchmark, study):
+    result = benchmark(fig15_framerate_bandwidth.generate, study)
+    print()
+    print(result.render(plot=False))
+    rows = {(row[0], row[1]): row[3] for row in result.rows}
+    assert rows[("real", "low")] > rows[("wmp", "low")] + 3.0
+    assert rows[("real", "very_high")] >= 25.0
+    assert rows[("wmp", "very_high")] >= 25.0

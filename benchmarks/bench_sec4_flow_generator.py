@@ -1,0 +1,15 @@
+"""Section IV: synthetic-flow round trip.
+
+Fit profiles from measured flows, regenerate flows with the Section IV
+models, re-fit, and require every synthetic flow to classify as its
+product with the same fragmentation/burst signature.
+"""
+
+from repro.experiments.figures import sec4_generator
+
+
+def test_bench_sec4(benchmark, study):
+    result = benchmark(sec4_generator.generate, study)
+    print()
+    print(result.render(plot=False))
+    assert any("26/26" in finding for finding in result.findings)

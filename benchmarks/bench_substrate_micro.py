@@ -1,0 +1,65 @@
+"""Microbenchmarks of the simulation substrate.
+
+Not a paper artifact — these keep the substrate honest: event-loop
+throughput, IP fragmentation cost, end-to-end datagram delivery over a
+17-hop path, Section IV flow generation, and pcap serialization.  A
+regression here makes the full study sweep painful.
+"""
+
+import io
+
+from repro.capture.pcap import write_pcap
+from repro.core.generator import generate_flow
+from repro.media.clip import PlayerFamily
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import build_path_topology
+
+
+def test_bench_event_loop(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule_in(0.001, tick)
+
+        sim.schedule_in(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_bench_path_delivery(benchmark):
+    def deliver_batch():
+        sim = Simulator(seed=1)
+        path = build_path_topology(sim, hop_count=17, rtt=0.040)
+        received = []
+        sink = path.client.udp.bind(7000)
+        sink.on_receive = received.append
+        source = path.server.udp.bind_ephemeral()
+        for index in range(100):
+            sim.schedule_at(index * 0.01, source.send,
+                            path.client.address, 7000, 3840)
+        sim.run()
+        return len(received)
+
+    assert benchmark(deliver_batch) == 100
+
+
+def test_bench_flow_generation(benchmark):
+    flow = benchmark(generate_flow, PlayerFamily.REAL, 284.0, 60.0, 1)
+    assert flow.packet_count > 100
+
+
+def test_bench_pcap_write(benchmark):
+    flow = generate_flow(PlayerFamily.WMP, 307.2, 30.0, seed=1)
+    trace = flow.to_trace()
+
+    def write():
+        buffer = io.BytesIO()
+        return write_pcap(trace, buffer)
+
+    assert benchmark(write) == len(trace)

@@ -1,0 +1,11 @@
+"""Table 1: experiment data sets, as measured by the trackers."""
+
+from repro.experiments.figures import table1
+
+
+def test_bench_table1(benchmark, study):
+    result = benchmark(table1.generate, study)
+    print()
+    print(result.render(plot=False))
+    assert len(result.rows) == 13
+    assert any("636.9/731.3" in str(row[2]) for row in result.rows)

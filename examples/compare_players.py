@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Full pair experiment with turbulence profiles and ASCII figures.
+
+Runs the paper's methodology for one Table 1 clip set (pings, tracert,
+simultaneous streams, capture), fits turbulence profiles for both
+flows, and renders the set's bandwidth-versus-time figure (the paper's
+Figure 10) as ASCII.
+
+Run:
+    python examples/compare_players.py [set_number]
+"""
+
+import sys
+
+from repro.analysis.report import ascii_plot, format_table
+from repro.core.turbulence import TurbulenceProfile
+from repro.experiments.datasets import build_table1_library
+from repro.experiments.runner import run_pair_experiment
+from repro.media.library import RateBand
+
+
+def main(set_number: int = 1) -> None:
+    library = build_table1_library()
+    clip_set = library.get_set(set_number)
+
+    rows = []
+    bandwidth_series = {}
+    for band in clip_set.bands:
+        pair = clip_set.pair(band)
+        print(f"running set {set_number} {band.value} pair "
+              f"({pair.real.encoded_kbps:.0f}K / "
+              f"{pair.wmp.encoded_kbps:.0f}K)...")
+        result = run_pair_experiment(clip_set, pair,
+                                     seed=2002 + set_number * 10)
+        print(f"  conditions: {result.conditions.describe()}")
+        print(f"  path: {result.tracert.hop_count} hops, ping "
+              f"{result.ping_before.avg_rtt * 1000:.0f} ms")
+        for profile in (result.real_profile(), result.wmp_profile()):
+            rows.append(profile.summary_row())
+        label = pair.real.label()
+        bandwidth_series[label] = result.real_stats.bandwidth_timeline()
+        label = pair.wmp.label()
+        bandwidth_series[label] = result.wmp_stats.bandwidth_timeline()
+
+    print()
+    print("turbulence profiles (paper Section III):")
+    print(format_table(TurbulenceProfile.SUMMARY_HEADERS, rows))
+    print()
+    print("bandwidth vs. time (paper Figure 10):")
+    for label, series in bandwidth_series.items():
+        print(ascii_plot(series, title=label, height=8,
+                         x_label="seconds", y_label="Kbps"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

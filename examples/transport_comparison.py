@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""UDP versus TCP media transport: the counterfactual the paper skipped.
+
+"Both MediaPlayer and RealPlayer can use either TCP or UDP as a
+transport protocol for streaming data. For all our experiments, we
+forced the players to use UDP."  This example streams the same
+high-rate Windows Media clip both ways and shows that the paper's
+headline fragmentation finding is a property of UDP transport of
+oversized ADUs — over TCP, MSS segmentation happens above IP and the
+fragment trains vanish, while the viewer-visible outcome is unchanged
+on a clean path.
+
+Run:
+    python examples/transport_comparison.py
+"""
+
+from repro.analysis.report import format_table
+from repro.capture.hierarchy import render_hierarchy
+from repro.capture.reassembly import fragmentation_percent
+from repro.capture.sniffer import Sniffer
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import build_path_topology
+from repro.players.mediatracker import MediaTracker
+from repro.servers.wms import WindowsMediaServer
+
+
+def run(transport: str):
+    sim = Simulator(seed=2002)
+    path = build_path_topology(sim, hop_count=17, rtt=0.040)
+    server = WindowsMediaServer(path.server)
+    server.add_clip(Clip(
+        title="news", genre="News", duration=30.0,
+        encoding=ClipEncoding(family=PlayerFamily.WMP,
+                              encoded_kbps=307.2, advertised_kbps=300.0)))
+    sniffer = Sniffer(path.client, rx_only=True).start()
+    player = MediaTracker(path.client, path.server.address,
+                          transport=transport)
+    player.play("news")
+    sim.run(until=200.0)
+    return player, sniffer.stop()
+
+
+def main() -> None:
+    rows = []
+    traces = {}
+    for transport in ("UDP", "TCP"):
+        player, trace = run(transport)
+        traces[transport] = trace
+        rows.append([
+            transport, len(trace),
+            fragmentation_percent(trace),
+            max(record.wire_bytes for record in trace),
+            player.stats.average_fps,
+            player.stats.average_playback_kbps,
+        ])
+    print("the same 307.2 Kbps Windows Media clip over both transports:")
+    print(format_table(("transport", "packets", "frag %", "max frame B",
+                        "fps", "playback Kbps"), rows))
+    print()
+    for transport in ("UDP", "TCP"):
+        print(f"--- {transport} capture ---")
+        print(render_hierarchy(traces[transport]))
+        print()
+    print("over UDP the OS fragments every 3840-byte ADU (the paper's")
+    print("Figure 5); over TCP the same ADUs ride ≤1460-byte segments")
+    print("and the ip.fragment row disappears.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Bandwidth-over-time series (Figure 10).
+
+Two sources: the network trace (wire bytes per interval, what Ethereal
+shows) and the tracker statistics (application bytes per interval, what
+the paper actually plots in Figure 10).  Both return (time, Kbps)
+pairs, time relative to the first observation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.capture.trace import Trace
+from repro.errors import AnalysisError
+from repro.players.stats import PlayerStats
+
+
+def bandwidth_series(trace: Trace, interval: float = 1.0,
+                     wire: bool = True) -> List[Tuple[float, float]]:
+    """Delivered rate per interval from a capture trace.
+
+    Args:
+        interval: bucket size in seconds.
+        wire: count Ethernet wire bytes (True) or IP bytes.
+
+    Raises:
+        AnalysisError: for an empty trace or nonpositive interval.
+    """
+    if interval <= 0:
+        raise AnalysisError("interval must be positive")
+    if len(trace) == 0:
+        raise AnalysisError("cannot compute bandwidth of an empty trace")
+    origin = trace[0].time
+    horizon = trace[-1].time - origin
+    buckets = [0] * (int(math.floor(horizon / interval)) + 1)
+    for record in trace:
+        index = int((record.time - origin) / interval)
+        buckets[index] += record.wire_bytes if wire else record.ip_bytes
+    return [(index * interval, total * 8.0 / interval / 1000.0)
+            for index, total in enumerate(buckets)]
+
+
+def series_from_stats(stats: PlayerStats,
+                      interval: float = 1.0) -> List[Tuple[float, float]]:
+    """Application-level delivered rate per interval (Figure 10)."""
+    return stats.bandwidth_timeline(interval=interval)
+
+
+def average_kbps(series: List[Tuple[float, float]]) -> float:
+    """Mean of a bandwidth series' rate values.
+
+    Raises:
+        AnalysisError: for an empty series.
+    """
+    if not series:
+        raise AnalysisError("empty bandwidth series")
+    return sum(rate for _, rate in series) / len(series)

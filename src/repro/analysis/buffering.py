@@ -1,0 +1,116 @@
+"""Buffering-phase detection (Figure 11).
+
+Given a delivered-bandwidth timeline, find the initial buffering phase
+and measure its rate relative to the steady playout rate — the paper's
+"ratio of buffering rate to playout rate".  The detector is deliberately
+simple and robust: the steady rate is the median of the series' tail,
+and the buffering phase is the initial run of intervals meaningfully
+above it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+#: An interval counts as "bursting" while above this multiple of the
+#: steady rate.
+BURST_THRESHOLD = 1.25
+
+#: Fraction of the series (from the end) used to estimate steady rate.
+STEADY_TAIL_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class BufferingAnalysis:
+    """What the detector found."""
+
+    steady_rate_kbps: float
+    buffering_rate_kbps: float
+    buffering_duration: float
+    ratio: float
+
+    @property
+    def has_burst(self) -> bool:
+        return self.buffering_duration > 0 and self.ratio > BURST_THRESHOLD
+
+
+def detect_buffering_phase(series: Sequence[Tuple[float, float]],
+                           ) -> BufferingAnalysis:
+    """Analyze a (time, Kbps) series for an initial buffering burst.
+
+    Raises:
+        AnalysisError: for series too short to split into a candidate
+            burst and a steady tail (fewer than 4 points).
+    """
+    if len(series) < 4:
+        raise AnalysisError("bandwidth series too short for buffering "
+                            "analysis (need at least 4 intervals)")
+    rates = [rate for _, rate in series]
+    times = [time for time, _ in series]
+    tail_start = int(len(rates) * (1.0 - STEADY_TAIL_FRACTION))
+    steady_window = [r for r in rates[tail_start:] if r > 0]
+    if not steady_window:
+        # Entire tail is silent (stream ended long before the horizon);
+        # fall back to the later half of the *active* part of the
+        # series, which is the steady phase by construction.
+        active = [r for r in rates if r > 0]
+        if not active:
+            raise AnalysisError("series contains no traffic")
+        steady_window = active[len(active) // 2:]
+    steady = statistics.median(steady_window)
+
+    interval = times[1] - times[0] if len(times) > 1 else 1.0
+    burst_rates: List[float] = []
+    for rate in rates:
+        if rate > steady * BURST_THRESHOLD:
+            burst_rates.append(rate)
+        else:
+            break
+    duration = len(burst_rates) * interval
+    buffering_rate = (statistics.fmean(burst_rates) if burst_rates
+                      else steady)
+    ratio = buffering_rate / steady if steady > 0 else 1.0
+    return BufferingAnalysis(steady_rate_kbps=steady,
+                             buffering_rate_kbps=buffering_rate,
+                             buffering_duration=duration,
+                             ratio=ratio)
+
+
+def measured_ratio(series: Sequence[Tuple[float, float]]) -> float:
+    """Shorthand: the buffering/playout ratio of a timeline (>= 1.0)."""
+    return max(1.0, detect_buffering_phase(series).ratio)
+
+
+def buffering_ratio_vs_playout(series: Sequence[Tuple[float, float]],
+                               playout_kbps: float) -> float:
+    """Buffering rate relative to a *known* playout rate (Figure 11).
+
+    :func:`detect_buffering_phase` infers the steady rate from the
+    series' tail, which fails for clips short enough to be consumed
+    entirely within the burst (no steady phase exists).  The paper's
+    y-axis divides by the playing rate — the clip's encoding rate —
+    which the trackers always know; this measurement does the same:
+    the mean of the initial run of intervals above
+    ``playout * BURST_THRESHOLD``, divided by the playout rate.
+    Returns 1.0 when no interval exceeds the threshold (WMP-style).
+
+    Raises:
+        AnalysisError: for a nonpositive playout rate or empty series.
+    """
+    if playout_kbps <= 0:
+        raise AnalysisError("playout rate must be positive")
+    if not series:
+        raise AnalysisError("empty bandwidth series")
+    burst_rates: List[float] = []
+    for _, rate in series:
+        if rate > playout_kbps * BURST_THRESHOLD:
+            burst_rates.append(rate)
+        else:
+            break
+    if not burst_rates:
+        return 1.0
+    return statistics.fmean(burst_rates) / playout_kbps

@@ -1,0 +1,86 @@
+"""Two-sample distribution comparison.
+
+The Section IV validation needs a number for "the synthetic flow's
+distributions look like the measured ones".  The Kolmogorov–Smirnov
+statistic — the maximum distance between two empirical CDFs — is the
+standard choice and needs no distributional assumptions.  A hand-rolled
+implementation keeps the runtime dependency on numpy only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """The KS statistic and its asymptotic significance level."""
+
+    statistic: float
+    p_value: float
+    n1: int
+    n2: int
+
+    def similar(self, alpha: float = 0.01) -> bool:
+        """True when the samples are *not* distinguishable at alpha.
+
+        Note the direction: a large p-value means "no evidence the
+        distributions differ", which is the desired outcome for a
+        generator-validation check.
+        """
+        return self.p_value > alpha
+
+
+def ks_statistic(first: Sequence[float],
+                 second: Sequence[float]) -> float:
+    """The two-sample KS statistic (max CDF distance), in [0, 1].
+
+    Raises:
+        AnalysisError: for empty samples.
+    """
+    if not first or not second:
+        raise AnalysisError("both samples must be nonempty")
+    a = sorted(first)
+    b = sorted(second)
+    i = j = 0
+    distance = 0.0
+    while i < len(a) and j < len(b):
+        # Consume *all* occurrences of the next value from both sides
+        # before comparing CDFs, or ties inflate the distance.
+        value = a[i] if a[i] <= b[j] else b[j]
+        while i < len(a) and a[i] == value:
+            i += 1
+        while j < len(b) and b[j] == value:
+            j += 1
+        distance = max(distance, abs(i / len(a) - j / len(b)))
+    if i < len(a):
+        distance = max(distance, 1.0 - i / len(a))
+    if j < len(b):
+        distance = max(distance, 1.0 - j / len(b))
+    return distance
+
+
+def ks_test(first: Sequence[float], second: Sequence[float]) -> KsResult:
+    """Two-sample KS test with the asymptotic p-value.
+
+    Uses the classic Smirnov asymptotic distribution
+    ``Q(λ) = 2 Σ (-1)^(k-1) exp(-2 k² λ²)`` with the effective-size
+    correction, which is accurate for the sample sizes the study
+    produces (hundreds to thousands of packets).
+    """
+    statistic = ks_statistic(first, second)
+    n1, n2 = len(first), len(second)
+    effective = math.sqrt(n1 * n2 / (n1 + n2))
+    lam = (effective + 0.12 + 0.11 / effective) * statistic
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-10:
+            break
+    p_value = min(1.0, max(0.0, total))
+    return KsResult(statistic=statistic, p_value=p_value, n1=n1, n2=n2)

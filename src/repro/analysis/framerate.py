@@ -1,0 +1,69 @@
+"""Frame-rate summaries (Figures 14 and 15).
+
+Figures 14 and 15 plot every clip as a point and add per-band (low /
+high / very high) averages with standard-error bars, connected by
+lines.  :func:`summarize_by_band` produces those band summaries from
+per-clip measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.media.library import RateBand
+
+
+@dataclass(frozen=True)
+class ClipPoint:
+    """One clip's (x, fps) measurement, tagged with its band."""
+
+    band: RateBand
+    x: float      # encoded rate (Fig. 14) or playout bandwidth (Fig. 15)
+    fps: float
+
+
+@dataclass(frozen=True)
+class BandSummary:
+    """The per-band marker of Figures 14/15: mean ± standard error."""
+
+    band: RateBand
+    mean_x: float
+    mean_fps: float
+    stderr_fps: float
+    count: int
+
+
+def summarize_by_band(points: Sequence[ClipPoint]) -> List[BandSummary]:
+    """Aggregate clip points into band summaries, ordered low→very high.
+
+    Raises:
+        AnalysisError: for an empty point set.
+    """
+    if not points:
+        raise AnalysisError("no clip points to summarize")
+    by_band: Dict[RateBand, List[ClipPoint]] = {}
+    for point in points:
+        by_band.setdefault(point.band, []).append(point)
+    summaries: List[BandSummary] = []
+    for band in RateBand:
+        members = by_band.get(band)
+        if not members:
+            continue
+        fps_values = [p.fps for p in members]
+        mean_fps = statistics.fmean(fps_values)
+        if len(fps_values) > 1:
+            stderr = (statistics.stdev(fps_values)
+                      / math.sqrt(len(fps_values)))
+        else:
+            stderr = 0.0
+        summaries.append(BandSummary(
+            band=band,
+            mean_x=statistics.fmean(p.x for p in members),
+            mean_fps=mean_fps,
+            stderr_fps=stderr,
+            count=len(members)))
+    return summaries

@@ -1,0 +1,53 @@
+"""Packet interarrival analysis (Figures 8 and 9).
+
+Interarrival times — the paper's jitter proxy — come straight from a
+trace's timestamps.  For high-rate MediaPlayer traffic the fragments of
+each ADU arrive back to back and would swamp the statistics, so the
+paper "consider[s] only the first UDP packet in each packet group";
+:func:`first_of_group_interarrivals` applies the same reduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.capture.reassembly import first_of_group_times
+from repro.capture.trace import Trace
+from repro.errors import AnalysisError
+from repro.analysis.normalize import normalize_by_mean
+
+
+def interarrival_times(times: Sequence[float]) -> List[float]:
+    """Consecutive gaps of a (sorted or capture-ordered) time series.
+
+    Raises:
+        AnalysisError: with fewer than two timestamps.
+    """
+    if len(times) < 2:
+        raise AnalysisError("need at least two arrivals for interarrivals")
+    gaps = []
+    for earlier, later in zip(times, times[1:]):
+        gap = later - earlier
+        if gap < 0:
+            raise AnalysisError("timestamps are not monotonically ordered")
+        gaps.append(gap)
+    return gaps
+
+
+def trace_interarrivals(trace: Trace) -> List[float]:
+    """Raw per-packet interarrival times of a trace."""
+    return interarrival_times(trace.times())
+
+
+def first_of_group_interarrivals(trace: Trace) -> List[float]:
+    """Interarrivals between datagram groups (fragment-train starts).
+
+    For unfragmented traffic this equals :func:`trace_interarrivals`;
+    for fragmented MediaPlayer traffic it is the Figure 9 reduction.
+    """
+    return interarrival_times(first_of_group_times(trace))
+
+
+def normalized_interarrivals(gaps: Sequence[float]) -> List[float]:
+    """Gaps divided by their mean (Figure 9's x-axis)."""
+    return normalize_by_mean(gaps)

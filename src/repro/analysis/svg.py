@@ -1,0 +1,136 @@
+"""Minimal SVG chart rendering (no dependencies).
+
+The benchmark logs use ASCII plots; the HTML report uses these SVG
+charts. Deliberately small: scatter/line charts with axes, ticks, and
+a legend — enough to eyeball every figure's shape in a browser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+Series = Sequence[Tuple[float, float]]
+
+#: Colorblind-safe series palette.
+PALETTE = ("#0072b2", "#d55e00", "#009e73", "#cc79a7",
+           "#e69f00", "#56b4e9", "#f0e442", "#000000")
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(1, count - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    start = math.floor(low / step) * step
+    ticks = []
+    tick = start
+    while tick <= high + step / 2:
+        if tick >= low - step / 2:
+            ticks.append(round(tick, 10))
+        tick += step
+    return ticks
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def svg_chart(series: Dict[str, Series], title: str = "",
+              x_label: str = "", y_label: str = "",
+              width: int = 560, height: int = 320,
+              lines: bool = True) -> str:
+    """Render named (x, y) series as a standalone ``<svg>`` element.
+
+    Raises:
+        AnalysisError: when every series is empty.
+    """
+    points_exist = any(points for points in series.values())
+    if not points_exist:
+        raise AnalysisError("nothing to plot")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(min(ys), 0.0), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    margin_left, margin_right = 64, 16
+    margin_top, margin_bottom = 34, 46
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def sx(x: float) -> float:
+        return margin_left + (x - x_low) / (x_high - x_low) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_top + plot_h - (y - y_low) / (y_high - y_low) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{width / 2}" y="18" text-anchor="middle" '
+                     f'font-size="13" font-weight="bold">{title}</text>')
+    # Axes and grid.
+    for tick in _nice_ticks(x_low, x_high):
+        x = sx(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{margin_top}" x2="{x:.1f}" '
+                     f'y2="{margin_top + plot_h}" stroke="#eee"/>')
+        parts.append(f'<text x="{x:.1f}" y="{margin_top + plot_h + 14}" '
+                     f'text-anchor="middle">{_format_tick(tick)}</text>')
+    for tick in _nice_ticks(y_low, y_high):
+        y = sy(tick)
+        parts.append(f'<line x1="{margin_left}" y1="{y:.1f}" '
+                     f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+                     f'stroke="#eee"/>')
+        parts.append(f'<text x="{margin_left - 6}" y="{y + 3:.1f}" '
+                     f'text-anchor="end">{_format_tick(tick)}</text>')
+    parts.append(f'<rect x="{margin_left}" y="{margin_top}" '
+                 f'width="{plot_w}" height="{plot_h}" fill="none" '
+                 f'stroke="#444"/>')
+    if x_label:
+        parts.append(f'<text x="{margin_left + plot_w / 2}" '
+                     f'y="{height - 8}" text-anchor="middle">'
+                     f'{x_label}</text>')
+    if y_label:
+        parts.append(f'<text x="14" y="{margin_top + plot_h / 2}" '
+                     f'text-anchor="middle" transform="rotate(-90 14 '
+                     f'{margin_top + plot_h / 2})">{y_label}</text>')
+
+    # Series.
+    for index, (name, points) in enumerate(sorted(series.items())):
+        if not points:
+            continue
+        color = PALETTE[index % len(PALETTE)]
+        ordered = sorted(points)
+        if lines and len(ordered) > 1:
+            path = " ".join(f"{sx(x):.1f},{sy(y):.1f}"
+                            for x, y in ordered)
+            parts.append(f'<polyline points="{path}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.5"/>')
+        for x, y in ordered:
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" '
+                         f'r="2.2" fill="{color}"/>')
+        legend_y = margin_top + 6 + index * 14
+        parts.append(f'<rect x="{margin_left + plot_w - 150}" '
+                     f'y="{legend_y - 8}" width="10" height="10" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{margin_left + plot_w - 136}" '
+                     f'y="{legend_y + 1}">{name}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

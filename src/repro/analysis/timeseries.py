@@ -1,0 +1,110 @@
+"""Time-series structure: autocorrelation and periodicity.
+
+A complementary lens on the CBR question: a Windows Media flow is not
+just *narrow* in its size/gap distributions, it is *periodic* — packet
+groups repeat on the server's tick.  Autocorrelation of the arrival
+process makes that structure measurable, and gives the Section IV
+generators one more property to preserve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+
+def autocorrelation(values: Sequence[float], max_lag: int) -> List[float]:
+    """Sample autocorrelation r(k) for k = 1..max_lag.
+
+    Raises:
+        AnalysisError: for series shorter than ``max_lag + 2`` or
+            constant series (autocorrelation undefined).
+    """
+    n = len(values)
+    if max_lag < 1:
+        raise AnalysisError("max_lag must be >= 1")
+    if n < max_lag + 2:
+        raise AnalysisError(
+            f"series of {n} too short for max_lag {max_lag}")
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values)
+    if variance == 0:
+        raise AnalysisError("constant series has undefined autocorrelation")
+    result = []
+    for lag in range(1, max_lag + 1):
+        covariance = sum((values[i] - mean) * (values[i + lag] - mean)
+                         for i in range(n - lag))
+        result.append(covariance / variance)
+    return result
+
+
+def arrival_counts(times: Sequence[float], bin_width: float) -> List[int]:
+    """Packet counts per ``bin_width``-second bin (the arrival process).
+
+    Raises:
+        AnalysisError: for empty input or nonpositive bin width.
+    """
+    if not times:
+        raise AnalysisError("no arrival times")
+    if bin_width <= 0:
+        raise AnalysisError("bin width must be positive")
+    origin = times[0]
+    span = times[-1] - origin
+    bins = [0] * (int(math.floor(span / bin_width)) + 1)
+    for time in times:
+        bins[int((time - origin) / bin_width)] += 1
+    return bins
+
+
+def periodicity_score(times: Sequence[float], period: float,
+                      bins_per_period: int = 4,
+                      periods: int = 8) -> float:
+    """How strongly arrivals repeat at ``period`` seconds (0..1-ish).
+
+    Bins the arrival process finer than the candidate period and takes
+    the autocorrelation at the lag corresponding to one period.  A CBR
+    flow scores near 1 at its tick; a Poisson-ish flow scores near 0.
+
+    Raises:
+        AnalysisError: when there are too few arrivals to cover the
+            requested number of periods.
+    """
+    if period <= 0:
+        raise AnalysisError("period must be positive")
+    bin_width = period / bins_per_period
+    counts = arrival_counts(times, bin_width)
+    needed = bins_per_period * periods + 2
+    if len(counts) < needed:
+        raise AnalysisError(
+            f"need at least {periods} periods of data "
+            f"({needed} bins, have {len(counts)})")
+    lags = autocorrelation([float(c) for c in counts],
+                           max_lag=bins_per_period)
+    return lags[bins_per_period - 1]
+
+
+def dominant_period(times: Sequence[float],
+                    candidates: Sequence[float]) -> Tuple[float, float]:
+    """The candidate period with the highest periodicity score.
+
+    Returns:
+        (best period, its score).
+
+    Raises:
+        AnalysisError: with no candidates or unusable data.
+    """
+    if not candidates:
+        raise AnalysisError("no candidate periods")
+    best: Tuple[float, float] = (candidates[0], float("-inf"))
+    for period in candidates:
+        try:
+            score = periodicity_score(times, period)
+        except AnalysisError:
+            continue
+        if score > best[1]:
+            best = (period, score)
+    if best[1] == float("-inf"):
+        raise AnalysisError("no candidate period was measurable")
+    return best

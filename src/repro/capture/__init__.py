@@ -1,0 +1,32 @@
+"""Packet capture: the reproduction's Ethereal.
+
+The paper captured all client traffic with Ethereal 0.8.20 and derived
+its network-layer analysis from the traces.  This package provides the
+same workflow: a :class:`Sniffer` taps a host, produces a
+:class:`Trace` of :class:`PacketRecord` rows, which can be filtered
+with a Wireshark-like display-filter language, grouped into fragment
+trains, and written to (or read from) genuine libpcap files.
+"""
+
+from repro.capture.filters import compile_filter
+from repro.capture.hierarchy import protocol_hierarchy, render_hierarchy
+from repro.capture.pcap import read_pcap, write_pcap
+from repro.capture.reassembly import FragmentGroup, group_datagrams
+from repro.capture.serialize import read_csv, write_csv
+from repro.capture.sniffer import Sniffer
+from repro.capture.trace import PacketRecord, Trace
+
+__all__ = [
+    "FragmentGroup",
+    "PacketRecord",
+    "Sniffer",
+    "Trace",
+    "compile_filter",
+    "group_datagrams",
+    "protocol_hierarchy",
+    "read_csv",
+    "read_pcap",
+    "render_hierarchy",
+    "write_csv",
+    "write_pcap",
+]

@@ -1,0 +1,252 @@
+"""A Wireshark/Ethereal-style display-filter language.
+
+The paper notes that "Ethereal includes a display filter language", and
+the analysis leaned on it to separate the two players' flows and to
+identify fragment trains.  This module implements a compatible core:
+
+* protocol atoms: ``udp``, ``tcp``, ``icmp``
+* boolean fields: ``ip.frag`` (any fragment), ``ip.frag.trailing``,
+  ``ip.mf`` (more-fragments flag)
+* comparable fields: ``frame.len``, ``frame.number``, ``frame.time``,
+  ``ip.len``, ``ip.src``, ``ip.dst``, ``ip.ttl``, ``ip.id``,
+  ``ip.offset``, ``udp.srcport``, ``udp.dstport``, ``udp.port``,
+  ``tcp.srcport``, ``tcp.dstport``, ``tcp.port``, ``dir``
+* operators ``== != < <= > >=``, combinators ``&& || !`` and parentheses
+
+``compile_filter`` turns an expression into a plain predicate over
+:class:`~repro.capture.trace.PacketRecord`, so filtering a trace is
+just a list comprehension.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional
+
+from repro.errors import FilterSyntaxError
+from repro.netsim.addressing import IPAddress
+from repro.capture.trace import PacketRecord
+
+Predicate = Callable[[PacketRecord], bool]
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<and>&&)
+  | (?P<or>\|\|)
+  | (?P<op>==|!=|<=|>=|<|>)
+  | (?P<not>!)
+  | (?P<string>"[^"]*")
+  | (?P<ip>\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+""", re.VERBOSE)
+
+
+class _Token:
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(expression: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(expression):
+        match = _TOKEN_RE.match(expression, position)
+        if match is None:
+            raise FilterSyntaxError(
+                f"unexpected character {expression[position]!r} at "
+                f"position {position} in {expression!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group()))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Field table
+# ----------------------------------------------------------------------
+def _udp_port_any(record: PacketRecord):
+    if record.protocol != "UDP":
+        return None
+    return (record.src_port, record.dst_port)
+
+
+def _tcp_port_any(record: PacketRecord):
+    if record.protocol != "TCP":
+        return None
+    return (record.src_port, record.dst_port)
+
+
+_COMPARABLE_FIELDS = {
+    "frame.len": lambda r: r.wire_bytes,
+    "frame.number": lambda r: r.number,
+    "frame.time": lambda r: r.time,
+    "ip.len": lambda r: r.ip_bytes,
+    "ip.src": lambda r: r.src,
+    "ip.dst": lambda r: r.dst,
+    "ip.ttl": lambda r: r.ttl,
+    "ip.id": lambda r: r.identification,
+    "ip.offset": lambda r: r.fragment_offset * 8,
+    "udp.srcport": lambda r: r.src_port if r.protocol == "UDP" else None,
+    "udp.dstport": lambda r: r.dst_port if r.protocol == "UDP" else None,
+    "udp.port": _udp_port_any,
+    "tcp.srcport": lambda r: r.src_port if r.protocol == "TCP" else None,
+    "tcp.dstport": lambda r: r.dst_port if r.protocol == "TCP" else None,
+    "tcp.port": _tcp_port_any,
+    "dir": lambda r: r.direction,
+}
+
+_BOOLEAN_FIELDS = {
+    "udp": lambda r: r.protocol == "UDP",
+    "tcp": lambda r: r.protocol == "TCP",
+    "icmp": lambda r: r.protocol == "ICMP",
+    "ip.frag": lambda r: r.is_fragment,
+    "ip.frag.trailing": lambda r: r.is_trailing_fragment,
+    "ip.mf": lambda r: r.more_fragments,
+}
+
+_OPERATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class _Parser:
+    """Recursive-descent parser producing predicate closures."""
+
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def parse(self) -> Predicate:
+        predicate = self._or_expr()
+        if self._peek() is not None:
+            raise FilterSyntaxError(
+                f"trailing input at token {self._peek().text!r} "
+                f"in {self._source!r}")
+        return predicate
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise FilterSyntaxError(
+                f"unexpected end of expression in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise FilterSyntaxError(
+                f"expected {kind}, found {token.text!r} in {self._source!r}")
+        return token
+
+    # ------------------------------------------------------------------
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        while self._peek() is not None and self._peek().kind == "or":
+            self._advance()
+            right = self._and_expr()
+            left = (lambda l, r: lambda rec: l(rec) or r(rec))(left, right)
+        return left
+
+    def _and_expr(self) -> Predicate:
+        left = self._not_expr()
+        while self._peek() is not None and self._peek().kind == "and":
+            self._advance()
+            right = self._not_expr()
+            left = (lambda l, r: lambda rec: l(rec) and r(rec))(left, right)
+        return left
+
+    def _not_expr(self) -> Predicate:
+        if self._peek() is not None and self._peek().kind == "not":
+            self._advance()
+            inner = self._not_expr()
+            return lambda rec: not inner(rec)
+        return self._primary()
+
+    def _primary(self) -> Predicate:
+        token = self._peek()
+        if token is None:
+            raise FilterSyntaxError(
+                f"unexpected end of expression in {self._source!r}")
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._or_expr()
+            self._expect("rparen")
+            return inner
+        if token.kind == "name":
+            return self._field_expression()
+        raise FilterSyntaxError(
+            f"unexpected token {token.text!r} in {self._source!r}")
+
+    def _field_expression(self) -> Predicate:
+        name = self._advance().text
+        following = self._peek()
+        if following is None or following.kind != "op":
+            if name in _BOOLEAN_FIELDS:
+                return _BOOLEAN_FIELDS[name]
+            if name in _COMPARABLE_FIELDS:
+                getter = _COMPARABLE_FIELDS[name]
+                return lambda rec: getter(rec) not in (None, 0, False, "")
+            raise FilterSyntaxError(f"unknown field {name!r}")
+        if name not in _COMPARABLE_FIELDS:
+            raise FilterSyntaxError(f"field {name!r} is not comparable")
+        operator = _OPERATORS[self._advance().text]
+        value = self._literal()
+        getter = _COMPARABLE_FIELDS[name]
+
+        def predicate(record: PacketRecord) -> bool:
+            actual = getter(record)
+            if actual is None:
+                return False
+            if isinstance(actual, tuple):  # udp.port matches either side
+                return any(item is not None and operator(item, value)
+                           for item in actual)
+            return operator(actual, value)
+
+        return predicate
+
+    def _literal(self):
+        token = self._advance()
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "ip":
+            return IPAddress.parse(token.text)
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "name":
+            return token.text  # bare word, e.g. dir == rx
+        raise FilterSyntaxError(
+            f"expected a literal, found {token.text!r} in {self._source!r}")
+
+
+def compile_filter(expression: str) -> Predicate:
+    """Compile a display-filter expression into a record predicate.
+
+    Raises:
+        FilterSyntaxError: for empty or malformed expressions.
+    """
+    tokens = _tokenize(expression)
+    if not tokens:
+        raise FilterSyntaxError("empty filter expression")
+    return _Parser(tokens, expression).parse()

@@ -1,0 +1,117 @@
+"""Trace serialization: CSV export/import.
+
+pcap (:mod:`repro.capture.pcap`) is the interoperable wire format, but
+it cannot carry simulator-side metadata (payload kind, ADU sequence,
+direction).  The CSV form here is lossless for everything a
+:class:`~repro.capture.trace.PacketRecord` holds, so analysis sessions
+can be saved and resumed, and traces can be diffed in a spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import BinaryIO, List, TextIO, Union
+
+from repro.capture.trace import PacketRecord, Trace
+from repro.errors import CaptureError
+from repro.netsim.addressing import IPAddress
+
+#: Column order of the CSV form (also its schema version marker).
+FIELDS = (
+    "number", "time", "direction", "src", "dst", "protocol",
+    "ip_bytes", "wire_bytes", "ttl", "identification", "more_fragments",
+    "fragment_offset", "src_port", "dst_port", "payload_kind",
+    "adu_sequence", "datagram_id",
+)
+
+
+def write_csv(trace: Trace, destination: Union[str, TextIO]) -> int:
+    """Write a trace as CSV; returns the record count."""
+    own = isinstance(destination, str)
+    stream: TextIO = (open(destination, "w", newline="") if own
+                      else destination)
+    try:
+        writer = csv.writer(stream)
+        writer.writerow(FIELDS)
+        for record in trace:
+            writer.writerow([
+                record.number, repr(record.time), record.direction,
+                str(record.src), str(record.dst), record.protocol,
+                record.ip_bytes, record.wire_bytes, record.ttl,
+                record.identification, int(record.more_fragments),
+                record.fragment_offset,
+                "" if record.src_port is None else record.src_port,
+                "" if record.dst_port is None else record.dst_port,
+                record.payload_kind,
+                "" if record.adu_sequence is None else record.adu_sequence,
+                record.datagram_id,
+            ])
+        return len(trace)
+    finally:
+        if own:
+            stream.close()
+
+
+def read_csv(source: Union[str, TextIO]) -> Trace:
+    """Read a trace back from its CSV form.
+
+    Raises:
+        CaptureError: on a missing/mismatched header or malformed row.
+    """
+    own = isinstance(source, str)
+    stream: TextIO = open(source, newline="") if own else source
+    try:
+        reader = csv.reader(stream)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise CaptureError("empty trace CSV") from exc
+        if tuple(header) != FIELDS:
+            raise CaptureError(
+                f"unexpected trace CSV header: {header!r}")
+        records: List[PacketRecord] = []
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != len(FIELDS):
+                raise CaptureError(
+                    f"row {row_number}: expected {len(FIELDS)} cells, "
+                    f"got {len(row)}")
+            try:
+                records.append(_parse_row(row))
+            except (ValueError, IndexError) as exc:
+                raise CaptureError(
+                    f"row {row_number}: malformed value ({exc})") from exc
+        return Trace(records, description="csv import")
+    finally:
+        if own:
+            stream.close()
+
+
+def _parse_row(row: List[str]) -> PacketRecord:
+    more_fragments = bool(int(row[10]))
+    fragment_offset = int(row[11])
+    return PacketRecord(
+        number=int(row[0]), time=float(row[1]), direction=row[2],
+        src=IPAddress.parse(row[3]), dst=IPAddress.parse(row[4]),
+        protocol=row[5], ip_bytes=int(row[6]), wire_bytes=int(row[7]),
+        ttl=int(row[8]), identification=int(row[9]),
+        is_fragment=more_fragments or fragment_offset > 0,
+        is_trailing_fragment=fragment_offset > 0,
+        more_fragments=more_fragments, fragment_offset=fragment_offset,
+        src_port=int(row[12]) if row[12] else None,
+        dst_port=int(row[13]) if row[13] else None,
+        payload_kind=row[14],
+        adu_sequence=int(row[15]) if row[15] else None,
+        datagram_id=int(row[16]))
+
+
+def dumps(trace: Trace) -> str:
+    """The CSV form as a string."""
+    buffer = io.StringIO()
+    write_csv(trace, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> Trace:
+    """Parse a trace from its CSV string form."""
+    return read_csv(io.StringIO(text))

@@ -1,0 +1,90 @@
+"""The sniffer: a promiscuous tap on one host.
+
+The paper ran Ethereal on the client PC and "captured all of the
+network traffic of streaming from the client to the video servers".
+:class:`Sniffer` does the same: attached to a host, it records every
+packet the host sends or receives between :meth:`start` and
+:meth:`stop`, applying an optional capture filter (the BPF analog —
+cheaper than display-filtering afterwards).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.capture.trace import PacketRecord, Trace
+from repro.errors import CaptureError
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+
+
+class Sniffer:
+    """Capture packets at a node into a :class:`Trace`.
+
+    Args:
+        node: the host (or router) to tap.
+        capture_filter: optional display-filter expression applied at
+            capture time; non-matching packets are never recorded.
+        rx_only: capture only received packets (the media analysis in
+            the paper looks exclusively at the downstream direction).
+    """
+
+    def __init__(self, node: Node, capture_filter: Optional[str] = None,
+                 rx_only: bool = False) -> None:
+        self.node = node
+        self.rx_only = rx_only
+        self._predicate: Optional[Callable[[PacketRecord], bool]] = None
+        if capture_filter:
+            from repro.capture.filters import compile_filter
+
+            self._predicate = compile_filter(capture_filter)
+        self.trace = Trace(description=f"capture at {node.name}")
+        self._running = False
+        self._installed = False
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Sniffer":
+        """Begin recording; idempotent install of the node tap."""
+        if not self._installed:
+            self.node.add_tap(self._on_packet)
+            self._installed = True
+        self._running = True
+        return self
+
+    def stop(self) -> Trace:
+        """Stop recording and return the accumulated trace."""
+        if not self._running:
+            raise CaptureError("sniffer is not running")
+        self._running = False
+        return self.trace
+
+    def __enter__(self) -> "Sniffer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._running:
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # Tap callback
+    # ------------------------------------------------------------------
+    def _on_packet(self, direction: str, packet: Packet,
+                   time: float) -> None:
+        if not self._running:
+            return
+        if self.rx_only and direction != "rx":
+            return
+        self._counter += 1
+        record = PacketRecord.from_packet(self._counter, time, direction,
+                                          packet)
+        if self._predicate is not None and not self._predicate(record):
+            self._counter -= 1
+            return
+        self.trace.append(record)
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.trace)

@@ -1,0 +1,198 @@
+"""Trace containers: what a capture session produces.
+
+A :class:`PacketRecord` is one row of an Ethereal capture — timestamp,
+addresses, protocol, sizes, and the IP fragmentation fields the paper's
+analysis keys on.  A :class:`Trace` is an ordered collection of records
+with the slicing/filtering operations the analysis package builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import CaptureError
+from repro.netsim.addressing import IPAddress
+from repro.netsim.headers import IcmpHeader, TcpHeader, UdpHeader
+from repro.netsim.packet import Packet
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One captured packet, flattened for analysis.
+
+    ``direction`` is ``"rx"`` (arriving at the capture host) or
+    ``"tx"`` (sent by it); the paper's client-side captures are almost
+    entirely ``rx`` media traffic.
+    """
+
+    number: int
+    time: float
+    direction: str
+    src: IPAddress
+    dst: IPAddress
+    protocol: str
+    ip_bytes: int
+    wire_bytes: int
+    ttl: int
+    identification: int
+    is_fragment: bool
+    is_trailing_fragment: bool
+    more_fragments: bool
+    fragment_offset: int
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    payload_kind: str = "data"
+    adu_sequence: Optional[int] = None
+    datagram_id: int = 0
+    uid: int = 0
+
+    @classmethod
+    def from_packet(cls, number: int, time: float, direction: str,
+                    packet: Packet) -> "PacketRecord":
+        """Flatten a live packet into a capture row."""
+        src_port = dst_port = None
+        transport = packet.transport
+        if isinstance(transport, (UdpHeader, TcpHeader)):
+            src_port = transport.src_port
+            dst_port = transport.dst_port
+        return cls(
+            number=number, time=time, direction=direction,
+            src=packet.ip.src, dst=packet.ip.dst,
+            protocol=packet.ip.protocol.name,
+            ip_bytes=packet.ip_bytes, wire_bytes=packet.wire_bytes,
+            ttl=packet.ip.ttl, identification=packet.ip.identification,
+            is_fragment=packet.is_fragment,
+            is_trailing_fragment=packet.is_trailing_fragment,
+            more_fragments=packet.ip.more_fragments,
+            fragment_offset=packet.ip.fragment_offset,
+            src_port=src_port, dst_port=dst_port,
+            payload_kind=packet.payload.kind,
+            adu_sequence=packet.payload.adu_sequence,
+            datagram_id=packet.datagram_id, uid=packet.uid)
+
+
+class Trace:
+    """An ordered sequence of packet records plus capture metadata."""
+
+    def __init__(self, records: Optional[Iterable[PacketRecord]] = None,
+                 description: str = "") -> None:
+        self.records: List[PacketRecord] = list(records or [])
+        self.description = description
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.records[index], self.description)
+        return self.records[index]
+
+    def append(self, record: PacketRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[PacketRecord], bool]) -> "Trace":
+        """A new trace containing the records matching ``predicate``."""
+        return Trace((r for r in self.records if predicate(r)),
+                     self.description)
+
+    def display_filter(self, expression: str) -> "Trace":
+        """Filter with the Ethereal-like expression language.
+
+        Example::
+
+            trace.display_filter("udp && ip.frag && frame.len == 1514")
+        """
+        from repro.capture.filters import compile_filter
+
+        return self.filter(compile_filter(expression))
+
+    def between(self, start: float, end: float) -> "Trace":
+        """Records with ``start <= time < end``."""
+        return self.filter(lambda r: start <= r.time < end)
+
+    def received(self) -> "Trace":
+        """Only packets arriving at the capture host."""
+        return self.filter(lambda r: r.direction == "rx")
+
+    def udp(self) -> "Trace":
+        return self.filter(lambda r: r.protocol == "UDP")
+
+    def flow(self, src: IPAddress, dst_port: Optional[int] = None) -> "Trace":
+        """Records from ``src`` (optionally to a destination port).
+
+        Fragments carry no ports, so the port condition matches any
+        fragment of a datagram from ``src`` as well — the same join a
+        human performs in Ethereal when following a media flow.
+        """
+        def predicate(record: PacketRecord) -> bool:
+            if record.src != src:
+                return False
+            if dst_port is None:
+                return True
+            if record.dst_port == dst_port:
+                return True
+            return record.is_trailing_fragment
+        return self.filter(predicate)
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Seconds from first to last record (0 for tiny traces)."""
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[-1].time - self.records[0].time
+
+    @property
+    def total_wire_bytes(self) -> int:
+        return sum(r.wire_bytes for r in self.records)
+
+    @property
+    def total_ip_bytes(self) -> int:
+        return sum(r.ip_bytes for r in self.records)
+
+    def times(self) -> List[float]:
+        """Arrival timestamps, in capture order."""
+        return [r.time for r in self.records]
+
+    def sizes(self, wire: bool = True) -> List[int]:
+        """Packet sizes; wire frames by default (Ethereal's frame.len)."""
+        if wire:
+            return [r.wire_bytes for r in self.records]
+        return [r.ip_bytes for r in self.records]
+
+    def average_rate_bps(self) -> float:
+        """Mean delivery rate over the trace, in bits/second.
+
+        Raises:
+            CaptureError: for traces too short to define a rate.
+        """
+        if self.duration <= 0:
+            raise CaptureError("trace too short to compute a rate")
+        return self.total_wire_bytes * 8.0 / self.duration
+
+    def conversations(self) -> List[Tuple[IPAddress, IPAddress, int]]:
+        """Distinct (src, dst, packet count) tuples, like Ethereal's
+        conversations window."""
+        counts: dict = {}
+        for record in self.records:
+            key = (record.src, record.dst)
+            counts[key] = counts.get(key, 0) + 1
+        return [(src, dst, count)
+                for (src, dst), count in sorted(
+                    counts.items(), key=lambda item: -item[1])]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Trace {len(self.records)} packets, "
+                f"{self.duration:.1f}s, {self.description!r}>")

@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro`` console script):
+
+* ``study``      — run the Table 1 sweep and print every artifact.
+* ``figure ID``  — regenerate one table/figure (``fig01``..``fig15``,
+  ``table1``, ``sec4``).
+* ``table1``     — print the clip table without running experiments.
+* ``generate``   — synthesize a Section IV flow; optionally export
+  pcap/CSV.
+* ``pcap-info``  — summarize any libpcap file (fragmentation, rates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'MediaPlayer vs RealPlayer: A "
+                    "Comparison of Network Turbulence' (WPI 2002)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser(
+        "study", help="run the full Table 1 sweep and print the report")
+    study.add_argument("--seed", type=int, default=2002)
+    study.add_argument("--scale", type=float, default=1.0,
+                       help="clip duration scale (use <1 for a fast run)")
+    study.add_argument("--plots", action="store_true",
+                       help="include ASCII plots")
+    study.add_argument("--html",
+                       help="also write a standalone HTML report")
+
+    figure = commands.add_parser(
+        "figure", help="regenerate one paper artifact")
+    figure.add_argument("figure_id",
+                        help="fig01..fig15, table1, or sec4")
+    figure.add_argument("--seed", type=int, default=2002)
+    figure.add_argument("--scale", type=float, default=1.0)
+    figure.add_argument("--plots", action="store_true")
+    figure.add_argument("--csv", help="also write the data as CSV")
+
+    probe = commands.add_parser(
+        "probe", help="TCP-friendliness probe (paper §VI)")
+    probe.add_argument("family", choices=["real", "wmp"])
+    probe.add_argument("kbps", type=float)
+    probe.add_argument("loss", type=float, help="loss fraction, e.g. 0.05")
+    probe.add_argument("--rtt", type=float, default=0.200)
+    probe.add_argument("--duration", type=float, default=30.0)
+    probe.add_argument("--scaling", action="store_true",
+                       help="enable media scaling with receiver reports")
+
+    boundary = commands.add_parser(
+        "boundary", help="multi-client egress study (paper §VI)")
+    boundary.add_argument("--clients", type=int, default=4)
+    boundary.add_argument("--duration", type=float, default=40.0)
+    boundary.add_argument("--kbps", type=float, default=150.0)
+    boundary.add_argument("--seed", type=int, default=2002)
+
+    scorecard = commands.add_parser(
+        "scorecard", help="check every paper claim; nonzero on failure")
+    scorecard.add_argument("--seed", type=int, default=2002)
+    scorecard.add_argument("--scale", type=float, default=1.0)
+
+    commands.add_parser("table1", help="print Table 1 (no simulation)")
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a Section IV flow")
+    generate.add_argument("family", choices=["real", "wmp"])
+    generate.add_argument("kbps", type=float)
+    generate.add_argument("duration", type=float)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--pcap", help="write the flow as libpcap")
+    generate.add_argument("--csv", help="write the flow as trace CSV")
+
+    pcap_info = commands.add_parser(
+        "pcap-info", help="summarize a libpcap file")
+    pcap_info.add_argument("path")
+
+    return parser
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+    from repro.experiments.runner import run_study
+
+    study = run_study(seed=args.seed, duration_scale=args.scale)
+    print(f"# study sweep: {len(study)} pair runs "
+          f"(seed {args.seed}, scale {args.scale})\n")
+    print(build_report(study, plots=args.plots))
+    if args.html:
+        from repro.experiments.html_report import build_html_report
+
+        with open(args.html, "w") as stream:
+            stream.write(build_html_report(study))
+        print(f"wrote {args.html}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+    from repro.experiments.runner import run_study
+
+    generator = ALL_FIGURES.get(args.figure_id)
+    if generator is None:
+        print(f"unknown figure {args.figure_id!r}; choose from: "
+              f"{', '.join(sorted(ALL_FIGURES))}", file=sys.stderr)
+        return 2
+    study = run_study(seed=args.seed, duration_scale=args.scale)
+    result = generator(study)
+    print(result.render(plot=args.plots))
+    if args.csv:
+        with open(args.csv, "w") as stream:
+            stream.write(result.to_csv())
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.experiments.tcp_friendly import run_probe
+    from repro.media.clip import PlayerFamily
+
+    family = (PlayerFamily.REAL if args.family == "real"
+              else PlayerFamily.WMP)
+    result = run_probe(family, args.kbps, loss_probability=args.loss,
+                       duration=args.duration, rtt=args.rtt,
+                       scaling=args.scaling)
+    print(f"{family.display_name} {args.kbps:.0f} Kbps, "
+          f"loss {args.loss * 100:.0f}%, RTT {args.rtt * 1000:.0f} ms, "
+          f"scaling {'on' if args.scaling else 'off'}:")
+    print(f"  offered load:       {result.offered_kbps:8.1f} Kbps")
+    print(f"  delivered goodput:  {result.achieved_kbps:8.1f} Kbps")
+    if result.tcp_friendly_kbps != float("inf"):
+        print(f"  TCP-friendly bound: {result.tcp_friendly_kbps:8.1f} "
+              "Kbps")
+    print(f"  friendliness index: {result.friendliness_index:8.2f} "
+          "(> 1 = unfriendly)")
+    if args.scaling:
+        print(f"  final rate scale:   {result.final_rate_scale:8.2f}")
+    return 0
+
+
+def _cmd_boundary(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.core.turbulence import TurbulenceProfile
+    from repro.experiments.aggregate import run_boundary_study
+
+    result = run_boundary_study(client_count=args.clients,
+                                duration=args.duration,
+                                encoded_kbps=args.kbps, seed=args.seed)
+    print(format_table(TurbulenceProfile.SUMMARY_HEADERS,
+                       [p.summary_row()
+                        for p in result.per_flow_profiles]))
+    print(f"aggregate {result.aggregate_kbps:.0f} Kbps while all flows "
+          f"active; CV {result.common_window_cv:.2f} -> "
+          f"{result.full_span_cv:.2f} over the full span "
+          f"(cliff factor {result.cliff_factor:.1f})")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.experiments.datasets import table1_rows
+
+    print(format_table(("Data Set", "Pair", "Encode (Kbps)", "Genre",
+                        "Length"), table1_rows()))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.capture.pcap import write_pcap
+    from repro.capture.serialize import write_csv
+    from repro.core.fitting import fit_profile
+    from repro.core.generator import generate_flow
+    from repro.core.turbulence import TurbulenceProfile
+    from repro.analysis.report import format_table
+    from repro.media.clip import PlayerFamily
+
+    family = (PlayerFamily.REAL if args.family == "real"
+              else PlayerFamily.WMP)
+    flow = generate_flow(family, args.kbps, args.duration, seed=args.seed)
+    trace = flow.to_trace()
+    profile = fit_profile(trace, args.kbps,
+                          label=f"{args.family} {args.kbps:.0f}K")
+    print(f"generated {flow.packet_count} packets "
+          f"({flow.total_wire_bytes / 1024:.0f} KiB) over "
+          f"{flow.streaming_duration:.1f}s")
+    print(format_table(TurbulenceProfile.SUMMARY_HEADERS,
+                       [profile.summary_row()]))
+    if args.pcap:
+        write_pcap(trace, args.pcap)
+        print(f"wrote {args.pcap}")
+    if args.csv:
+        write_csv(trace, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_pcap_info(args: argparse.Namespace) -> int:
+    from repro.capture.pcap import read_pcap
+    from repro.capture.reassembly import fragmentation_percent
+
+    trace = read_pcap(args.path)
+    print(f"{args.path}: {len(trace)} packets, "
+          f"{trace.total_wire_bytes / 1024:.0f} KiB, "
+          f"{trace.duration:.1f}s")
+    if len(trace) > 0:
+        print(f"fragmentation: {fragmentation_percent(trace):.1f}%")
+    if trace.duration > 0:
+        print(f"average rate: {trace.average_rate_bps() / 1000:.0f} Kbps")
+    for src, dst, count in trace.conversations()[:10]:
+        print(f"  {src} -> {dst}: {count} packets")
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_study
+    from repro.experiments.scorecard import render_scorecard, run_scorecard
+
+    study = run_study(seed=args.seed, duration_scale=args.scale)
+    results = run_scorecard(study)
+    print(render_scorecard(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+_HANDLERS = {
+    "study": _cmd_study,
+    "scorecard": _cmd_scorecard,
+    "figure": _cmd_figure,
+    "table1": _cmd_table1,
+    "generate": _cmd_generate,
+    "pcap-info": _cmd_pcap_info,
+    "probe": _cmd_probe,
+    "boundary": _cmd_boundary,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's contribution, packaged for reuse.
+
+Two artifacts survive from the study:
+
+1. **Turbulence profiles** — the empirical characterization of a
+   streaming flow at the network layer: packet-size and interarrival
+   distributions, their CBR-ness, fragmentation behavior, and the
+   buffering burst.  :func:`fit_profile` extracts one from any capture.
+
+2. **Section IV's flow generators** — "simulations based on data from
+   this paper can be an effective means of exploring network impact":
+   pick an RTT from Figure 1, an encoding from Table 1, sizes from
+   Figures 6–7, intervals from Figures 8–9, fragmentation from
+   Figure 5, and the Real burst from Figure 11.
+   :class:`MediaPlayerFlowModel` and :class:`RealPlayerFlowModel` are
+   that recipe, generating packet schedules with no simulator required
+   (and replayable into one).
+"""
+
+from repro.core.fitting import fit_profile
+from repro.core.generator import FlowReplayer, SyntheticFlow, generate_flow
+from repro.core.models import (
+    MediaPlayerFlowModel,
+    PacketEvent,
+    RealPlayerFlowModel,
+    flow_model_for,
+    sample_hop_count,
+    sample_rtt,
+)
+from repro.core.turbulence import TurbulenceProfile
+
+__all__ = [
+    "FlowReplayer",
+    "MediaPlayerFlowModel",
+    "PacketEvent",
+    "RealPlayerFlowModel",
+    "SyntheticFlow",
+    "TurbulenceProfile",
+    "fit_profile",
+    "flow_model_for",
+    "generate_flow",
+    "sample_hop_count",
+    "sample_rtt",
+]

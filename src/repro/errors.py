@@ -1,0 +1,64 @@
+"""Exception hierarchy for the turbulence reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch one base type.  Subsystems raise the more specific
+subclasses below; the class name tells you which layer failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly.
+
+    Raised e.g. for scheduling an event in the past or running a
+    simulation that was already stopped.
+    """
+
+
+class AddressError(ReproError):
+    """An IPv4 address or subnet string could not be parsed or assigned."""
+
+
+class RoutingError(ReproError):
+    """No route exists for a destination, or a routing table is malformed."""
+
+
+class PacketError(ReproError):
+    """A packet was constructed or manipulated inconsistently.
+
+    Examples: negative payload size, fragmenting an unfragmentable
+    datagram, or reassembling fragments from different datagrams.
+    """
+
+
+class SocketError(ReproError):
+    """A UDP/TCP socket operation was invalid (port in use, not bound...)."""
+
+
+class ProtocolError(ReproError):
+    """A control-protocol exchange (RTSP-like session) violated the state machine."""
+
+
+class MediaError(ReproError):
+    """A clip or codec parameter is out of range (e.g. nonpositive bitrate)."""
+
+
+class CaptureError(ReproError):
+    """Packet capture failed: bad filter expression, malformed pcap file..."""
+
+
+class FilterSyntaxError(CaptureError):
+    """The display-filter expression could not be parsed."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received unusable data (e.g. an empty trace)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment run was misconfigured or produced no data."""

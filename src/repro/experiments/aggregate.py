@@ -1,0 +1,156 @@
+"""The boundary study (paper §VI future work).
+
+"It would be interesting to examine traces at an Internet boundary,
+such as the egress to our University, or at least at several players.
+Such analysis might reveal interactions between the media flows that
+our single client studies did not illustrate."
+
+:func:`run_boundary_study` streams to several campus clients at once —
+a mix of RealPlayer and MediaPlayer sessions — while capturing at the
+shared egress router, then characterizes the aggregate: total
+bandwidth, per-flow turbulence profiles, and how much the aggregate
+smooths the individual flows' burstiness (the interaction the paper
+speculates about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.bandwidth import bandwidth_series
+from repro.analysis.normalize import coefficient_of_variation
+from repro.capture.sniffer import Sniffer
+from repro.capture.trace import Trace
+from repro.core.fitting import fit_profile
+from repro.core.turbulence import TurbulenceProfile
+from repro.errors import ExperimentError
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import build_campus_topology
+from repro.players.mediatracker import MediaTracker
+from repro.players.realtracker import RealTracker
+from repro.servers.realserver import RealServer
+from repro.servers.wms import WindowsMediaServer
+
+
+@dataclass
+class BoundaryStudyResult:
+    """What the egress capture revealed.
+
+    The boundary view exposes an interaction invisible to single-client
+    studies: while all sessions overlap, the aggregate is steadier than
+    any single bursty flow suggests, but the RealPlayer sessions —
+    having front-loaded their clips — *end early*, so the egress sees a
+    sharp aggregate rate cliff mid-playback.  ``full_span_cv`` (whole
+    capture) versus ``common_window_cv`` (all flows active) quantifies
+    that cliff.
+    """
+
+    client_count: int
+    egress_trace: Trace
+    per_flow_profiles: List[TurbulenceProfile]
+    #: Aggregate bandwidth CV over the window where every flow is active.
+    common_window_cv: float
+    #: Aggregate bandwidth CV over the whole capture span.
+    full_span_cv: float
+    mean_individual_rate_cv: float
+    #: Mean aggregate rate while all flows are active.
+    aggregate_kbps: float
+    #: Wall seconds each flow occupied, in client order.
+    flow_spans: List[float] = field(default_factory=list)
+
+    @property
+    def cliff_factor(self) -> float:
+        """How much the early Real endings roughen the aggregate
+        (full-span CV / common-window CV; > 1 = visible cliff)."""
+        if self.common_window_cv <= 0:
+            return float("inf")
+        return self.full_span_cv / self.common_window_cv
+
+
+def run_boundary_study(client_count: int = 4, duration: float = 60.0,
+                       encoded_kbps: float = 200.0,
+                       seed: int = 2002) -> BoundaryStudyResult:
+    """Stream to ``client_count`` clients at once; capture at the egress.
+
+    Clients alternate between RealPlayer and MediaPlayer sessions, each
+    with its own clip (staggered start times within 2 s, like students
+    clicking links independently).
+
+    Raises:
+        ExperimentError: if any stream fails to finish.
+    """
+    if client_count < 2:
+        raise ExperimentError("a boundary study needs at least 2 clients")
+    sim = Simulator(seed=seed)
+    campus = build_campus_topology(sim, client_count=client_count)
+    real_server = RealServer(campus.servers[0])
+    wms = WindowsMediaServer(campus.servers[1])
+
+    players = []
+    stagger = sim.streams.stream("boundary-stagger")
+    for index, client in enumerate(campus.clients):
+        use_real = index % 2 == 0
+        family = PlayerFamily.REAL if use_real else PlayerFamily.WMP
+        title = f"clip-{index}"
+        clip = Clip(title=title, genre="Mixed", duration=duration,
+                    encoding=ClipEncoding(family=family,
+                                          encoded_kbps=encoded_kbps,
+                                          advertised_kbps=encoded_kbps))
+        server_host = campus.servers[0] if use_real else campus.servers[1]
+        (real_server if use_real else wms).add_clip(clip)
+        player_class = RealTracker if use_real else MediaTracker
+        player = player_class(client, server_host.address)
+        players.append((player, title, clip))
+        sim.schedule_in(stagger.uniform(0.0, 2.0),
+                        player.play, title)
+
+    sniffer = Sniffer(campus.egress).start()
+    sim.run(until=duration * 3 + 120.0)
+    trace = sniffer.stop()
+    for player, title, _ in players:
+        if not player.done:
+            raise ExperimentError(f"stream {title} did not finish")
+
+    # The egress tap sees each packet twice (rx from the backbone, tx
+    # toward the client); analyze the campus-bound media only once.
+    media = trace.filter(
+        lambda r: r.direction == "rx" and r.protocol == "UDP"
+        and r.payload_kind == "media")
+
+    profiles = []
+    individual_cvs = []
+    spans = []
+    flow_windows: List[Tuple[float, float]] = []
+    for player, title, clip in players:
+        flow = media.flow(player.server).filter(
+            lambda r, dst=player.host.address: r.dst == dst)
+        profiles.append(fit_profile(flow, clip.encoded_kbps,
+                                    label=f"{title} ({clip.family.value})",
+                                    stats=player.stats))
+        rates = [kbps for _, kbps in bandwidth_series(flow, interval=1.0)]
+        individual_cvs.append(coefficient_of_variation(
+            [r for r in rates if r > 0]))
+        start, end = flow[0].time, flow[-1].time
+        flow_windows.append((start, end))
+        spans.append(end - start)
+
+    common_start = max(start for start, _ in flow_windows)
+    common_end = min(end for _, end in flow_windows)
+    aggregate_series = bandwidth_series(media, interval=1.0)
+    origin = media[0].time
+    common = [kbps for offset, kbps in aggregate_series
+              if common_start <= origin + offset <= common_end]
+    full = [kbps for _, kbps in aggregate_series]
+    if len(common) < 2:
+        raise ExperimentError("flows barely overlap; lengthen the clips")
+
+    return BoundaryStudyResult(
+        client_count=client_count, egress_trace=trace,
+        per_flow_profiles=profiles,
+        common_window_cv=coefficient_of_variation(common),
+        full_span_cv=coefficient_of_variation(full),
+        mean_individual_rate_cv=sum(individual_cvs) / len(individual_cvs),
+        aggregate_kbps=sum(common) / len(common),
+        flow_spans=spans)

@@ -1,0 +1,30 @@
+"""Memoized study runs.
+
+A full Table 1 sweep takes tens of seconds of wall time; every figure
+generator consumes the same :class:`~repro.experiments.runner.StudyResults`.
+This tiny cache lets a benchmark session (17 benches) or a test module
+run the sweep once per parameter set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.runner import StudyResults, run_study
+
+_CACHE: Dict[Tuple[int, float, float], StudyResults] = {}
+
+
+def get_study(seed: int = 2002, duration_scale: float = 1.0,
+              loss_probability: float = 0.0) -> StudyResults:
+    """The study for these parameters, running it on first request."""
+    key = (seed, duration_scale, loss_probability)
+    if key not in _CACHE:
+        _CACHE[key] = run_study(seed=seed, duration_scale=duration_scale,
+                                loss_probability=loss_probability)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached studies (tests that need isolation)."""
+    _CACHE.clear()

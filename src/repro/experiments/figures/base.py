@@ -1,0 +1,78 @@
+"""The common shape of a regenerated table or figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import ascii_plot, format_table
+
+Series = List[Tuple[float, float]]
+
+
+@dataclass
+class FigureResult:
+    """One regenerated paper artifact.
+
+    Attributes:
+        figure_id: the paper's identifier ("fig05", "table1", ...).
+        title: the paper's caption.
+        series: named (x, y) series — the figure's curves/points.
+        headers / rows: tabular payload, when the artifact is a table
+            or when rows communicate better than a plot.
+        findings: key scalar observations ("WMP @300Kbps: 66% frags"),
+            the lines EXPERIMENTS.md compares against the paper.
+    """
+
+    figure_id: str
+    title: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    headers: Sequence[str] = ()
+    rows: List[List[object]] = field(default_factory=list)
+    findings: List[str] = field(default_factory=list)
+
+    def render(self, plot: bool = True, max_plot_points: int = 400) -> str:
+        """Human-readable rendering for benchmark logs."""
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        if self.rows:
+            lines.append(format_table(self.headers, self.rows))
+        if plot:
+            for name, points in self.series.items():
+                if not points:
+                    continue
+                sampled = points
+                if len(points) > max_plot_points:
+                    step = len(points) // max_plot_points
+                    sampled = points[::step]
+                lines.append(ascii_plot(sampled, title=name))
+        if self.findings:
+            lines.append("findings:")
+            lines.extend(f"  - {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+    def series_named(self, name: str) -> Series:
+        """A named series, with a helpful error if missing."""
+        if name not in self.series:
+            raise KeyError(f"{self.figure_id} has no series {name!r}; "
+                           f"available: {sorted(self.series)}")
+        return self.series[name]
+
+    def to_csv(self) -> str:
+        """The artifact's data as CSV, for external plotting tools.
+
+        Series are emitted long-form (``series,x,y`` rows); tabular
+        artifacts emit their header and rows verbatim first.
+        """
+        lines: List[str] = []
+        if self.rows:
+            lines.append(",".join(str(h) for h in self.headers))
+            for row in self.rows:
+                lines.append(",".join(str(cell) for cell in row))
+        if self.series:
+            if lines:
+                lines.append("")
+            lines.append("series,x,y")
+            for name in sorted(self.series):
+                for x, y in self.series[name]:
+                    lines.append(f"{name},{x!r},{y!r}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,32 @@
+"""Figure 1: CDF of round-trip time.
+
+The paper: "a median round-trip time of 40 ms and a maximum round-trip
+time of 160 ms", from the pings bracketing every run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import cdf, percentile
+from repro.errors import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import StudyResults
+
+
+def generate(study: StudyResults) -> FigureResult:
+    samples = study.rtt_samples()
+    if not samples:
+        raise ExperimentError("study contains no ping samples")
+    milliseconds = [rtt * 1000.0 for rtt in samples]
+    points = cdf(milliseconds)
+    result = FigureResult(
+        figure_id="fig01",
+        title="CDF of RTT",
+        series={"rtt_cdf_ms": points})
+    median = percentile(milliseconds, 50)
+    result.findings.append(
+        f"median RTT = {median:.0f} ms (paper: 40 ms)")
+    result.findings.append(
+        f"max RTT = {max(milliseconds):.0f} ms (paper: 160 ms)")
+    result.findings.append(
+        f"ping loss = {study.loss_percent():.2f}% (paper: near 0%)")
+    return result

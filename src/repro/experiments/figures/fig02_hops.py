@@ -1,0 +1,30 @@
+"""Figure 2: CDF of hop count.
+
+The paper: "most of the servers were between 15 and 20 hops away",
+from the tracert of every run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import cdf
+from repro.errors import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import StudyResults
+
+
+def generate(study: StudyResults) -> FigureResult:
+    hops = study.hop_samples()
+    if not hops:
+        raise ExperimentError("study contains no tracert samples")
+    points = cdf([float(h) for h in hops])
+    result = FigureResult(
+        figure_id="fig02",
+        title="CDF of Number of Hops",
+        series={"hops_cdf": points})
+    in_band = sum(1 for h in hops if 15 <= h <= 20)
+    result.findings.append(
+        f"{100.0 * in_band / len(hops):.0f}% of runs saw 15-20 hops "
+        "(paper: most)")
+    result.findings.append(
+        f"range: {min(hops)}-{max(hops)} hops (paper axis: 10-30)")
+    return result

@@ -1,0 +1,55 @@
+"""Figure 3: average playback data rate vs. encoding data rate.
+
+Every clip is a point; a second-order polynomial trend is fitted per
+player.  The paper's reading: "MediaPlayer tends to playback at the
+encoding rate, but RealPlayer plays out at a slightly higher average
+data rate than the encoded data rate" — i.e. the WMP trend hugs y = x
+while the Real trend sits above it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import fit_polynomial_trend
+from repro.errors import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import StudyResults
+
+
+def generate(study: StudyResults) -> FigureResult:
+    if len(study) == 0:
+        raise ExperimentError("empty study")
+    real_points = [(run.real_clip.encoded_kbps,
+                    run.real_stats.average_playback_kbps) for run in study]
+    wmp_points = [(run.wmp_clip.encoded_kbps,
+                   run.wmp_stats.average_playback_kbps) for run in study]
+    real_trend = fit_polynomial_trend([x for x, _ in real_points],
+                                      [y for _, y in real_points])
+    wmp_trend = fit_polynomial_trend([x for x, _ in wmp_points],
+                                     [y for _, y in wmp_points])
+    xs = sorted({x for x, _ in real_points + wmp_points})
+    result = FigureResult(
+        figure_id="fig03",
+        title="Average Playback Data Rate vs. Encoding Data Rate",
+        series={
+            "real_points": real_points,
+            "wmp_points": wmp_points,
+            "real_trend": [(x, real_trend(x)) for x in xs],
+            "wmp_trend": [(x, wmp_trend(x)) for x in xs],
+        },
+        headers=("player", "mean (playback - encoding) Kbps"),
+        rows=[
+            ["RealPlayer", real_trend.mean_offset_from_identity(
+                [x for x, _ in real_points])],
+            ["MediaPlayer", wmp_trend.mean_offset_from_identity(
+                [x for x, _ in wmp_points])],
+        ])
+    real_offset = real_trend.mean_offset_from_identity(
+        [x for x, _ in real_points])
+    wmp_offset = wmp_trend.mean_offset_from_identity(
+        [x for x, _ in wmp_points])
+    result.findings.append(
+        f"Real trend sits {real_offset:+.0f} Kbps above y=x "
+        "(paper: above)")
+    result.findings.append(
+        f"WMP trend sits {wmp_offset:+.0f} Kbps from y=x (paper: on y=x)")
+    return result

@@ -1,0 +1,53 @@
+"""Figure 6: PDF of packet size for one low-bandwidth pair (set 1).
+
+The paper: "Over 80% of MediaPlayer packets have a size between 800
+bytes and 1000 bytes" while RealPlayer sizes "are distributed over a
+larger range and do not have a single peak density point".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import pdf
+from repro.errors import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import PairRunResult, StudyResults
+from repro.media.library import RateBand
+
+SET_NUMBER = 1
+BIN_WIDTH_BYTES = 50.0
+
+
+def pick_run(study: StudyResults,
+             set_number: int = SET_NUMBER) -> PairRunResult:
+    for run in study:
+        if run.set_number == set_number and run.band == RateBand.LOW:
+            return run
+    low_runs = study.by_band(RateBand.LOW)
+    if not low_runs:
+        raise ExperimentError("study has no low-band run for Figure 6")
+    return low_runs[0]
+
+
+def generate(study: StudyResults) -> FigureResult:
+    run = pick_run(study)
+    result = FigureResult(
+        figure_id="fig06",
+        title=f"PDF of Packet Size (set {run.set_number}, low bandwidth)")
+    shares = {}
+    for name, flow in (("real", run.real_flow()), ("wmp", run.wmp_flow())):
+        sizes = [float(record.wire_bytes) for record in flow]
+        result.series[f"{name}_size_pdf"] = pdf(sizes,
+                                                bin_width=BIN_WIDTH_BYTES)
+        shares[name] = sizes
+    wmp_in_band = [s for s in shares["wmp"] if 800 <= s <= 1028]
+    result.findings.append(
+        f"WMP packets in the 800-1000 B payload band: "
+        f"{100.0 * len(wmp_in_band) / len(shares['wmp']):.0f}% "
+        "(paper: over 80%)")
+    real_sizes = shares["real"]
+    spread = (max(real_sizes) - min(real_sizes)) / (
+        sum(real_sizes) / len(real_sizes))
+    result.findings.append(
+        f"Real size spread (range/mean) = {spread:.2f} (paper: wide, "
+        "no single peak)")
+    return result

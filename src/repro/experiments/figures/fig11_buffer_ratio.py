@@ -1,0 +1,60 @@
+"""Figure 11: buffering rate / playback rate vs. encoding rate (Real).
+
+"For the low data rate clips (less than 56 Kbps), the ratio of
+buffering rate to playout rate is as high as 3, while for the very high
+data rate clip (637 Kbps), the ratio ... is close to 1."  MediaPlayer's
+ratio is 1 by construction (it buffers at the playout rate).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.buffering import buffering_ratio_vs_playout
+from repro.errors import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import StudyResults
+
+
+def generate(study: StudyResults) -> FigureResult:
+    if len(study) == 0:
+        raise ExperimentError("empty study")
+    real_points = []
+    wmp_points = []
+    for run in study:
+        real_points.append((
+            run.real_clip.encoded_kbps,
+            buffering_ratio_vs_playout(
+                run.real_stats.bandwidth_timeline(interval=1.0),
+                run.real_clip.encoded_kbps)))
+        wmp_points.append((
+            run.wmp_clip.encoded_kbps,
+            buffering_ratio_vs_playout(
+                run.wmp_stats.bandwidth_timeline(interval=1.0),
+                run.wmp_clip.encoded_kbps)))
+    real_points.sort()
+    wmp_points.sort()
+    result = FigureResult(
+        figure_id="fig11",
+        title="Buffering Rate / Playback Rate vs. Encoding Rate "
+              "(RealPlayer clips)",
+        series={"real_ratio": real_points, "wmp_ratio": wmp_points},
+        headers=("Real Kbps", "ratio"),
+        rows=[[f"{kbps:.0f}", ratio] for kbps, ratio in real_points])
+    low = [ratio for kbps, ratio in real_points if kbps < 56]
+    high = [ratio for kbps, ratio in real_points if kbps > 500]
+    result.findings.append(
+        f"Real ratio below 56 Kbps: up to {max(low) if low else 0:.1f} "
+        "(paper: as high as 3)")
+    if high:
+        result.findings.append(
+            f"Real ratio at the very-high clip: {high[0]:.1f} "
+            "(paper: close to 1)")
+    wmp_max = max(ratio for _, ratio in wmp_points)
+    result.findings.append(
+        f"WMP maximum ratio: {wmp_max:.2f} (paper: 1 for all clips)")
+    decreasing = all(
+        earlier[1] >= later[1] - 0.45
+        for earlier, later in zip(real_points, real_points[1:]))
+    result.findings.append(
+        f"Real ratio decreases with encoding rate: {decreasing} "
+        "(paper: decreasing trend)")
+    return result

@@ -1,0 +1,57 @@
+"""Figure 13: frame rate vs. time for one clip set (set 5, all four).
+
+"The two high data rate clips for MediaPlayer and RealPlayer both reach
+25 frames per second... The lowest frame rate is for the low encoded
+MediaPlayer clip, which plays at 13 frames per second. The similarly
+encoded RealPlayer clip reaches a significantly higher frame rate."
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import StudyResults
+from repro.media.library import RateBand
+
+SET_NUMBER = 5
+
+
+def generate(study: StudyResults) -> FigureResult:
+    runs = [run for run in study if run.set_number == SET_NUMBER
+            and run.band in (RateBand.HIGH, RateBand.LOW)]
+    if not runs:
+        runs = study.by_band(RateBand.HIGH)[:1] + study.by_band(
+            RateBand.LOW)[:1]
+    if not runs:
+        raise ExperimentError("study has no runs for Figure 13")
+    result = FigureResult(
+        figure_id="fig13",
+        title=f"Frame Rate vs. Time (set {runs[0].set_number})")
+    summary = {}
+    for run in runs:
+        for label, stats in ((run.real_clip.label(), run.real_stats),
+                             (run.wmp_clip.label(), run.wmp_stats)):
+            result.series[label] = stats.frame_rate_timeline(window=1.0)
+            summary[(run.band, label)] = stats.average_fps
+    for (band, label), fps in sorted(summary.items(),
+                                     key=lambda kv: -kv[1]):
+        result.findings.append(f"{label}: {fps:.1f} fps average")
+    high_fps = [fps for (band, _), fps in summary.items()
+                if band == RateBand.HIGH]
+    if high_fps:
+        result.findings.append(
+            f"high pair reaches {min(high_fps):.0f}+ fps "
+            "(paper: both reach 25 fps)")
+    low = {label: fps for (band, label), fps in summary.items()
+           if band == RateBand.LOW}
+    if low:
+        wmp_low = min((fps for label, fps in low.items()
+                       if "Windows" in label), default=None)
+        real_low = min((fps for label, fps in low.items()
+                        if "Real" in label), default=None)
+        if wmp_low is not None and real_low is not None:
+            result.findings.append(
+                f"low pair: WMP {wmp_low:.0f} fps vs Real "
+                f"{real_low:.0f} fps (paper: 13 fps vs significantly "
+                "higher)")
+    return result

@@ -1,0 +1,70 @@
+"""Figure 14: frame rate vs. average encoding rate, all data sets.
+
+Per-clip points plus per-band means with standard-error bars: "For low
+date rate encoded clips, MediaPlayer has a lower frame rate than
+RealPlayer, while for high and super high encoded data rate clips,
+MediaPlayer and RealPlayer playback at a similar frame rate."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.analysis.framerate import ClipPoint, summarize_by_band
+from repro.errors import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import PairRunResult, StudyResults
+from repro.media.library import RateBand
+
+
+def build(study: StudyResults, figure_id: str, title: str,
+          x_of: Callable[[PairRunResult, str], float],
+          x_name: str) -> FigureResult:
+    """Shared builder for Figures 14 (x = encoding) and 15 (x = bandwidth)."""
+    if len(study) == 0:
+        raise ExperimentError("empty study")
+    real_points: List[ClipPoint] = []
+    wmp_points: List[ClipPoint] = []
+    for run in study:
+        real_points.append(ClipPoint(band=run.band,
+                                     x=x_of(run, "real"),
+                                     fps=run.real_stats.average_fps))
+        wmp_points.append(ClipPoint(band=run.band,
+                                    x=x_of(run, "wmp"),
+                                    fps=run.wmp_stats.average_fps))
+    result = FigureResult(figure_id=figure_id, title=title)
+    result.series["real_points"] = sorted((p.x, p.fps)
+                                          for p in real_points)
+    result.series["wmp_points"] = sorted((p.x, p.fps) for p in wmp_points)
+    rows = []
+    band_means = {}
+    for name, points in (("real", real_points), ("wmp", wmp_points)):
+        summaries = summarize_by_band(points)
+        result.series[f"{name}_band_means"] = [
+            (s.mean_x, s.mean_fps) for s in summaries]
+        for summary in summaries:
+            band_means[(name, summary.band)] = summary.mean_fps
+            rows.append([name, summary.band.value,
+                         summary.mean_x, summary.mean_fps,
+                         summary.stderr_fps, summary.count])
+    result.headers = ("player", "band", f"mean {x_name}", "mean fps",
+                      "stderr", "clips")
+    result.rows = rows
+    low_gap = (band_means.get(("real", RateBand.LOW), 0.0)
+               - band_means.get(("wmp", RateBand.LOW), 0.0))
+    high_gap = abs(band_means.get(("real", RateBand.HIGH), 0.0)
+                   - band_means.get(("wmp", RateBand.HIGH), 0.0))
+    result.findings.append(
+        f"low band: Real leads WMP by {low_gap:.1f} fps "
+        "(paper: Real clearly higher)")
+    result.findings.append(
+        f"high band: |Real - WMP| = {high_gap:.1f} fps (paper: similar)")
+    return result
+
+
+def generate(study: StudyResults) -> FigureResult:
+    return build(
+        study, "fig14", "Frame Rate vs. Average Encoding Rate (all sets)",
+        x_of=lambda run, family: (run.real_clip if family == "real"
+                                  else run.wmp_clip).encoded_kbps,
+        x_name="Kbps")

@@ -1,0 +1,22 @@
+"""Figure 15: frame rate vs. average playout bandwidth, all data sets.
+
+Same construction as Figure 14 with delivered bandwidth on the x-axis:
+"RealPlayer has a higher frame rate than MediaPlayer for the same
+bandwidth."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.fig14_framerate_encoding import build
+from repro.experiments.runner import StudyResults
+
+
+def generate(study: StudyResults) -> FigureResult:
+    result = build(
+        study, "fig15", "Frame Rate vs. Average Bandwidth (all sets)",
+        x_of=lambda run, family: (
+            run.real_stats if family == "real"
+            else run.wmp_stats).average_playback_kbps,
+        x_name="playout Kbps")
+    return result

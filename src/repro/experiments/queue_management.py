@@ -1,0 +1,136 @@
+"""Queue management versus unresponsive media (the paper's framing).
+
+The paper's introduction motivates the whole study with router queue
+management: "Research that attempts to deal with unresponsive traffic
+[CD01, FKSS01, MFW01, SSZ98] often models unresponsive flows as
+transmitting data at a constant packet size, constant packet rate...
+Realistic modeling of streaming media at the network layer will
+facilitate more effective network techniques that handle unresponsive
+traffic flows."
+
+This experiment closes that loop with the library's own realistic
+flows: both players stream through a congested bottleneck governed by
+either a drop-tail FIFO or RED, and the run reports what each
+discipline does to each product — including the fragmentation
+amplification (a dropped fragment wastes its whole ADU) that only a
+faithful packet-level model exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import units
+from repro.errors import ExperimentError
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.netsim.crosstraffic import OnOffParetoSource
+from repro.netsim.engine import Simulator
+from repro.netsim.queues import DropTailQueue, RedQueue
+from repro.netsim.topology import build_path_topology
+from repro.players.mediatracker import MediaTracker
+from repro.players.realtracker import RealTracker
+from repro.servers.realserver import RealServer
+from repro.servers.wms import WindowsMediaServer
+
+
+@dataclass(frozen=True)
+class QueueStudyResult:
+    """One discipline's outcome at the congested bottleneck."""
+
+    discipline: str
+    bottleneck_drops: int
+    real_packets_lost: int
+    wmp_packets_lost: int
+    real_frame_loss_percent: float
+    wmp_frame_loss_percent: float
+    wasted_fragment_bytes: int
+    real_fps: float
+    wmp_fps: float
+
+
+def run_queue_study(discipline: str, bottleneck_mbps: float = 1.0,
+                    encoded_kbps: float = 307.2, duration: float = 40.0,
+                    noise_mbps: float = 0.6,
+                    seed: int = 2002) -> QueueStudyResult:
+    """Stream both players through a congested, managed bottleneck.
+
+    Args:
+        discipline: ``"droptail"`` or ``"red"``.
+        bottleneck_mbps: the managed link's rate; with two ~300 Kbps
+            media flows plus bursty noise it saturates during noise
+            bursts.
+
+    Raises:
+        ExperimentError: for an unknown discipline or broken run.
+    """
+    capacity = 32 * 1024  # small router buffer: queue pressure matters
+    if discipline == "droptail":
+        def queue_factory():
+            return DropTailQueue(capacity_bytes=capacity)
+    elif discipline == "red":
+        red_rng_holder: Dict[str, object] = {}
+
+        def queue_factory():
+            rng = red_rng_holder.setdefault(
+                "rng", sim.streams.stream("red"))
+            return RedQueue(capacity_bytes=capacity, min_threshold=0.15,
+                            max_threshold=0.7, max_drop_probability=0.2,
+                            rng=rng)
+    else:
+        raise ExperimentError(f"unknown discipline {discipline!r}")
+
+    sim = Simulator(seed=seed)
+    path = build_path_topology(
+        sim, hop_count=8, rtt=0.040,
+        bottleneck_bps=units.mbps(bottleneck_mbps))
+    # Replace the bottleneck's queues with the chosen discipline: the
+    # topology marks the middle link as the throttled one.
+    middle = next(link for link in path.links
+                  if link.bandwidth_bps == units.mbps(bottleneck_mbps))
+    middle._forward._queue = queue_factory()
+    middle._reverse._queue = queue_factory()
+
+    real_server = RealServer(path.servers[0])
+    real_server.add_clip(Clip(
+        title="r", genre="T", duration=duration,
+        encoding=ClipEncoding(family=PlayerFamily.REAL,
+                              encoded_kbps=encoded_kbps * 0.88,
+                              advertised_kbps=encoded_kbps)))
+    wms = WindowsMediaServer(path.servers[1])
+    wms.add_clip(Clip(
+        title="m", genre="T", duration=duration,
+        encoding=ClipEncoding(family=PlayerFamily.WMP,
+                              encoded_kbps=encoded_kbps,
+                              advertised_kbps=encoded_kbps)))
+    if noise_mbps > 0:
+        OnOffParetoSource(sim, path.servers[1], path.client,
+                          rate_bps=units.mbps(noise_mbps), mean_on=0.8,
+                          mean_off=0.8, port=9,
+                          rng=sim.streams.stream("noise")).start()
+
+    real_player = RealTracker(path.client, path.servers[0].address)
+    wmp_player = MediaTracker(path.client, path.servers[1].address)
+    real_player.play("r")
+    wmp_player.play("m")
+    sim.run(until=duration * 4 + 120.0)
+    for player in (real_player, wmp_player):
+        if not player.done:
+            player.finalize()
+
+    # Congestion drops happen in the bottleneck's client-bound queue;
+    # media flows server->client, i.e. the direction transmitted by
+    # the server-side endpoint (middle.b on the topology's chain).
+    drops = (middle.queue_stats(middle.b).dropped
+             + middle.queue_stats(middle.a).dropped)
+
+    return QueueStudyResult(
+        discipline=discipline,
+        bottleneck_drops=drops,
+        real_packets_lost=real_player.stats.packets_lost,
+        wmp_packets_lost=wmp_player.stats.packets_lost,
+        real_frame_loss_percent=real_player.stats.frame_loss_percent,
+        wmp_frame_loss_percent=wmp_player.stats.frame_loss_percent,
+        wasted_fragment_bytes=path.client.ip.stats.wasted_fragment_bytes,
+        real_fps=real_player.stats.average_fps,
+        wmp_fps=wmp_player.stats.average_fps)

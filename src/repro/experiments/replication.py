@@ -1,0 +1,105 @@
+"""Replicated studies: error bars the paper never had.
+
+The paper ran each clip pair once per afternoon; its figures carry
+standard-error bars only across *clips*, not across *runs*.  A
+simulator can do better: replicate the whole study under independent
+seeds and report the between-replication spread of every headline
+metric, which tells a reader how much of each finding is signal.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.buffering import buffering_ratio_vs_playout
+from repro.capture.reassembly import fragmentation_percent
+from repro.errors import ExperimentError
+from repro.experiments.runner import StudyResults, run_study
+from repro.media.library import RateBand
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and spread of one metric across replications."""
+
+    name: str
+    values: tuple
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    def row(self) -> List[object]:
+        return [self.name, self.mean, self.std,
+                min(self.values), max(self.values)]
+
+
+def headline_metrics(study: StudyResults) -> Dict[str, float]:
+    """The study's headline numbers, one scalar each."""
+    high_runs = [run for run in study
+                 if run.wmp_clip.encoded_kbps > 200]
+    frag_values = [fragmentation_percent(run.wmp_flow())
+                   for run in high_runs]
+    low_runs = study.by_band(RateBand.LOW)
+    real_low_fps = statistics.fmean(run.real_stats.average_fps
+                                    for run in low_runs)
+    wmp_low_fps = statistics.fmean(run.wmp_stats.average_fps
+                                   for run in low_runs)
+    low_ratio_values = [
+        buffering_ratio_vs_playout(
+            run.real_stats.bandwidth_timeline(interval=1.0),
+            run.real_clip.encoded_kbps)
+        for run in low_runs]
+    stream_ratio = statistics.fmean(
+        run.real_stats.streaming_duration
+        / run.wmp_stats.streaming_duration
+        for run in study
+        if run.real_clip.encoded_kbps < 500)
+    return {
+        "wmp_frag_pct_high": statistics.fmean(frag_values),
+        "real_low_buffer_ratio": statistics.fmean(low_ratio_values),
+        "low_band_fps_gap": real_low_fps - wmp_low_fps,
+        "real_stream_fraction": stream_ratio,
+        "ping_loss_pct": study.loss_percent(),
+    }
+
+
+@dataclass
+class ReplicationResult:
+    """All replications' metrics plus their summaries."""
+
+    seeds: Sequence[int]
+    per_seed: List[Dict[str, float]] = field(default_factory=list)
+
+    def summaries(self) -> List[MetricSummary]:
+        if not self.per_seed:
+            raise ExperimentError("no replications collected")
+        names = self.per_seed[0].keys()
+        return [MetricSummary(name=name,
+                              values=tuple(metrics[name]
+                                           for metrics in self.per_seed))
+                for name in names]
+
+
+def run_replicated_study(seeds: Sequence[int],
+                         duration_scale: float = 0.5) -> ReplicationResult:
+    """Run the Table 1 sweep once per seed and collect the metrics.
+
+    Raises:
+        ExperimentError: for an empty seed list.
+    """
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    result = ReplicationResult(seeds=tuple(seeds))
+    for seed in seeds:
+        study = run_study(seed=seed, duration_scale=duration_scale)
+        result.per_seed.append(headline_metrics(study))
+    return result

@@ -1,0 +1,215 @@
+"""The paper's experiment methodology, end to end.
+
+One *pair run* reproduces Section II.D for one clip pair: build the
+path to a pair of co-located servers under sampled network conditions,
+verify them with ping and tracert, start Ethereal (the sniffer), stream
+the RealPlayer and MediaPlayer clips **simultaneously** from the two
+servers to the one client, record application statistics with both
+trackers, then ping/tracert again.  A *study* is the full sweep over
+Table 1's thirteen pairs, each with freshly sampled conditions — the
+corpus every figure draws from.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.capture.sniffer import Sniffer
+from repro.capture.trace import Trace
+from repro.core.fitting import fit_profile
+from repro.core.turbulence import TurbulenceProfile
+from repro.errors import ExperimentError
+from repro.experiments.conditions import NetworkConditions, sample_conditions
+from repro.experiments.datasets import build_table1_library
+from repro.media.clip import Clip
+from repro.media.library import ClipLibrary, ClipPair, ClipSet, RateBand
+from repro.netsim.addressing import IPAddress
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import build_path_topology
+from repro.players.mediatracker import MediaTracker
+from repro.players.realtracker import RealTracker
+from repro.players.stats import PlayerStats
+from repro.servers.realserver import RealServer
+from repro.servers.wms import WindowsMediaServer
+from repro.tools.ping import PingReport, run_ping
+from repro.tools.stability import StabilityVerdict, verify_stability
+from repro.tools.tracert import TracerouteReport, run_tracert
+
+
+@dataclass
+class PairRunResult:
+    """Everything one simultaneous-stream run produced."""
+
+    set_number: int
+    genre: str
+    band: RateBand
+    conditions: NetworkConditions
+    real_clip: Clip
+    wmp_clip: Clip
+    real_stats: PlayerStats
+    wmp_stats: PlayerStats
+    trace: Trace
+    real_server: IPAddress
+    wmp_server: IPAddress
+    ping_before: PingReport
+    ping_after: PingReport
+    tracert: TracerouteReport
+    tracert_after: TracerouteReport
+    stability: StabilityVerdict
+
+    # ------------------------------------------------------------------
+    # Per-flow views
+    # ------------------------------------------------------------------
+    def real_flow(self) -> Trace:
+        """The RealPlayer media packets of the shared capture."""
+        return self._media_flow(self.real_server)
+
+    def wmp_flow(self) -> Trace:
+        """The MediaPlayer media packets of the shared capture."""
+        return self._media_flow(self.wmp_server)
+
+    def _media_flow(self, server: IPAddress) -> Trace:
+        flow = self.trace.udp().flow(server)
+        return flow.filter(lambda r: r.payload_kind == "media")
+
+    def real_profile(self) -> TurbulenceProfile:
+        return fit_profile(self.real_flow(), self.real_clip.encoded_kbps,
+                           label=self.real_clip.label(),
+                           stats=self.real_stats)
+
+    def wmp_profile(self) -> TurbulenceProfile:
+        return fit_profile(self.wmp_flow(), self.wmp_clip.encoded_kbps,
+                           label=self.wmp_clip.label(),
+                           stats=self.wmp_stats)
+
+    @property
+    def label(self) -> str:
+        return f"set{self.set_number}-{self.band.short}"
+
+
+@dataclass
+class StudyResults:
+    """All pair runs of one study sweep."""
+
+    runs: List[PairRunResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def by_band(self, band: RateBand) -> List[PairRunResult]:
+        return [run for run in self.runs if run.band == band]
+
+    def rtt_samples(self) -> List[float]:
+        """Every per-probe RTT across all runs' pings (Figure 1's data)."""
+        samples: List[float] = []
+        for run in self.runs:
+            samples.extend(run.ping_before.rtts)
+            samples.extend(run.ping_after.rtts)
+        return samples
+
+    def hop_samples(self) -> List[int]:
+        """Per-run tracert hop counts (Figure 2's data)."""
+        return [run.tracert.hop_count for run in self.runs]
+
+    def loss_percent(self) -> float:
+        """Aggregate ping loss across the study (paper: "near 0%")."""
+        sent = sum(r.ping_before.sent + r.ping_after.sent for r in self.runs)
+        received = sum(r.ping_before.received + r.ping_after.received
+                       for r in self.runs)
+        if sent == 0:
+            return 0.0
+        return 100.0 * (sent - received) / sent
+
+
+def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
+                        conditions: Optional[NetworkConditions] = None,
+                        preroll_seconds: float = 5.0) -> PairRunResult:
+    """Run the simultaneous-stream methodology for one clip pair.
+
+    Args:
+        seed: fully determines the run (topology randomness, server
+            packetization draws, jitter).
+        conditions: override the sampled network conditions.
+
+    Raises:
+        ExperimentError: if a stream never finishes within the safety
+            horizon (indicates a modeling bug, not a network condition).
+    """
+    sim = Simulator(seed=seed)
+    if conditions is None:
+        conditions = sample_conditions(sim.streams.stream("conditions"))
+    topology = build_path_topology(
+        sim, hop_count=conditions.hop_count, rtt=conditions.rtt,
+        loss_probability=conditions.loss_probability,
+        jitter_std=conditions.jitter_std)
+
+    real_host, wmp_host = topology.servers[0], topology.servers[1]
+    real_server = RealServer(real_host)
+    real_server.add_clip(pair.real)
+    wms = WindowsMediaServer(wmp_host)
+    wms.add_clip(pair.wmp)
+
+    # Section II.D: verify the path before the run.
+    ping_before = run_ping(topology.client, real_host.address)
+    tracert_report = run_tracert(topology.client, real_host.address,
+                                 probes_per_hop=1)
+
+    sniffer = Sniffer(topology.client).start()
+    real_player = RealTracker(topology.client, real_host.address,
+                              preroll_seconds=preroll_seconds)
+    wmp_player = MediaTracker(topology.client, wmp_host.address,
+                              preroll_seconds=preroll_seconds)
+    real_player.play(pair.real.title)
+    wmp_player.play(pair.wmp.title)
+
+    horizon = sim.now + clip_set.duration * 2.0 + 120.0
+    sim.run(until=horizon)
+    if not (real_player.done and wmp_player.done):
+        raise ExperimentError(
+            f"streams did not finish by t={horizon:.0f}s for "
+            f"set {clip_set.number} {pair.band.value}")
+    trace = sniffer.stop()
+
+    # ...and verify it again after (Section II.D).
+    ping_after = run_ping(topology.client, real_host.address)
+    tracert_after = run_tracert(topology.client, real_host.address,
+                                probes_per_hop=1)
+    stability = verify_stability(ping_before, ping_after,
+                                 tracert_report, tracert_after)
+
+    return PairRunResult(
+        set_number=clip_set.number, genre=clip_set.genre, band=pair.band,
+        conditions=conditions, real_clip=pair.real, wmp_clip=pair.wmp,
+        real_stats=real_player.stats, wmp_stats=wmp_player.stats,
+        trace=trace, real_server=real_host.address,
+        wmp_server=wmp_host.address, ping_before=ping_before,
+        ping_after=ping_after, tracert=tracert_report,
+        tracert_after=tracert_after, stability=stability)
+
+
+def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
+              duration_scale: float = 1.0,
+              loss_probability: float = 0.0) -> StudyResults:
+    """Run the full Table 1 sweep (the corpus behind every figure).
+
+    Args:
+        library: clip library; defaults to Table 1.
+        seed: master seed; run ``i`` uses ``seed + i``.
+        duration_scale: shorten clips (tests) or keep them full (1.0).
+        loss_probability: middle-link loss for congestion studies.
+    """
+    if library is None:
+        library = build_table1_library(duration_scale=duration_scale)
+    results = StudyResults()
+    for index, (clip_set, pair) in enumerate(library.all_pairs()):
+        rng = Simulator(seed=seed + index).streams.stream("conditions")
+        conditions = sample_conditions(rng,
+                                       loss_probability=loss_probability)
+        results.runs.append(run_pair_experiment(
+            clip_set, pair, seed=seed + index, conditions=conditions))
+    return results

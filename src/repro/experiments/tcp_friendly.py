@@ -1,0 +1,154 @@
+"""TCP-friendliness probe (the paper's proposed follow-up study).
+
+Paper §VI: "Studies similar to this one under bandwidth constrained
+conditions might help explore the feasibility of TCP-Friendliness (or,
+more likely the lack of TCP-Friendliness) in commercial media players."
+
+A UDP flow is TCP-friendly when its throughput does not exceed what a
+conformant TCP would achieve on the same path, commonly estimated with
+the simplified [FF99]/Padhye bound
+
+    T = 1.22 * MTU / (RTT * sqrt(p))    [bytes/second]
+
+This module runs one player over a lossy path, measures its delivered
+rate, and reports the friendliness index (achieved / T): index > 1
+means the flow takes more than a TCP's share.  With media scaling
+enabled (see :mod:`repro.servers.scaling`) the player backs off
+*somewhat*, which is exactly the paper's "more likely the lack of
+TCP-Friendliness" expectation: scaling ladders are far coarser than
+TCP's control law.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Type
+
+from repro import units
+from repro.errors import ExperimentError
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import build_path_topology
+from repro.players.base import StreamingClient
+from repro.players.mediatracker import MediaTracker
+from repro.players.realtracker import RealTracker
+from repro.servers.base import StreamingServer
+from repro.servers.realserver import RealServer
+from repro.servers.scaling import MediaScalingPolicy
+from repro.servers.wms import WindowsMediaServer
+
+
+def tcp_friendly_rate_bps(rtt: float, loss_fraction: float,
+                          mtu_bytes: int = units.DEFAULT_MTU_BYTES) -> float:
+    """The simplified TCP-friendly rate bound, in bits/second.
+
+    Raises:
+        ExperimentError: for nonpositive RTT or loss outside (0, 1].
+    """
+    if rtt <= 0:
+        raise ExperimentError("RTT must be positive")
+    if not 0 < loss_fraction <= 1:
+        raise ExperimentError("loss fraction must be in (0, 1]")
+    bytes_per_second = 1.22 * mtu_bytes / (rtt * math.sqrt(loss_fraction))
+    return bytes_per_second * 8.0
+
+
+@dataclass
+class FriendlinessResult:
+    """Outcome of one probe run."""
+
+    family: PlayerFamily
+    encoded_kbps: float
+    loss_probability: float
+    rtt: float
+    scaling_enabled: bool
+    #: What the server pushed into the network (its offered load).
+    offered_kbps: float
+    #: What the application actually received after loss/reassembly.
+    achieved_kbps: float
+    tcp_friendly_kbps: float
+    final_rate_scale: float
+
+    @property
+    def friendliness_index(self) -> float:
+        """offered load / TCP-friendly bound; > 1 means the flow keeps
+        pushing more than a conformant TCP would (unresponsive).
+
+        Offered load is the right numerator: an unresponsive sender
+        keeps loading the network even when fragmentation loss guts the
+        *received* goodput — precisely the [FF99] hazard.
+        """
+        if self.tcp_friendly_kbps <= 0:
+            return float("inf")
+        if self.tcp_friendly_kbps == float("inf"):
+            return 0.0
+        return self.offered_kbps / self.tcp_friendly_kbps
+
+
+_SERVERS = {
+    PlayerFamily.REAL: (RealServer, RealTracker),
+    PlayerFamily.WMP: (WindowsMediaServer, MediaTracker),
+}
+
+
+def run_probe(family: PlayerFamily, encoded_kbps: float,
+              loss_probability: float, duration: float = 60.0,
+              rtt: float = 0.060, scaling: bool = False,
+              seed: int = 2002) -> FriendlinessResult:
+    """Stream one clip over a lossy path; measure friendliness.
+
+    Args:
+        scaling: enable server-side media scaling fed by 1-second
+            receiver reports.
+
+    Raises:
+        ExperimentError: if the stream produces no measurable traffic.
+    """
+    sim = Simulator(seed=seed)
+    path = build_path_topology(sim, hop_count=17, rtt=rtt,
+                               loss_probability=loss_probability)
+    server_class, player_class = _SERVERS[family]
+    factory = MediaScalingPolicy if scaling else None
+    server: StreamingServer = server_class(
+        path.server, scaling_policy_factory=factory)
+    clip = Clip(title="probe", genre="Probe", duration=duration,
+                encoding=ClipEncoding(family=family,
+                                      encoded_kbps=encoded_kbps,
+                                      advertised_kbps=encoded_kbps))
+    server.add_clip(clip)
+    player: StreamingClient = player_class(
+        path.client, path.server.address,
+        feedback_interval=1.0 if scaling else None)
+    player.play("probe")
+    sim.run(until=duration * 4 + 120.0)
+    if not player.done:
+        player.finalize()
+    stats = player.stats
+    if stats is None or not stats.receipts:
+        raise ExperimentError("probe stream delivered nothing")
+    duration_seen = stats.streaming_duration
+    if duration_seen is None or duration_seen <= 0:
+        last = max(r.network_time for r in stats.receipts)
+        duration_seen = max(last - (stats.first_media_at or 0.0), 1e-9)
+    achieved_kbps = stats.bytes_received * 8.0 / duration_seen / 1000.0
+
+    pacer = server.sessions[1].pacer
+    offered_kbps = achieved_kbps
+    if pacer is not None and pacer.streaming_duration:
+        offered_kbps = (pacer.bytes_sent * 8.0
+                        / pacer.streaming_duration / 1000.0)
+
+    final_scale = 1.0
+    controllers = list(server.scaling_controllers.values())
+    if controllers:
+        final_scale = controllers[0].policy.current_scale
+
+    friendly_kbps = (tcp_friendly_rate_bps(rtt, loss_probability) / 1000.0
+                     if loss_probability > 0 else float("inf"))
+    return FriendlinessResult(
+        family=family, encoded_kbps=encoded_kbps,
+        loss_probability=loss_probability, rtt=rtt,
+        scaling_enabled=scaling, offered_kbps=offered_kbps,
+        achieved_kbps=achieved_kbps,
+        tcp_friendly_kbps=friendly_kbps, final_rate_scale=final_scale)

@@ -1,0 +1,29 @@
+"""Media models: clips, synthetic codecs, and frame schedules.
+
+The paper's Table 1 lists six sets of clips, each available in both
+RealPlayer and MediaPlayer encodings at matched advertised rates.  This
+package models those clips: their encodings (advertised vs. actual
+rate, per the paper's Section III.B observation that Real encodes below
+the advertised rate and WMP at it), the frame schedules a synthetic
+codec derives from the encoding rate (Figures 13–15), and the library
+containers the experiment datasets are built from.
+"""
+
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.media.codec import SyntheticCodec, nominal_frame_rate
+from repro.media.frames import FrameSchedule, VideoFrame
+from repro.media.library import ClipLibrary, ClipPair, ClipSet, RateBand
+
+__all__ = [
+    "Clip",
+    "ClipEncoding",
+    "ClipLibrary",
+    "ClipPair",
+    "ClipSet",
+    "FrameSchedule",
+    "PlayerFamily",
+    "RateBand",
+    "SyntheticCodec",
+    "VideoFrame",
+    "nominal_frame_rate",
+]

@@ -1,0 +1,92 @@
+"""Video frames and frame schedules.
+
+A :class:`FrameSchedule` is the codec's output: every frame of a clip
+with its media timestamp, size, and key/delta type.  The streaming
+servers walk the schedule to know which frames' bytes each packet
+carries, and the instrumented players count delivered frames per second
+to produce the paper's frame-rate figures (13–15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.errors import MediaError
+
+
+@dataclass(frozen=True)
+class VideoFrame:
+    """One encoded video frame."""
+
+    number: int
+    media_time: float
+    size_bytes: int
+    keyframe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise MediaError(f"frame size must be nonnegative: {self.size_bytes}")
+        if self.media_time < 0:
+            raise MediaError(f"media time must be nonnegative: {self.media_time}")
+
+
+class FrameSchedule:
+    """An ordered, immutable-by-convention sequence of frames."""
+
+    def __init__(self, frames: Sequence[VideoFrame],
+                 nominal_fps: float) -> None:
+        if nominal_fps <= 0:
+            raise MediaError(f"nominal fps must be positive: {nominal_fps}")
+        self.frames: List[VideoFrame] = list(frames)
+        self.nominal_fps = nominal_fps
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[VideoFrame]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> VideoFrame:
+        return self.frames[index]
+
+    @property
+    def duration(self) -> float:
+        """Media seconds covered by the schedule."""
+        if not self.frames:
+            return 0.0
+        return self.frames[-1].media_time + 1.0 / self.nominal_fps
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(frame.size_bytes for frame in self.frames)
+
+    def between(self, start: float, end: float) -> List[VideoFrame]:
+        """Frames with ``start <= media_time < end``."""
+        return [frame for frame in self.frames
+                if start <= frame.media_time < end]
+
+    def achieved_fps(self, delivered_times: Sequence[float],
+                     window: float = 1.0) -> List[float]:
+        """Frame rate per ``window`` seconds from delivery timestamps.
+
+        Args:
+            delivered_times: playout timestamps of the frames that made
+                it to the renderer.
+            window: bucket width in seconds.
+
+        Returns:
+            Frames per second for each consecutive window (the series
+            Figure 13 plots).
+        """
+        if window <= 0:
+            raise MediaError("window must be positive")
+        if not delivered_times:
+            return []
+        horizon = max(delivered_times)
+        bucket_count = int(math.floor(horizon / window)) + 1
+        buckets = [0] * bucket_count
+        for time in delivered_times:
+            buckets[int(time / window)] += 1
+        return [count / window for count in buckets]

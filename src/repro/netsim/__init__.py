@@ -1,0 +1,62 @@
+"""Discrete-event network simulation substrate.
+
+This package implements the network the paper measured over: multi-hop
+IP paths between a streaming server and a client, with real link
+serialization, propagation delay, queueing, IP fragmentation and
+reassembly, UDP and ICMP, and a minimal reliable TCP channel for
+control traffic.
+
+Typical use::
+
+    from repro.netsim import Simulator, build_path_topology
+
+    sim = Simulator(seed=7)
+    topo = build_path_topology(sim, hop_count=17, rtt=0.040)
+    sock = topo.server.udp.bind(5005)
+    ...
+    sim.run(until=120.0)
+"""
+
+from repro.netsim.addressing import IPAddress, Subnet
+from repro.netsim.engine import Event, Simulator
+from repro.netsim.headers import (
+    IPv4Header,
+    IcmpHeader,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.netsim.icmp import IcmpType
+from repro.netsim.ip import IpLayer, ReassemblyBuffer
+from repro.netsim.link import Link, LossModel
+from repro.netsim.node import Host, Node, Router
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.rng import RandomStreams
+from repro.netsim.topology import PathTopology, build_path_topology
+from repro.netsim.udp import UdpDatagram, UdpSocket
+
+__all__ = [
+    "DropTailQueue",
+    "Event",
+    "Host",
+    "IPAddress",
+    "IcmpHeader",
+    "IcmpType",
+    "IpLayer",
+    "IPv4Header",
+    "Link",
+    "LossModel",
+    "Node",
+    "Packet",
+    "PathTopology",
+    "RandomStreams",
+    "ReassemblyBuffer",
+    "Router",
+    "Simulator",
+    "Subnet",
+    "TcpHeader",
+    "UdpDatagram",
+    "UdpHeader",
+    "UdpSocket",
+    "build_path_topology",
+]

@@ -1,0 +1,119 @@
+"""IPv4 addresses and subnets for the simulated network.
+
+The paper's methodology cares about addresses in two places: clip
+selection required both players' servers to live on the *same subnet*
+(Section II.C), and tracert output identifies routers hop by hop.  This
+module provides just enough IPv4 semantics for both: parseable
+dotted-quad addresses, prefix-based subnets with membership tests, and
+an allocator that hands out host addresses inside a subnet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True, order=True)
+class IPAddress:
+    """An IPv4 address stored as a 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise AddressError(f"IPv4 value out of range: {self.value!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPAddress":
+        """Parse a dotted-quad string like ``"130.215.28.181"``."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise AddressError(f"not a dotted quad: {text!r}")
+        value = 0
+        for part in parts:
+            try:
+                octet = int(part)
+            except ValueError as exc:
+                raise AddressError(f"bad octet {part!r} in {text!r}") from exc
+            if not 0 <= octet <= 255:
+                raise AddressError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF)
+                        for shift in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"IPAddress('{self}')"
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """An IPv4 subnet in CIDR form (network address + prefix length)."""
+
+    network: IPAddress
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise AddressError(f"bad prefix length {self.prefix_len}")
+        if self.network.value & ~self._mask():
+            raise AddressError(
+                f"{self.network} has host bits set for /{self.prefix_len}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Subnet":
+        """Parse CIDR notation like ``"130.215.0.0/16"``."""
+        try:
+            addr_text, prefix_text = text.strip().split("/")
+        except ValueError as exc:
+            raise AddressError(f"not CIDR notation: {text!r}") from exc
+        try:
+            prefix_len = int(prefix_text)
+        except ValueError as exc:
+            raise AddressError(f"bad prefix in {text!r}") from exc
+        return cls(IPAddress.parse(addr_text), prefix_len)
+
+    def _mask(self) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.prefix_len)) & 0xFFFFFFFF
+
+    def __contains__(self, address: IPAddress) -> bool:
+        return (address.value & self._mask()) == self.network.value
+
+    def hosts(self) -> Iterator[IPAddress]:
+        """Yield usable host addresses (network and broadcast excluded
+        for prefixes shorter than /31)."""
+        size = 1 << (32 - self.prefix_len)
+        if self.prefix_len >= 31:
+            first, last = 0, size - 1
+        else:
+            first, last = 1, size - 2
+        for offset in range(first, last + 1):
+            yield IPAddress(self.network.value + offset)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+
+class AddressAllocator:
+    """Hands out sequential host addresses from a subnet.
+
+    Raises:
+        AddressError: when the subnet is exhausted.
+    """
+
+    def __init__(self, subnet: Subnet) -> None:
+        self.subnet = subnet
+        self._hosts = subnet.hosts()
+
+    def allocate(self) -> IPAddress:
+        try:
+            return next(self._hosts)
+        except StopIteration as exc:
+            raise AddressError(f"subnet {self.subnet} exhausted") from exc

@@ -1,0 +1,285 @@
+"""Host IP layer: identification, fragmentation, and reassembly.
+
+This is the mechanism behind the paper's headline network-layer
+finding: Windows Media servers hand the OS application data units
+larger than the path MTU, and the sender's IP layer slices them into a
+first fragment carrying the UDP header plus trailing pure-IP fragments
+— the "groups of packets" of Figure 4 and the fragment percentages of
+Figure 5.  The receiving host reassembles; if any fragment is lost the
+whole datagram is eventually discarded (the goodput-degradation hazard
+the paper discusses via [FF99]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro import units
+from repro.errors import PacketError
+from repro.netsim.addressing import IPAddress
+from repro.netsim.headers import (
+    IPv4Header,
+    IpProtocol,
+    PayloadMeta,
+)
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.node import Host
+
+#: RFC 4963 suggests 30s-ish reassembly timers; Windows 2000 used 60s.
+REASSEMBLY_TIMEOUT = 30.0
+
+
+@dataclass
+class Datagram:
+    """A fully-reassembled transport datagram delivered upward.
+
+    Attributes:
+        transport_payload_bytes: bytes carried after the transport
+            header (for UDP this is the application data unit size).
+        fragment_count: how many IP packets the datagram arrived in
+            (1 for unfragmented traffic).
+        first_packet_time / last_packet_time: arrival times of the
+            first and final fragment, letting players measure how long
+            a fragment train took to land.
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: IpProtocol
+    transport: object
+    payload: PayloadMeta
+    transport_payload_bytes: int
+    fragment_count: int
+    first_packet_time: float
+    last_packet_time: float
+
+
+@dataclass
+class IpStats:
+    """Counters for one host's IP layer."""
+
+    datagrams_sent: int = 0
+    packets_sent: int = 0
+    fragments_sent: int = 0
+    datagrams_delivered: int = 0
+    packets_received: int = 0
+    fragments_received: int = 0
+    reassembly_timeouts: int = 0
+    wasted_fragment_bytes: int = 0
+
+
+class ReassemblyBuffer:
+    """Collects the fragments of one IP datagram until complete."""
+
+    def __init__(self, first_seen: float) -> None:
+        self.first_seen = first_seen
+        self.last_seen = first_seen
+        self.fragments: List[Packet] = []
+        self._have_offsets: set = set()
+        self.total_payload: Optional[int] = None
+        self._received_payload = 0
+
+    def add(self, packet: Packet, now: float) -> None:
+        """Record one fragment.
+
+        Raises:
+            PacketError: on overlapping/duplicate offsets (the
+                simulator never generates them, so one indicates a bug).
+        """
+        offset = packet.ip.fragment_offset
+        if offset in self._have_offsets:
+            raise PacketError(f"duplicate fragment offset {offset}")
+        self._have_offsets.add(offset)
+        self.fragments.append(packet)
+        self.last_seen = now
+        payload = packet.ip.payload_bytes
+        self._received_payload += payload
+        if not packet.ip.more_fragments:
+            self.total_payload = offset * 8 + payload
+
+    @property
+    def complete(self) -> bool:
+        return (self.total_payload is not None
+                and self._received_payload >= self.total_payload
+                and any(p.ip.fragment_offset == 0 for p in self.fragments))
+
+    @property
+    def received_bytes(self) -> int:
+        return sum(p.ip_bytes for p in self.fragments)
+
+    def first_fragment(self) -> Packet:
+        for packet in self.fragments:
+            if packet.ip.fragment_offset == 0:
+                return packet
+        raise PacketError("reassembly buffer has no first fragment")
+
+
+class IpLayer:
+    """Send/receive IP datagrams for one host, fragmenting to the MTU."""
+
+    def __init__(self, host: "Host", mtu: Optional[int] = None) -> None:
+        self.host = host
+        self.mtu = int(mtu) if mtu else units.DEFAULT_MTU_BYTES
+        if self.mtu <= units.IPV4_HEADER_BYTES + 8:
+            raise ValueError(f"MTU {self.mtu} too small to carry data")
+        self.stats = IpStats()
+        self.misrouted = 0
+        self._next_ident = 1
+        self._handlers: Dict[IpProtocol, Callable[[Datagram], None]] = {}
+        self._buffers: Dict[Tuple[IPAddress, IPAddress, int, IpProtocol],
+                            ReassemblyBuffer] = {}
+
+    # ------------------------------------------------------------------
+    # Upward interface
+    # ------------------------------------------------------------------
+    def register_handler(self, protocol: IpProtocol,
+                         handler: Callable[[Datagram], None]) -> None:
+        """Route delivered datagrams of ``protocol`` to ``handler``."""
+        self._handlers[protocol] = handler
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: IPAddress, protocol: IpProtocol, transport: object,
+             transport_header_bytes: int, transport_payload_bytes: int,
+             payload: Optional[PayloadMeta] = None, ttl: int = 128) -> List[Packet]:
+        """Send one transport datagram, fragmenting if necessary.
+
+        Args:
+            transport: the transport header object (on the first
+                fragment only, as on the wire).
+            transport_header_bytes: its wire size in bytes.
+            transport_payload_bytes: application bytes after it.
+
+        Returns:
+            The list of IP packets emitted (length 1 when unfragmented).
+        """
+        if transport_payload_bytes < 0:
+            raise PacketError("negative transport payload size")
+        payload = payload or PayloadMeta()
+        ip_payload = transport_header_bytes + transport_payload_bytes
+        max_ip_payload = self.mtu - units.IPV4_HEADER_BYTES
+        ident = self._next_ident
+        self._next_ident += 1
+        self.stats.datagrams_sent += 1
+
+        if ip_payload <= max_ip_payload:
+            header = IPv4Header(src=self.host.address, dst=dst,
+                                protocol=protocol,
+                                total_length=units.IPV4_HEADER_BYTES + ip_payload,
+                                identification=ident, ttl=ttl)
+            packet = Packet(ip=header, transport=transport, payload=payload,
+                            datagram_id=ident)
+            self._emit([packet])
+            return [packet]
+
+        # Fragment: per-fragment payload must be a multiple of 8 bytes
+        # except for the last fragment.
+        chunk = (max_ip_payload // 8) * 8
+        count = math.ceil(ip_payload / chunk)
+        packets: List[Packet] = []
+        remaining = ip_payload
+        offset_bytes = 0
+        for index in range(count):
+            this_payload = min(chunk, remaining)
+            more = index < count - 1
+            header = IPv4Header(src=self.host.address, dst=dst,
+                                protocol=protocol,
+                                total_length=units.IPV4_HEADER_BYTES + this_payload,
+                                identification=ident, ttl=ttl,
+                                more_fragments=more,
+                                fragment_offset=offset_bytes // 8)
+            packets.append(Packet(ip=header,
+                                  transport=transport if index == 0 else None,
+                                  payload=payload, datagram_id=ident))
+            offset_bytes += this_payload
+            remaining -= this_payload
+        self.stats.fragments_sent += len(packets)
+        self._emit(packets)
+        return packets
+
+    def _emit(self, packets: List[Packet]) -> None:
+        for packet in packets:
+            self.stats.packets_sent += 1
+            self.host.send_packet(packet)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Handle one delivered IP packet (fragment or whole datagram)."""
+        self.stats.packets_received += 1
+        now = self.host.sim.now
+        if not packet.is_fragment:
+            self._deliver_single(packet, now)
+            return
+
+        self.stats.fragments_received += 1
+        key = (packet.ip.src, packet.ip.dst, packet.ip.identification,
+               packet.ip.protocol)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = ReassemblyBuffer(first_seen=now)
+            self._buffers[key] = buffer
+            self.host.sim.schedule_in(REASSEMBLY_TIMEOUT, self._expire, key)
+        buffer.add(packet, now)
+        if buffer.complete:
+            del self._buffers[key]
+            self._deliver_reassembled(buffer, packet)
+
+    def _deliver_single(self, packet: Packet, now: float) -> None:
+        transport = packet.transport
+        header_bytes = transport.header_bytes if transport is not None else 0
+        datagram = Datagram(
+            src=packet.ip.src, dst=packet.ip.dst, protocol=packet.ip.protocol,
+            transport=transport, payload=packet.payload,
+            transport_payload_bytes=packet.ip.payload_bytes - header_bytes,
+            fragment_count=1, first_packet_time=now, last_packet_time=now)
+        self._dispatch(datagram)
+
+    def _deliver_reassembled(self, buffer: ReassemblyBuffer,
+                             last: Packet) -> None:
+        first = buffer.first_fragment()
+        transport = first.transport
+        header_bytes = transport.header_bytes if transport is not None else 0
+        total_payload = buffer.total_payload or 0
+        datagram = Datagram(
+            src=last.ip.src, dst=last.ip.dst, protocol=last.ip.protocol,
+            transport=transport, payload=first.payload,
+            transport_payload_bytes=total_payload - header_bytes,
+            fragment_count=len(buffer.fragments),
+            first_packet_time=buffer.first_seen,
+            last_packet_time=buffer.last_seen)
+        self._dispatch(datagram)
+
+    def _dispatch(self, datagram: Datagram) -> None:
+        handler = self._handlers.get(datagram.protocol)
+        if handler is None:
+            return  # no listener; silently dropped like a real stack
+        self.stats.datagrams_delivered += 1
+        handler(datagram)
+
+    def _expire(self, key: Tuple) -> None:
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            return  # completed in the meantime
+        remaining = REASSEMBLY_TIMEOUT - (self.host.sim.now
+                                          - buffer.last_seen)
+        if remaining > 1e-6:
+            # Saw more fragments recently; re-arm the timer.  The
+            # epsilon guards against a float-underflow livelock where a
+            # tiny positive `remaining` cannot advance the clock.
+            self.host.sim.schedule_in(remaining, self._expire, key)
+            return
+        del self._buffers[key]
+        self.stats.reassembly_timeouts += 1
+        self.stats.wasted_fragment_bytes += buffer.received_bytes
+
+    @property
+    def pending_reassemblies(self) -> int:
+        """Datagrams currently waiting for missing fragments."""
+        return len(self._buffers)

@@ -1,0 +1,197 @@
+"""Full-duplex point-to-point links with serialization and queueing.
+
+Each direction of a link owns a drop-tail queue and a transmitter that
+serializes one packet at a time at the link bandwidth, then delivers it
+after the propagation delay (plus optional per-packet jitter).  This is
+what turns a burst of IP fragments handed down in the same instant into
+the closely-spaced wire "groups" of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro import units
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.engine import Simulator
+    from repro.netsim.node import Node
+
+
+class LossModel:
+    """Independent (Bernoulli) packet loss.
+
+    The paper measured ~0% loss, so the default probability is zero;
+    the congestion-study extension raises it.
+
+    By default TCP segments are spared (``spare_tcp=True``): the
+    simulator's minimal TCP carries only tiny control exchanges and has
+    no retransmission, so sparing it stands in for the retransmissions
+    a real TCP would perform — the media flows under study are UDP and
+    take the full loss.  Set ``spare_tcp=False`` to drop blindly.
+    """
+
+    def __init__(self, probability: float = 0.0,
+                 rng: Optional[random.Random] = None,
+                 spare_tcp: bool = True) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability out of range: {probability}")
+        self.probability = probability
+        self.spare_tcp = spare_tcp
+        self._rng = rng or random.Random(0)
+        self.losses = 0
+
+    def should_drop(self, packet: Optional[Packet] = None) -> bool:
+        if self.probability <= 0.0:
+            return False
+        if (self.spare_tcp and packet is not None
+                and packet.protocol.name == "TCP"):
+            return False
+        if self._rng.random() < self.probability:
+            self.losses += 1
+            return True
+        return False
+
+
+@dataclass
+class DirectionStats:
+    """Per-direction packet/byte counters."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_lost: int = 0
+    bytes_delivered: int = 0
+
+
+class _Direction:
+    """One direction of a link: queue + busy transmitter + delivery."""
+
+    def __init__(self, sim: "Simulator", sink: "Node",
+                 bandwidth_bps: float, propagation_delay: float,
+                 queue: DropTailQueue, loss: LossModel,
+                 jitter: Callable[[], float]) -> None:
+        self._sim = sim
+        self._sink = sink
+        self._bandwidth_bps = bandwidth_bps
+        self._propagation_delay = propagation_delay
+        self._queue = queue
+        self._loss = loss
+        self._jitter = jitter
+        self._busy = False
+        self._last_delivery = 0.0
+        self.stats = DirectionStats()
+
+    def send(self, packet: Packet) -> None:
+        self.stats.packets_sent += 1
+        if self._loss.should_drop(packet):
+            self.stats.packets_lost += 1
+            return
+        if not self._queue.offer(packet):
+            self.stats.packets_lost += 1
+            return
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        packet = self._queue.poll()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_delay = units.transmission_delay(packet.wire_bytes,
+                                            self._bandwidth_bps)
+        self._sim.schedule_in(tx_delay, self._finish_transmit, packet)
+
+    def _finish_transmit(self, packet: Packet) -> None:
+        arrival = (self._sim.now + self._propagation_delay
+                   + max(0.0, self._jitter()))
+        # A wire is FIFO: jitter models variable queueing delay, which
+        # can stretch gaps but never reorder packets within a direction.
+        arrival = max(arrival, self._last_delivery)
+        self._last_delivery = arrival
+        self._sim.schedule_at(arrival, self._deliver, packet)
+        self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.ip_bytes
+        self._sink.receive(packet)
+
+
+class Link:
+    """A full-duplex link between two nodes.
+
+    Args:
+        sim: owning simulator.
+        a, b: endpoint nodes; the link registers itself with both.
+        bandwidth_bps: serialization rate, bits/second, per direction.
+        propagation_delay: one-way latency in seconds.
+        queue_capacity_bytes: drop-tail queue size per direction.
+        loss: optional shared loss model (defaults to lossless).
+        jitter: optional zero-arg callable returning extra per-packet
+            delay in seconds (e.g. drawn from an RNG stream); negative
+            values are clamped to zero.
+    """
+
+    def __init__(self, sim: "Simulator", a: "Node", b: "Node",
+                 bandwidth_bps: float = units.mbps(10),
+                 propagation_delay: float = 0.001,
+                 queue_capacity_bytes: int = 256 * 1024,
+                 loss: Optional[LossModel] = None,
+                 jitter: Optional[Callable[[], float]] = None,
+                 queue_factory: Optional[Callable[[], DropTailQueue]] = None,
+                 ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation delay must be nonnegative")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        loss = loss or LossModel(0.0)
+        jitter = jitter or (lambda: 0.0)
+        if queue_factory is None:
+            queue_factory = lambda: DropTailQueue(queue_capacity_bytes)  # noqa: E731
+        self._forward = _Direction(sim, b, bandwidth_bps, propagation_delay,
+                                   queue_factory(), loss, jitter)
+        self._reverse = _Direction(sim, a, bandwidth_bps, propagation_delay,
+                                   queue_factory(), loss, jitter)
+        a.attach(self, b)
+        b.attach(self, a)
+
+    def queue_stats(self, sender: "Node"):
+        """The queue counters for the direction whose transmitter is
+        ``sender`` (drops here are congestion losses)."""
+        if sender is self.a:
+            return self._forward._queue.stats
+        if sender is self.b:
+            return self._reverse._queue.stats
+        raise ValueError(f"{sender!r} is not an endpoint of this link")
+
+    def send_from(self, sender: "Node", packet: Packet) -> None:
+        """Transmit a packet from one endpoint toward the other."""
+        if sender is self.a:
+            self._forward.send(packet)
+        elif sender is self.b:
+            self._reverse.send(packet)
+        else:
+            raise ValueError(f"{sender!r} is not an endpoint of this link")
+
+    def direction_stats(self, sender: "Node") -> DirectionStats:
+        """Counters for the direction whose transmitter is ``sender``."""
+        if sender is self.a:
+            return self._forward.stats
+        if sender is self.b:
+            return self._reverse.stats
+        raise ValueError(f"{sender!r} is not an endpoint of this link")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Link {self.a.name}<->{self.b.name} "
+                f"{self.bandwidth_bps / 1e6:.1f}Mbps "
+                f"{self.propagation_delay * 1000:.2f}ms>")

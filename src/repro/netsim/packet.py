@@ -1,0 +1,102 @@
+"""The packet object that moves through the simulated network.
+
+A :class:`Packet` is one IP packet (possibly a fragment) together with
+its transport header (present only on the first fragment, as on the
+wire) and application payload metadata.  Sizes are tracked exactly so
+that serialization delay, queue occupancy, and the capture traces all
+agree with what Ethereal would have shown: a full-size fragment is a
+1514-byte wire frame.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro import units
+from repro.errors import PacketError
+from repro.netsim.headers import (
+    IPv4Header,
+    IcmpHeader,
+    IpProtocol,
+    PayloadMeta,
+    TcpHeader,
+    UdpHeader,
+)
+
+_packet_ids = itertools.count(1)
+
+TransportHeader = Union[UdpHeader, TcpHeader, IcmpHeader]
+
+
+@dataclass
+class Packet:
+    """One IP packet in flight.
+
+    Attributes:
+        ip: the IPv4 header (sizes, fragmentation fields, TTL).
+        transport: UDP/TCP/ICMP header; ``None`` on trailing fragments,
+            which carry only raw IP payload, exactly as on the wire.
+        payload: application metadata describing the carried bytes.
+        uid: globally unique packet id (diagnostics and capture joins).
+        datagram_id: id shared by all fragments of one IP datagram.
+    """
+
+    ip: IPv4Header
+    transport: Optional[TransportHeader] = None
+    payload: PayloadMeta = field(default_factory=PayloadMeta)
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    datagram_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ip.total_length < self.ip.header_bytes:
+            raise PacketError(
+                f"IP total_length {self.ip.total_length} smaller than header")
+        if self.ip.is_trailing_fragment and self.transport is not None:
+            raise PacketError("trailing fragments must not carry a "
+                              "transport header")
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def ip_bytes(self) -> int:
+        """Size of the IP packet (header + payload)."""
+        return self.ip.total_length
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size on an Ethernet wire, as a sniffer reports it."""
+        return units.wire_frame_bytes(self.ip.total_length)
+
+    @property
+    def is_fragment(self) -> bool:
+        return self.ip.is_fragment
+
+    @property
+    def is_trailing_fragment(self) -> bool:
+        return self.ip.is_trailing_fragment
+
+    @property
+    def protocol(self) -> IpProtocol:
+        return self.ip.protocol
+
+    def forwarded(self) -> "Packet":
+        """A copy with TTL decremented, as a router would emit.
+
+        Raises:
+            PacketError: if the TTL is already zero.
+        """
+        if self.ip.ttl <= 0:
+            raise PacketError("cannot forward a packet with TTL 0")
+        return Packet(ip=self.ip.decremented(), transport=self.transport,
+                      payload=self.payload, datagram_id=self.datagram_id)
+
+    def __repr__(self) -> str:
+        frag = ""
+        if self.is_fragment:
+            frag = (f" frag(off={self.ip.fragment_offset * 8}"
+                    f"{'+' if self.ip.more_fragments else '$'})")
+        return (f"<Packet #{self.uid} {self.ip.src}->{self.ip.dst} "
+                f"{self.protocol.name} {self.ip_bytes}B{frag}>")

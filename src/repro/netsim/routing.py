@@ -1,0 +1,52 @@
+"""Static routing tables with longest-prefix match.
+
+The experiments run over fixed paths (the paper verified with tracert
+that routes did not change during a run), so routing is static: each
+node holds a table mapping subnets to next-hop neighbors, with an
+optional default route.  Longest-prefix match keeps multi-subnet
+topologies (server farm + campus network) unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.netsim.addressing import IPAddress, Subnet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.node import Node
+
+
+class RoutingTable:
+    """Longest-prefix-match table from subnets to next-hop nodes."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[Subnet, "Node"]] = []
+        self._default: Optional["Node"] = None
+
+    def add_route(self, subnet: Subnet, next_hop: "Node") -> None:
+        """Route traffic for ``subnet`` via ``next_hop``."""
+        self._entries.append((subnet, next_hop))
+        # Keep longest prefixes first so lookup can return the first hit.
+        self._entries.sort(key=lambda entry: entry[0].prefix_len, reverse=True)
+
+    def set_default(self, next_hop: "Node") -> None:
+        """Fallback next hop when no subnet matches."""
+        self._default = next_hop
+
+    def lookup(self, destination: IPAddress) -> "Node":
+        """Next hop for ``destination``.
+
+        Raises:
+            RoutingError: when nothing matches and no default is set.
+        """
+        for subnet, next_hop in self._entries:
+            if destination in subnet:
+                return next_hop
+        if self._default is not None:
+            return self._default
+        raise RoutingError(f"no route to {destination}")
+
+    def __len__(self) -> int:
+        return len(self._entries) + (1 if self._default else 0)

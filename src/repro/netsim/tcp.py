@@ -1,0 +1,220 @@
+"""A minimal reliable TCP channel for control traffic.
+
+The players' media data always travels over UDP in these experiments,
+but session setup (the RTSP-like DESCRIBE/SETUP/PLAY exchange) rides a
+TCP control connection, and its packets appear in captures just as they
+did in the paper's Ethereal traces.
+
+This implementation is deliberately small: a three-way handshake,
+segmentation to the MSS, cumulative acks, and in-order message
+delivery.  There is **no congestion control and no retransmission** —
+the simulated control path is lossless and FIFO, so neither is ever
+exercised.  DESIGN.md documents this simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro import units
+from repro.errors import SocketError
+from repro.netsim.addressing import IPAddress
+from repro.netsim.headers import IpProtocol, PayloadMeta, TcpHeader
+from repro.netsim.ip import Datagram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.node import Host
+
+#: Standard Ethernet MSS: MTU minus IP and TCP headers.
+MSS_BYTES = units.DEFAULT_MTU_BYTES - units.IPV4_HEADER_BYTES - units.TCP_HEADER_BYTES
+
+
+class TcpState(Enum):
+    CLOSED = "closed"
+    SYN_SENT = "syn-sent"
+    SYN_RECEIVED = "syn-received"
+    ESTABLISHED = "established"
+
+
+@dataclass
+class _MessageEnvelope:
+    """Framing metadata carried in the first segment of a message."""
+
+    message: object
+    total_bytes: int
+    message_id: int
+
+
+MessageCallback = Callable[["TcpConnection", object], None]
+ConnectCallback = Callable[["TcpConnection"], None]
+
+
+class TcpConnection:
+    """One endpoint of an established (or connecting) TCP channel."""
+
+    def __init__(self, layer: "TcpLayer", local_port: int, peer: IPAddress,
+                 peer_port: int) -> None:
+        self._layer = layer
+        self.local_port = local_port
+        self.peer = peer
+        self.peer_port = peer_port
+        self.state = TcpState.CLOSED
+        self.on_message: Optional[MessageCallback] = None
+        self.on_established: Optional[ConnectCallback] = None
+        self._send_seq = 0
+        self._recv_seq = 0
+        self._next_message_id = 1
+        self._partial: Dict[int, int] = {}  # message_id -> bytes outstanding
+        self._envelopes: Dict[int, _MessageEnvelope] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_message(self, message: object, total_bytes: int) -> None:
+        """Send an application message of ``total_bytes``.
+
+        The message object itself travels as metadata (the simulator
+        does not serialize it); ``total_bytes`` drives segmentation and
+        wire sizes.
+
+        Raises:
+            SocketError: if the connection is not established.
+        """
+        if self.state != TcpState.ESTABLISHED:
+            raise SocketError(f"connection is {self.state.value}, "
+                              "cannot send")
+        if total_bytes <= 0:
+            raise SocketError("message size must be positive")
+        message_id = self._next_message_id
+        self._next_message_id += 1
+        envelope = _MessageEnvelope(message=message, total_bytes=total_bytes,
+                                    message_id=message_id)
+        remaining = total_bytes
+        first = True
+        while remaining > 0:
+            segment = min(MSS_BYTES, remaining)
+            meta = PayloadMeta(kind="tcp-data",
+                               message=envelope if first else message_id)
+            self._send_segment(segment, meta)
+            remaining -= segment
+            first = False
+        self.messages_sent += 1
+
+    def _send_segment(self, payload_bytes: int, meta: PayloadMeta,
+                      syn: bool = False, ack: bool = True) -> None:
+        header = TcpHeader(src_port=self.local_port, dst_port=self.peer_port,
+                           seq=self._send_seq, ack=self._recv_seq,
+                           syn=syn, ack_flag=ack)
+        self._send_seq += max(payload_bytes, 1 if syn else 0)
+        self._layer.host.ip.send(self.peer, IpProtocol.TCP, header,
+                                 units.TCP_HEADER_BYTES, payload_bytes,
+                                 payload=meta)
+
+    # ------------------------------------------------------------------
+    # Receiving (driven by TcpLayer)
+    # ------------------------------------------------------------------
+    def _on_segment(self, header: TcpHeader, payload_bytes: int,
+                    meta: PayloadMeta) -> None:
+        if header.syn and self.state == TcpState.SYN_SENT:
+            # SYN-ACK: complete our side of the handshake.
+            self._recv_seq = header.seq + 1
+            self.state = TcpState.ESTABLISHED
+            self._send_segment(0, PayloadMeta(kind="tcp-ack"))
+            if self.on_established is not None:
+                self.on_established(self)
+            return
+        if self.state == TcpState.SYN_RECEIVED and header.ack_flag:
+            self.state = TcpState.ESTABLISHED
+            if self.on_established is not None:
+                self.on_established(self)
+            # The final handshake ACK may carry no data; fall through in
+            # case the peer piggybacked a message.
+        if payload_bytes <= 0 or meta.kind != "tcp-data":
+            return
+        self._recv_seq = header.seq + payload_bytes
+        self._accept_data(payload_bytes, meta)
+
+    def _accept_data(self, payload_bytes: int, meta: PayloadMeta) -> None:
+        if isinstance(meta.message, _MessageEnvelope):
+            envelope = meta.message
+            outstanding = envelope.total_bytes - payload_bytes
+            if outstanding <= 0:
+                self._complete(envelope)
+            else:
+                self._partial[envelope.message_id] = outstanding
+                self._envelopes[envelope.message_id] = envelope
+            return
+        message_id = meta.message
+        if message_id not in self._partial:
+            return  # stray continuation; lossless network so a bug
+        self._partial[message_id] -= payload_bytes
+        if self._partial[message_id] <= 0:
+            envelope = self._envelopes.pop(message_id)
+            del self._partial[message_id]
+            self._complete(envelope)
+
+    def _complete(self, envelope: _MessageEnvelope) -> None:
+        self.messages_received += 1
+        if self.on_message is not None:
+            self.on_message(self, envelope.message)
+
+    # ------------------------------------------------------------------
+    # Handshake initiation
+    # ------------------------------------------------------------------
+    def _start_connect(self) -> None:
+        self.state = TcpState.SYN_SENT
+        self._send_segment(0, PayloadMeta(kind="tcp-syn"), syn=True,
+                           ack=False)
+
+    def _start_accept(self, header: TcpHeader) -> None:
+        self.state = TcpState.SYN_RECEIVED
+        self._recv_seq = header.seq + 1
+        self._send_segment(0, PayloadMeta(kind="tcp-synack"), syn=True)
+
+
+class TcpLayer:
+    """Per-host connection table and listener registry."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self._listeners: Dict[int, ConnectCallback] = {}
+        self._connections: Dict[Tuple[IPAddress, int, int], TcpConnection] = {}
+        self._next_ephemeral = 32768
+        host.ip.register_handler(IpProtocol.TCP, self._on_datagram)
+
+    def listen(self, port: int, on_connection: ConnectCallback) -> None:
+        """Accept connections on ``port``; callback fires per accept."""
+        if port in self._listeners:
+            raise SocketError(f"port {port} already listening")
+        self._listeners[port] = on_connection
+
+    def connect(self, dst: IPAddress, dst_port: int) -> TcpConnection:
+        """Open a connection; returns immediately with the connection
+        in SYN_SENT.  Set ``on_established`` to learn when it is up."""
+        local_port = self._next_ephemeral
+        self._next_ephemeral += 1
+        connection = TcpConnection(self, local_port, dst, dst_port)
+        self._connections[(dst, dst_port, local_port)] = connection
+        connection._start_connect()
+        return connection
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        header = datagram.transport
+        if not isinstance(header, TcpHeader):
+            return
+        key = (datagram.src, header.src_port, header.dst_port)
+        connection = self._connections.get(key)
+        if connection is None:
+            if header.syn and header.dst_port in self._listeners:
+                connection = TcpConnection(self, header.dst_port,
+                                           datagram.src, header.src_port)
+                connection.on_established = self._listeners[header.dst_port]
+                self._connections[key] = connection
+                connection._start_accept(header)
+            return
+        connection._on_segment(header, datagram.transport_payload_bytes,
+                               datagram.payload)

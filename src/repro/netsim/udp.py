@@ -1,0 +1,137 @@
+"""UDP sockets over the simulated IP layer.
+
+Both players were forced to stream over UDP in the paper's experiments
+(Section II.D), so this is the transport every media byte in the
+reproduction travels on.  Sockets are callback-based: the owner binds a
+port and receives :class:`UdpDatagram` objects as they are delivered
+(after any IP reassembly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro import units
+from repro.errors import SocketError
+from repro.netsim.addressing import IPAddress
+from repro.netsim.headers import IpProtocol, PayloadMeta, UdpHeader
+from repro.netsim.ip import Datagram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.node import Host
+
+
+@dataclass
+class UdpDatagram:
+    """A received UDP datagram, as handed to the application.
+
+    ``fragment_count`` and the two timestamps are metadata a real
+    application would not see; the instrumented players use them the
+    way MediaTracker correlated application receipts with Ethereal's
+    network-level view (Figure 12).
+    """
+
+    src: IPAddress
+    src_port: int
+    dst_port: int
+    payload_bytes: int
+    payload: PayloadMeta
+    fragment_count: int
+    first_packet_time: float
+    arrival_time: float
+
+
+ReceiveCallback = Callable[[UdpDatagram], None]
+
+
+class UdpSocket:
+    """One bound UDP port on a host."""
+
+    def __init__(self, layer: "UdpLayer", port: int) -> None:
+        self._layer = layer
+        self.port = port
+        self.on_receive: Optional[ReceiveCallback] = None
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.bytes_received = 0
+
+    def send(self, dst: IPAddress, dst_port: int, payload_bytes: int,
+             payload: Optional[PayloadMeta] = None, ttl: int = 128) -> None:
+        """Send ``payload_bytes`` of application data to ``dst:dst_port``.
+
+        Datagrams larger than the path MTU are fragmented by the IP
+        layer — the caller does not (and cannot) prevent that, exactly
+        like a real sendto() of an oversized buffer.
+        """
+        if payload_bytes < 0:
+            raise SocketError("payload size must be nonnegative")
+        header = UdpHeader(src_port=self.port, dst_port=dst_port,
+                           length=units.UDP_HEADER_BYTES + payload_bytes)
+        self._layer.host.ip.send(
+            dst, IpProtocol.UDP, header, units.UDP_HEADER_BYTES,
+            payload_bytes, payload=payload, ttl=ttl)
+        self.datagrams_sent += 1
+
+    def close(self) -> None:
+        """Release the port binding."""
+        self._layer.release(self.port)
+
+    def _deliver(self, datagram: UdpDatagram) -> None:
+        self.datagrams_received += 1
+        self.bytes_received += datagram.payload_bytes
+        if self.on_receive is not None:
+            self.on_receive(datagram)
+
+
+class UdpLayer:
+    """The per-host socket table, dispatching on destination port."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self._sockets: Dict[int, UdpSocket] = {}
+        self._next_ephemeral = 49152
+        host.ip.register_handler(IpProtocol.UDP, self._on_datagram)
+
+    def bind(self, port: int) -> UdpSocket:
+        """Bind a socket to a specific port.
+
+        Raises:
+            SocketError: if the port is invalid or already bound.
+        """
+        if not 0 < port <= 65535:
+            raise SocketError(f"invalid port {port}")
+        if port in self._sockets:
+            raise SocketError(f"port {port} already bound on {self.host.name}")
+        socket = UdpSocket(self, port)
+        self._sockets[port] = socket
+        return socket
+
+    def bind_ephemeral(self) -> UdpSocket:
+        """Bind to the next free ephemeral port (49152+)."""
+        while self._next_ephemeral in self._sockets:
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 65535:
+                raise SocketError("ephemeral port space exhausted")
+        socket = self.bind(self._next_ephemeral)
+        self._next_ephemeral += 1
+        return socket
+
+    def release(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        header = datagram.transport
+        if not isinstance(header, UdpHeader):
+            return
+        socket = self._sockets.get(header.dst_port)
+        if socket is None:
+            return  # port unreachable; a real stack would send ICMP
+        socket._deliver(UdpDatagram(
+            src=datagram.src, src_port=header.src_port,
+            dst_port=header.dst_port,
+            payload_bytes=datagram.transport_payload_bytes,
+            payload=datagram.payload,
+            fragment_count=datagram.fragment_count,
+            first_packet_time=datagram.first_packet_time,
+            arrival_time=datagram.last_packet_time))

@@ -1,0 +1,33 @@
+"""Instrumented streaming clients.
+
+The paper built two recording players — MediaTracker (a customized
+Windows MediaPlayer) and RealTracker (a customized RealPlayer) — to
+capture the application-level statistics the products display but do
+not log.  This package reproduces them: a shared client driving the
+control protocol and receiving media over UDP, a delay buffer, the
+MediaPlayer interleaving batcher (Figure 12), and the statistics
+records every figure's application-level data comes from.
+"""
+
+from repro.players.base import StreamingClient
+from repro.players.buffer import DelayBuffer
+from repro.players.interleave import BatchingReceiver
+from repro.players.logging import read_log, write_log
+from repro.players.mediatracker import MediaTracker
+from repro.players.quality import QualityReport, quality_report
+from repro.players.realtracker import RealTracker
+from repro.players.stats import PacketReceipt, PlayerStats
+
+__all__ = [
+    "BatchingReceiver",
+    "DelayBuffer",
+    "MediaTracker",
+    "PacketReceipt",
+    "PlayerStats",
+    "QualityReport",
+    "RealTracker",
+    "StreamingClient",
+    "quality_report",
+    "read_log",
+    "write_log",
+]

@@ -1,0 +1,293 @@
+"""The instrumented streaming client.
+
+One :class:`StreamingClient` plays one clip: it drives the control
+exchange (DESCRIBE → SETUP → PLAY) over TCP, receives media over UDP,
+feeds the delay buffer, tracks frame deadlines, and fills in a
+:class:`~repro.players.stats.PlayerStats`.  MediaTracker and
+RealTracker are thin subclasses differing exactly where the paper's
+tools differed: MediaTracker sees application packets through the
+interleaving batcher; RealTracker cannot observe them at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.media.clip import PlayerFamily
+from repro.netsim.addressing import IPAddress
+from repro.netsim.node import Host
+from repro.netsim.tcp import TcpConnection
+from repro.netsim.udp import UdpDatagram
+from repro.players.buffer import DelayBuffer
+from repro.players.interleave import BatchingReceiver
+from repro.players.stats import PacketReceipt, PlayerStats
+from repro.servers.control import (
+    ControlRequest,
+    ControlResponse,
+    RTSP_PORT,
+)
+
+DoneCallback = Callable[[PlayerStats], None]
+
+#: A frame whose data arrives after its playout deadline plus this
+#: slack is counted late (quality degradation), not played.
+LATE_TOLERANCE = 0.25
+
+
+class StreamingClient:
+    """Base player: control/session plumbing and statistics.
+
+    Args:
+        host: the client host.
+        server: the streaming server's address.
+        control_port: the server's control port.
+        preroll_seconds: delay-buffer preroll target.
+    """
+
+    #: Which product this client models; subclasses set it.
+    family: PlayerFamily
+    #: Whether application packets are released in interleave batches.
+    uses_interleaving = False
+
+    def __init__(self, host: Host, server: IPAddress,
+                 control_port: int = RTSP_PORT,
+                 preroll_seconds: float = 5.0,
+                 feedback_interval: Optional[float] = None,
+                 transport: str = "UDP") -> None:
+        if transport not in ("UDP", "TCP"):
+            raise ProtocolError(f"unknown media transport {transport!r}")
+        self.host = host
+        self.server = server
+        self.control_port = control_port
+        self.preroll_seconds = preroll_seconds
+        #: Media transport; the paper forced UDP, TCP is the product's
+        #: other mode (see repro.servers.tcp_media).
+        self.transport = transport
+        #: Seconds between receiver reports; None disables feedback
+        #: (the paper's base experiments ran without media scaling).
+        self.feedback_interval = feedback_interval
+        self._reported_received = 0
+        self._reported_lost = 0
+        self.stats: Optional[PlayerStats] = None
+        self.buffer: Optional[DelayBuffer] = None
+        self.interleaver: Optional[BatchingReceiver] = None
+        self.done = False
+        self.session_id: Optional[int] = None
+        self._on_done: Optional[DoneCallback] = None
+        self._clip_title: Optional[str] = None
+        self._connection: Optional[TcpConnection] = None
+        self._media_socket = None
+        self._last_sequence: Optional[int] = None
+        self._last_media_time = 0.0
+        #: (frame_number, app_time) pairs, classified at finalize time.
+        self._frame_arrivals: List[Tuple[int, float]] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def play(self, clip_title: str,
+             on_done: Optional[DoneCallback] = None) -> None:
+        """Start playing ``clip_title`` from the server.
+
+        Raises:
+            ProtocolError: if this client is already playing a clip
+                (each client instance plays exactly one, like one
+                playlist entry in the paper's trackers).
+        """
+        if self._clip_title is not None:
+            raise ProtocolError("client already playing; use a new instance")
+        self._clip_title = clip_title
+        self._on_done = on_done
+        self._requested_at = self.host.sim.now
+        connection = self.host.tcp.connect(self.server, self.control_port)
+        connection.on_established = self._on_established
+        connection.on_message = self._on_response
+        self._connection = connection
+
+    def finalize(self) -> PlayerStats:
+        """Force end-of-playback accounting (normally done at EOS).
+
+        Safe to call on a finished client; used by experiment runners
+        as a timeout fallback when loss eats the EOS datagram.
+
+        Raises:
+            ProtocolError: if playback never got far enough to have
+                statistics (no DESCRIBE response yet).
+        """
+        if self.stats is None:
+            raise ProtocolError("no statistics: playback never started")
+        if not self.done:
+            self._finish()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _on_established(self, connection: TcpConnection) -> None:
+        request = ControlRequest(method="DESCRIBE",
+                                 clip_title=self._clip_title)
+        connection.send_message(request, request.wire_bytes)
+
+    def _on_response(self, connection: TcpConnection,
+                     message: object) -> None:
+        if not isinstance(message, ControlResponse):
+            return
+        if not message.ok:
+            raise ProtocolError(
+                f"{message.method} failed: {message.status} {message.reason}")
+        if message.method == "DESCRIBE":
+            self._handle_described(message)
+        elif message.method == "SETUP":
+            self._handle_setup_ok(message)
+        elif message.method == "PLAY":
+            self._start_feedback()
+        # TEARDOWN acks need no client action.
+
+    def _handle_described(self, response: ControlResponse) -> None:
+        if response.description is None:
+            raise ProtocolError("DESCRIBE response carried no description")
+        self.stats = PlayerStats(response.description,
+                                 transport=self.transport)
+        self.stats.requested_at = self._requested_at
+        self.buffer = DelayBuffer(self.preroll_seconds)
+        if self.uses_interleaving:
+            self.interleaver = BatchingReceiver()
+        client_port = None
+        if self.transport == "UDP":
+            self._media_socket = self.host.udp.bind_ephemeral()
+            self._media_socket.on_receive = self._on_media
+            client_port = self._media_socket.port
+        request = ControlRequest(method="SETUP",
+                                 clip_title=self._clip_title,
+                                 client_media_port=client_port,
+                                 transport=self.transport)
+        self._connection.send_message(request, request.wire_bytes)
+
+    def _handle_setup_ok(self, response: ControlResponse) -> None:
+        self.session_id = response.session_id
+        if self.transport == "TCP":
+            self._connect_media_channel(response.server_media_port)
+            return
+        self._send_play()
+
+    def _send_play(self) -> None:
+        request = ControlRequest(method="PLAY", session_id=self.session_id)
+        self._connection.send_message(request, request.wire_bytes)
+
+    def _connect_media_channel(self, server_media_port: int) -> None:
+        """TCP transport: open the media connection, then PLAY."""
+        from repro.servers.tcp_media import TcpMediaReceiver
+
+        media_connection = self.host.tcp.connect(self.server,
+                                                 server_media_port)
+
+        def on_established(connection) -> None:
+            receiver = TcpMediaReceiver(self.host, connection,
+                                        connection.local_port)
+            receiver.on_receive = self._on_media
+            self._media_socket = receiver
+            self._send_play()
+
+        media_connection.on_established = on_established
+
+    # ------------------------------------------------------------------
+    # Media plane
+    # ------------------------------------------------------------------
+    def _on_media(self, datagram: UdpDatagram) -> None:
+        if self.done or self.stats is None:
+            return
+        if datagram.payload.kind == "media-eos":
+            self.stats.eos_at = datagram.arrival_time
+            self._finish()
+            return
+        if datagram.payload.kind != "media":
+            return
+        now = datagram.arrival_time
+        app_time = now
+        if self.interleaver is not None:
+            app_time = self.interleaver.receive(now)
+        sequence = datagram.payload.adu_sequence or 0
+        if self._last_sequence is not None:
+            gap = sequence - self._last_sequence - 1
+            if gap > 0:
+                self.stats.packets_lost += gap
+        self._last_sequence = sequence
+        self.stats.record_receipt(PacketReceipt(
+            sequence=sequence, network_time=now, app_time=app_time,
+            payload_bytes=datagram.payload_bytes,
+            fragment_count=datagram.fragment_count,
+            first_packet_time=datagram.first_packet_time))
+        # Media-seconds accounting for the delay buffer.
+        media_time = datagram.payload.media_time or 0.0
+        delta = max(0.0, media_time - self._last_media_time)
+        self._last_media_time = media_time
+        self.buffer.add_media(now, delta)
+        for frame_number in datagram.payload.frame_numbers:
+            self._frame_arrivals.append((frame_number, app_time))
+
+    # ------------------------------------------------------------------
+    # Receiver reports (media scaling feedback, paper §VI)
+    # ------------------------------------------------------------------
+    def _start_feedback(self) -> None:
+        if self.feedback_interval is None:
+            return
+        self.host.sim.schedule_in(self.feedback_interval,
+                                  self._send_feedback)
+
+    def _send_feedback(self) -> None:
+        if self.done or self.stats is None or self._connection is None:
+            return
+        from repro.servers.feedback import ReceiverReport
+
+        received = self.stats.packets_received
+        lost = self.stats.packets_lost
+        report = ReceiverReport(
+            session_id=self.session_id or 0,
+            sent_at=self.host.sim.now,
+            packets_received=received, packets_lost=lost,
+            interval_received=received - self._reported_received,
+            interval_lost=lost - self._reported_lost)
+        self._reported_received = received
+        self._reported_lost = lost
+        self._connection.send_message(report, report.wire_bytes)
+        self.host.sim.schedule_in(self.feedback_interval,
+                                  self._send_feedback)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        self.done = True
+        self._classify_frames()
+        if self.buffer is not None:
+            self.stats.playout_started_at = self.buffer.playout_started_at
+        if self.session_id is not None and self._connection is not None:
+            request = ControlRequest(method="TEARDOWN",
+                                     session_id=self.session_id)
+            self._connection.send_message(request, request.wire_bytes)
+        if self._on_done is not None:
+            self._on_done(self.stats)
+
+    def _classify_frames(self) -> None:
+        """Sort frame arrivals into on-time plays and late drops.
+
+        A frame's deadline is playout start plus its media timestamp.
+        If the preroll never filled (tiny/broken stream), playout is
+        taken to start at the first arrival.
+        """
+        fps = max(self.stats.description.nominal_fps, 1.0)
+        playout_start = None
+        if self.buffer is not None:
+            playout_start = self.buffer.playout_started_at
+        if playout_start is None:
+            if not self._frame_arrivals:
+                return
+            playout_start = min(app for _, app in self._frame_arrivals)
+        for frame_number, app_time in sorted(self._frame_arrivals):
+            media_time = frame_number / fps
+            deadline = playout_start + media_time
+            if app_time <= deadline + LATE_TOLERANCE:
+                self.stats.record_frame_play(media_time)
+            else:
+                self.stats.frames_late += 1

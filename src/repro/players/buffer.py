@@ -1,0 +1,80 @@
+"""The client delay buffer.
+
+Both products "use delay buffering to remove the effects of jitter"
+(paper Section III.F): media enters the buffer as it arrives and leaves
+as it plays.  :class:`DelayBuffer` models occupancy in *media seconds*:
+playout begins once the preroll target is reached, and the buffer
+drains in real time from then on.  Its occupancy series is what makes
+the Real-vs-WMP startup asymmetry visible from the client side — with
+the same preroll target, RealPlayer's 3× burst fills the buffer and
+starts playout sooner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import MediaError
+
+
+class DelayBuffer:
+    """Media-seconds jitter buffer with a preroll threshold.
+
+    Args:
+        preroll_seconds: media seconds that must be buffered before
+            playout starts (both 2002 players defaulted to several
+            seconds of preroll).
+    """
+
+    def __init__(self, preroll_seconds: float = 5.0) -> None:
+        if preroll_seconds < 0:
+            raise MediaError("preroll must be nonnegative")
+        self.preroll_seconds = preroll_seconds
+        self.playout_started_at: Optional[float] = None
+        self._buffered_media = 0.0  # media seconds currently held
+        self._last_update: Optional[float] = None
+        #: (time, media seconds buffered) after every change.
+        self.occupancy_series: List[Tuple[float, float]] = []
+        self.underruns = 0
+
+    def _drain_to(self, now: float) -> None:
+        if self.playout_started_at is None or self._last_update is None:
+            self._last_update = now
+            return
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            before = self._buffered_media
+            self._buffered_media = max(0.0, before - elapsed)
+            if before > 0 and self._buffered_media == 0.0:
+                self.underruns += 1
+        self._last_update = now
+
+    def add_media(self, now: float, media_seconds: float) -> None:
+        """Media arriving from the network.
+
+        Raises:
+            MediaError: for negative amounts.
+        """
+        if media_seconds < 0:
+            raise MediaError("cannot buffer negative media")
+        self._drain_to(now)
+        self._buffered_media += media_seconds
+        if (self.playout_started_at is None
+                and self._buffered_media >= self.preroll_seconds):
+            self.playout_started_at = now
+        self.occupancy_series.append((now, self._buffered_media))
+
+    def occupancy(self, now: float) -> float:
+        """Media seconds buffered at ``now``."""
+        self._drain_to(now)
+        return self._buffered_media
+
+    @property
+    def playing(self) -> bool:
+        return self.playout_started_at is not None
+
+    def startup_delay(self, stream_start: float) -> Optional[float]:
+        """Seconds from stream start to playout start, once playing."""
+        if self.playout_started_at is None:
+            return None
+        return self.playout_started_at - stream_start

@@ -1,0 +1,131 @@
+"""Tracker log files.
+
+The paper's MediaTracker "saves all recorded information on the local
+disk" (via an ActiveX file-system control); RealTracker wrote similar
+logs.  This module is that persistence layer: a JSON-lines format that
+round-trips every field of a :class:`~repro.players.stats.PlayerStats`,
+so studies can be archived and re-analyzed without re-simulating.
+
+Format: line 1 is a header object (schema version, clip description,
+scalar stats); each following line is one packet receipt; frame plays
+ride in the header (they are compact offsets).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import List, TextIO, Union
+
+from repro.errors import AnalysisError
+from repro.players.stats import PacketReceipt, PlayerStats
+from repro.servers.control import ClipDescription
+
+SCHEMA_VERSION = 1
+
+
+def write_log(stats: PlayerStats, destination: Union[str, TextIO]) -> int:
+    """Write a tracker log; returns the number of receipt lines."""
+    own = isinstance(destination, str)
+    stream: TextIO = open(destination, "w") if own else destination
+    try:
+        description = stats.description
+        header = {
+            "schema": SCHEMA_VERSION,
+            "clip": {
+                "title": description.title,
+                "genre": description.genre,
+                "duration": description.duration,
+                "encoded_kbps": description.encoded_kbps,
+                "advertised_kbps": description.advertised_kbps,
+                "nominal_fps": description.nominal_fps,
+            },
+            "transport": stats.transport,
+            "requested_at": stats.requested_at,
+            "first_media_at": stats.first_media_at,
+            "eos_at": stats.eos_at,
+            "playout_started_at": stats.playout_started_at,
+            "packets_lost": stats.packets_lost,
+            "packets_recovered": stats.packets_recovered,
+            "frames_late": stats.frames_late,
+            "frame_plays": stats.frame_plays,
+        }
+        stream.write(json.dumps(header) + "\n")
+        for receipt in stats.receipts:
+            stream.write(json.dumps([
+                receipt.sequence, receipt.network_time, receipt.app_time,
+                receipt.payload_bytes, receipt.fragment_count,
+                receipt.first_packet_time]) + "\n")
+        return len(stats.receipts)
+    finally:
+        if own:
+            stream.close()
+
+
+def read_log(source: Union[str, TextIO]) -> PlayerStats:
+    """Load a tracker log back into a :class:`PlayerStats`.
+
+    Raises:
+        AnalysisError: for empty, unversioned, or malformed logs.
+    """
+    own = isinstance(source, str)
+    stream: TextIO = open(source) if own else source
+    try:
+        header_line = stream.readline()
+        if not header_line.strip():
+            raise AnalysisError("empty tracker log")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"malformed tracker log header: {exc}") \
+                from exc
+        if header.get("schema") != SCHEMA_VERSION:
+            raise AnalysisError(
+                f"unsupported tracker log schema: {header.get('schema')!r}")
+        clip = header["clip"]
+        description = ClipDescription(
+            title=clip["title"], genre=clip["genre"],
+            duration=clip["duration"], encoded_kbps=clip["encoded_kbps"],
+            advertised_kbps=clip["advertised_kbps"],
+            nominal_fps=clip["nominal_fps"])
+        stats = PlayerStats(description, transport=header["transport"])
+        stats.requested_at = header["requested_at"]
+        stats.eos_at = header["eos_at"]
+        stats.playout_started_at = header["playout_started_at"]
+        stats.packets_lost = header["packets_lost"]
+        stats.packets_recovered = header["packets_recovered"]
+        stats.frames_late = header["frames_late"]
+        stats.frame_plays = list(header["frame_plays"])
+        for line_number, line in enumerate(stream, start=2):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+                receipt = PacketReceipt(
+                    sequence=row[0], network_time=row[1], app_time=row[2],
+                    payload_bytes=row[3], fragment_count=row[4],
+                    first_packet_time=row[5])
+            except (json.JSONDecodeError, IndexError, TypeError) as exc:
+                raise AnalysisError(
+                    f"malformed receipt at line {line_number}: {exc}") \
+                    from exc
+            stats.record_receipt(receipt)
+        # record_receipt recomputed first_media_at; restore the header's
+        # value in case the log was written before any media arrived.
+        stats.first_media_at = header["first_media_at"]
+        return stats
+    finally:
+        if own:
+            stream.close()
+
+
+def dumps(stats: PlayerStats) -> str:
+    """The log as a string."""
+    buffer = io.StringIO()
+    write_log(stats, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> PlayerStats:
+    """Parse a log from its string form."""
+    return read_log(io.StringIO(text))

@@ -1,0 +1,42 @@
+"""MediaTracker: the instrumented Windows MediaPlayer.
+
+The paper's MediaTracker is an ActiveX embedding of the MediaPlayer 7.1
+engine that logs playback statistics.  Uniquely among the two trackers
+it can observe *application-layer packet receipt times*, which exposed
+the interleaving batches of Figure 12 — so this client wires in the
+:class:`~repro.players.interleave.BatchingReceiver`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import AnalysisError
+from repro.media.clip import PlayerFamily
+from repro.players.base import StreamingClient
+
+
+class MediaTracker(StreamingClient):
+    """Plays Windows Media clips and records statistics."""
+
+    family = PlayerFamily.WMP
+    uses_interleaving = True
+
+    def layer_receipt_series(self) -> List[Tuple[float, float]]:
+        """Per-packet (network receipt time, application receipt time).
+
+        The data behind Figure 12: the network column steps every
+        ~100 ms while the application column jumps once per second.
+
+        Raises:
+            AnalysisError: if no media has been received.
+        """
+        if self.stats is None or not self.stats.receipts:
+            raise AnalysisError("no packets received yet")
+        return [(r.network_time, r.app_time) for r in self.stats.receipts]
+
+    def application_batch_sizes(self) -> List[int]:
+        """Packets per application release instant (~10 in the paper)."""
+        if self.interleaver is None:
+            raise AnalysisError("interleaver not active")
+        return self.interleaver.batch_sizes()

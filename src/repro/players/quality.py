@@ -1,0 +1,98 @@
+"""Reception quality: the trackers' user-facing quality summary.
+
+MediaTracker "records ... reception quality" (paper §II.B).  This
+module distills a :class:`~repro.players.stats.PlayerStats` into the
+viewer-perceived numbers: startup delay, achieved versus nominal frame
+rate, frames lost or late, and rebuffering events — plus a single 0–100
+quality score in the spirit of the products' own "reception quality"
+percentage (MediaPlayer displayed exactly such a number).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AnalysisError
+from repro.players.stats import PlayerStats
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """What the viewer experienced."""
+
+    clip_title: str
+    startup_delay: Optional[float]
+    nominal_fps: float
+    achieved_fps: float
+    frames_played: int
+    frames_late: int
+    frames_missing: int
+    rebuffer_events: int
+    packets_lost: int
+
+    @property
+    def frame_completeness(self) -> float:
+        """Fraction of the clip's frames that played on time (0-1)."""
+        total = self.frames_played + self.frames_late + self.frames_missing
+        if total <= 0:
+            return 0.0
+        return self.frames_played / total
+
+    @property
+    def fps_ratio(self) -> float:
+        """Achieved / nominal frame rate (capped at 1)."""
+        if self.nominal_fps <= 0:
+            return 0.0
+        return min(1.0, self.achieved_fps / self.nominal_fps)
+
+    @property
+    def score(self) -> float:
+        """A 0-100 reception-quality score.
+
+        Weighted like the products' own indicators: frame completeness
+        dominates, sustained frame rate matters, and every rebuffer
+        event costs a visible penalty.
+        """
+        base = 70.0 * self.frame_completeness + 30.0 * self.fps_ratio
+        penalty = 10.0 * self.rebuffer_events
+        return max(0.0, min(100.0, base - penalty))
+
+    def render(self) -> str:
+        startup = ("n/a" if self.startup_delay is None
+                   else f"{self.startup_delay:.1f}s")
+        return (f"{self.clip_title}: quality {self.score:.0f}/100 "
+                f"(startup {startup}, "
+                f"{self.achieved_fps:.1f}/{self.nominal_fps:.1f} fps, "
+                f"{self.frames_late} late / {self.frames_missing} "
+                f"missing frames, {self.rebuffer_events} rebuffers)")
+
+
+def quality_report(stats: PlayerStats,
+                   rebuffer_events: int = 0) -> QualityReport:
+    """Build a quality report from a finished playback's statistics.
+
+    Args:
+        rebuffer_events: underrun count from the player's delay buffer
+            (``player.buffer.underruns``); passed in because the stats
+            object deliberately does not hold the buffer.
+
+    Raises:
+        AnalysisError: if the playback recorded nothing.
+    """
+    if not stats.receipts:
+        raise AnalysisError("no packets received; nothing to score")
+    startup = None
+    if (stats.playout_started_at is not None
+            and stats.first_media_at is not None):
+        startup = stats.playout_started_at - stats.first_media_at
+    return QualityReport(
+        clip_title=stats.description.title,
+        startup_delay=startup,
+        nominal_fps=stats.description.nominal_fps,
+        achieved_fps=stats.average_fps,
+        frames_played=len(stats.frame_plays),
+        frames_late=stats.frames_late,
+        frames_missing=stats.frames_missing,
+        rebuffer_events=rebuffer_events,
+        packets_lost=stats.packets_lost)

@@ -1,0 +1,21 @@
+"""RealTracker: the instrumented RealPlayer.
+
+The paper's RealTracker (née RealTracer, [WC02]) wraps the RealPlayer
+core engine and records the same statistics schema as MediaTracker —
+but, as the paper notes, "we are not able to gather application packets
+in RealTracker", so this client delivers packets to the application
+directly (no interleaving model) and offers no per-packet
+application-layer view.
+"""
+
+from __future__ import annotations
+
+from repro.media.clip import PlayerFamily
+from repro.players.base import StreamingClient
+
+
+class RealTracker(StreamingClient):
+    """Plays RealVideo clips and records statistics."""
+
+    family = PlayerFamily.REAL
+    uses_interleaving = False

@@ -1,0 +1,184 @@
+"""Application-level statistics, as MediaTracker/RealTracker record them.
+
+The paper's trackers log "the encoded bit rate, playback bandwidth,
+application level packets received, lost and recovered, frame rate,
+transport protocol, and reception quality".  :class:`PlayerStats` is
+that log for one playback, with the derived series the figures plot:
+bandwidth over time (Figure 10), frame rate over time (Figure 13), and
+scalar summaries (Figures 3, 14, 15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.servers.control import ClipDescription
+
+
+@dataclass(frozen=True)
+class PacketReceipt:
+    """One application-layer packet (media datagram) receipt.
+
+    ``network_time`` is when the OS finished receiving the datagram
+    (after any IP reassembly); ``app_time`` is when the application
+    reported it — later than ``network_time`` for MediaPlayer because
+    of interleaving batches (Figure 12), equal for direct delivery.
+    """
+
+    sequence: int
+    network_time: float
+    app_time: float
+    payload_bytes: int
+    fragment_count: int
+    first_packet_time: float
+
+
+class PlayerStats:
+    """Everything one instrumented playback records."""
+
+    def __init__(self, description: ClipDescription,
+                 transport: str = "UDP") -> None:
+        self.description = description
+        self.transport = transport
+        self.receipts: List[PacketReceipt] = []
+        #: Playout-clock offsets (seconds since playout start) of frames
+        #: that played on time.
+        self.frame_plays: List[float] = []
+        self.frames_late = 0
+        self.requested_at: Optional[float] = None
+        self.first_media_at: Optional[float] = None
+        self.eos_at: Optional[float] = None
+        self.playout_started_at: Optional[float] = None
+        self.packets_lost = 0
+        self.packets_recovered = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_receipt(self, receipt: PacketReceipt) -> None:
+        if self.first_media_at is None:
+            self.first_media_at = receipt.network_time
+        self.receipts.append(receipt)
+
+    def record_frame_play(self, playout_offset: float) -> None:
+        self.frame_plays.append(playout_offset)
+
+    # ------------------------------------------------------------------
+    # Scalar summaries
+    # ------------------------------------------------------------------
+    @property
+    def encoded_kbps(self) -> float:
+        return self.description.encoded_kbps
+
+    @property
+    def packets_received(self) -> int:
+        return len(self.receipts)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(r.payload_bytes for r in self.receipts)
+
+    @property
+    def streaming_duration(self) -> Optional[float]:
+        """Wall seconds the server spent delivering media."""
+        if self.first_media_at is None or self.eos_at is None:
+            return None
+        return self.eos_at - self.first_media_at
+
+    @property
+    def average_playback_kbps(self) -> float:
+        """Mean application-level delivery rate over the stream.
+
+        This is Figure 3's y-axis: RealPlayer's buffering burst packs
+        the clip's bytes into a shorter streaming window, pushing this
+        above the encoded rate; Windows Media's equals it.
+
+        Raises:
+            AnalysisError: before the stream has finished.
+        """
+        duration = self.streaming_duration
+        if duration is None or duration <= 0:
+            raise AnalysisError("stream not finished; no average rate yet")
+        return self.bytes_received * 8.0 / duration / 1000.0
+
+    @property
+    def average_fps(self) -> float:
+        """Mean delivered frame rate over the playout."""
+        if not self.frame_plays:
+            return 0.0
+        span = max(self.frame_plays) + 1.0 / max(self.description.nominal_fps,
+                                                 1.0)
+        if span <= 0:
+            return 0.0
+        return len(self.frame_plays) / span
+
+    @property
+    def expected_frames(self) -> int:
+        """Frames the clip's schedule contains (duration × nominal fps)."""
+        return max(1, int(round(self.description.duration
+                                * self.description.nominal_fps)))
+
+    @property
+    def frames_missing(self) -> int:
+        """Frames whose data never reached the application at all.
+
+        Under loss, a dropped datagram's frames are neither played nor
+        late — they simply never arrive.  (A WMP ADU spans several
+        frames, so one lost fragment erases all of them: the [FF99]
+        fragmentation hazard the paper warns about.)
+        """
+        observed = len(self.frame_plays) + self.frames_late
+        return max(0, self.expected_frames - observed)
+
+    @property
+    def frame_loss_percent(self) -> float:
+        """Share of the clip's frames that failed to play on time."""
+        failed = self.frames_late + self.frames_missing
+        return 100.0 * failed / self.expected_frames
+
+    # ------------------------------------------------------------------
+    # Time series
+    # ------------------------------------------------------------------
+    def bandwidth_timeline(self, interval: float = 1.0) -> List[Tuple[float, float]]:
+        """(time, Kbps) per ``interval``, relative to the first packet.
+
+        The series Figure 10 plots: application bytes received per
+        interval, scaled to Kbits/second.
+
+        Raises:
+            AnalysisError: for a nonpositive interval.
+        """
+        if interval <= 0:
+            raise AnalysisError("interval must be positive")
+        if not self.receipts or self.first_media_at is None:
+            return []
+        origin = self.first_media_at
+        horizon = max(r.network_time for r in self.receipts) - origin
+        buckets = [0] * (int(math.floor(horizon / interval)) + 1)
+        for receipt in self.receipts:
+            index = int((receipt.network_time - origin) / interval)
+            buckets[index] += receipt.payload_bytes
+        return [(index * interval, count * 8.0 / interval / 1000.0)
+                for index, count in enumerate(buckets)]
+
+    def frame_rate_timeline(self, window: float = 1.0) -> List[Tuple[float, float]]:
+        """(time, fps) per ``window``, relative to playout start
+        (Figure 13's series)."""
+        if window <= 0:
+            raise AnalysisError("window must be positive")
+        if not self.frame_plays:
+            return []
+        horizon = max(self.frame_plays)
+        buckets = [0] * (int(math.floor(horizon / window)) + 1)
+        for offset in self.frame_plays:
+            buckets[int(offset / window)] += 1
+        return [(index * window, count / window)
+                for index, count in enumerate(buckets)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<PlayerStats {self.description.title!r} "
+                f"{self.encoded_kbps:.0f}Kbps packets={self.packets_received} "
+                f"frames={len(self.frame_plays)}>")

@@ -1,0 +1,43 @@
+"""Streaming server models.
+
+Two server behaviors, parameterized from the paper's measurements:
+
+* :class:`WindowsMediaServer` — CBR: one application data unit per
+  ~100 ms tick, constant size per clip; large ADUs fragment at the IP
+  layer (Figures 4–9); buffering at the playout rate (Figure 10).
+* :class:`RealServer` — variable packet sizes below the MTU, variable
+  interarrivals, and an initial buffering burst at up to 3× the playout
+  rate that decays with encoding rate (Figures 10–11).
+
+Both speak the same RTSP-like control protocol over TCP
+(:mod:`repro.servers.control`) and pace media over UDP.
+"""
+
+from repro.servers.base import StreamingServer
+from repro.servers.control import (
+    ClipDescription,
+    ControlRequest,
+    ControlResponse,
+    RTSP_PORT,
+)
+from repro.servers.pacing import CbrAduPacer, BurstThenSteadyPacer, Pacer
+from repro.servers.realserver import RealServer, buffering_ratio
+from repro.servers.session import ServerSession, SessionState
+from repro.servers.wms import WindowsMediaServer, wms_packetization
+
+__all__ = [
+    "BurstThenSteadyPacer",
+    "CbrAduPacer",
+    "ClipDescription",
+    "ControlRequest",
+    "ControlResponse",
+    "Pacer",
+    "RTSP_PORT",
+    "RealServer",
+    "ServerSession",
+    "SessionState",
+    "StreamingServer",
+    "WindowsMediaServer",
+    "buffering_ratio",
+    "wms_packetization",
+]

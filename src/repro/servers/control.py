@@ -1,0 +1,80 @@
+"""The RTSP-like control protocol between players and servers.
+
+Both commercial products of the paper drive their streams through a
+TCP control connection (RTSP for Real, MMS for Windows Media); the
+reproduction uses one simplified protocol for both, since the paper's
+analysis never depends on control-plane differences.  The exchange:
+
+    DESCRIBE <clip>   -> 200 with ClipDescription
+    SETUP <clip>      -> 200 with session id (client announces its UDP port)
+    PLAY <session>    -> 200; media starts flowing over UDP
+    TEARDOWN <session>-> 200; media stops
+
+Messages travel as structured objects over :mod:`repro.netsim.tcp`
+with realistic byte sizes, so control packets show up in captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: The well-known control port (RTSP's).
+RTSP_PORT = 554
+
+#: Wire-size estimates for control messages, in bytes.  Real RTSP
+#: requests are a few hundred bytes of text; DESCRIBE responses carry
+#: an SDP body.
+REQUEST_BYTES = 220
+RESPONSE_BYTES = 180
+DESCRIBE_RESPONSE_BYTES = 620
+
+
+@dataclass(frozen=True)
+class ClipDescription:
+    """What DESCRIBE reveals about a clip (the SDP analog)."""
+
+    title: str
+    genre: str
+    duration: float
+    encoded_kbps: float
+    advertised_kbps: float
+    nominal_fps: float
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """A client-to-server control message."""
+
+    method: str  # DESCRIBE | SETUP | PLAY | TEARDOWN
+    clip_title: Optional[str] = None
+    session_id: Optional[int] = None
+    client_media_port: Optional[int] = None
+    #: Media transport: "UDP" (the paper's forced choice) or "TCP".
+    transport: str = "UDP"
+
+    @property
+    def wire_bytes(self) -> int:
+        return REQUEST_BYTES
+
+
+@dataclass(frozen=True)
+class ControlResponse:
+    """A server-to-client control message."""
+
+    status: int
+    method: str
+    session_id: Optional[int] = None
+    server_media_port: Optional[int] = None
+    description: Optional[ClipDescription] = None
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def wire_bytes(self) -> int:
+        if self.description is not None:
+            return DESCRIBE_RESPONSE_BYTES
+        return RESPONSE_BYTES

@@ -1,0 +1,40 @@
+"""Receiver feedback: the loss reports that drive media scaling.
+
+The paper's future work notes that "both MediaPlayer and RealPlayer do
+have capabilities that employ media scaling to reduce application level
+data rates in the presence of reduced bandwidth".  The 2002 products
+learned about congestion from receiver reports on the control channel
+(RTCP RRs for Real's RDT, similar beacons for MMS); this module is
+that feedback message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wire size of one report (an RTCP receiver report is ~80-120 bytes).
+REPORT_BYTES = 96
+
+
+@dataclass(frozen=True)
+class ReceiverReport:
+    """One periodic quality report from player to server."""
+
+    session_id: int
+    sent_at: float
+    packets_received: int
+    packets_lost: int
+    interval_received: int
+    interval_lost: int
+
+    @property
+    def interval_loss_fraction(self) -> float:
+        """Loss fraction over the reporting interval (RTCP-style)."""
+        total = self.interval_received + self.interval_lost
+        if total <= 0:
+            return 0.0
+        return self.interval_lost / total
+
+    @property
+    def wire_bytes(self) -> int:
+        return REPORT_BYTES

@@ -1,0 +1,323 @@
+"""Pacing engines: how media bytes become a UDP packet schedule.
+
+The two pacers here are the paper's two turbulence signatures:
+
+* :class:`CbrAduPacer` (Windows Media): emits one application data
+  unit per fixed tick.  At rates above ~118 Kbps the ADU exceeds the
+  MTU and the sender's IP layer fragments it — producing the packet
+  groups of Figure 4 and the fragment shares of Figure 5.  Sizes and
+  intervals are constant per clip (Figures 6–9's CBR signature), and
+  the delivery rate equals the playout rate for the whole clip
+  (Figure 10's flat WMP lines).
+
+* :class:`BurstThenSteadyPacer` (RealServer): emits sub-MTU packets of
+  varied size at varied intervals, at ``ratio ×`` the playout rate
+  during the initial buffering phase and at the playout rate after —
+  Figure 10's burst-then-flat Real lines and Figure 11's ratio curve.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro import units
+from repro.errors import MediaError
+from repro.media.clip import Clip
+from repro.media.frames import FrameSchedule
+from repro.netsim.addressing import IPAddress
+from repro.netsim.engine import Simulator
+from repro.netsim.headers import PayloadMeta
+from repro.netsim.udp import UdpSocket
+
+FinishedCallback = Callable[[], None]
+
+
+class Pacer:
+    """Base pacer: owns the send loop from a socket to a destination.
+
+    Subclasses implement :meth:`_next_send`, returning the size of the
+    next datagram, its payload metadata, and the delay until the one
+    after it — or ``None`` when the clip is exhausted.
+    """
+
+    def __init__(self, sim: Simulator, socket: UdpSocket, dst: IPAddress,
+                 dst_port: int, clip: Clip, schedule: FrameSchedule) -> None:
+        self.sim = sim
+        self.socket = socket
+        self.dst = dst
+        self.dst_port = dst_port
+        self.clip = clip
+        self.schedule = schedule
+        self.on_finished: Optional[FinishedCallback] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.bytes_sent = 0
+        self.datagrams_sent = 0
+        self._sequence = 0
+        self._stopped = False
+        #: Media scaling (paper §VI): 1.0 = full rate.  When scaled,
+        #: the pacer sends fewer wire bytes per media second, so the
+        #: budget ledger below counts *full-rate-equivalent* bytes.
+        self.rate_scale = 1.0
+        self._budget_consumed = 0.0
+        # Frame bookkeeping: cumulative byte offsets of frame ends let
+        # each datagram name the frames it completes.
+        self._frame_ends: List[int] = []
+        total = 0
+        for frame in schedule:
+            total += frame.size_bytes
+            self._frame_ends.append(total)
+        self._total_media_bytes = total
+        self._frames_completed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin streaming now."""
+        if self.started_at is not None:
+            raise MediaError("pacer already started")
+        self.started_at = self.sim.now
+        self.sim.schedule_in(0.0, self._tick)
+
+    def stop(self) -> None:
+        """Abort streaming (TEARDOWN while playing)."""
+        self._stopped = True
+
+    def set_rate_scale(self, scale: float) -> None:
+        """Apply media scaling: stream at ``scale ×`` the encoding rate.
+
+        Media time still advances in real time — a scaled stream covers
+        the same clip with fewer bytes, like switching to a lower
+        SureStream sub-encoding.
+
+        Raises:
+            MediaError: unless ``0 < scale <= 1``.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise MediaError(f"rate scale must be in (0, 1], got {scale}")
+        self.rate_scale = scale
+
+    @property
+    def total_media_bytes(self) -> int:
+        return self._total_media_bytes
+
+    @property
+    def media_bytes_remaining(self) -> int:
+        """Full-rate-equivalent media bytes not yet covered."""
+        return max(0, self._total_media_bytes
+                   - int(round(self._budget_consumed)))
+
+    # ------------------------------------------------------------------
+    # Send loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        step = self._next_send()
+        if step is None:
+            self._finish()
+            return
+        size, delay = step
+        # Cap by the remaining media, expressed at the current scale.
+        remaining_at_scale = math.ceil(self.media_bytes_remaining
+                                       * self.rate_scale)
+        size = min(size, remaining_at_scale)
+        if size <= 0:
+            self._finish()
+            return
+        budget_after = self._budget_consumed + size / self.rate_scale
+        meta = self._meta_for(budget_after)
+        self.socket.send(self.dst, self.dst_port, size, payload=meta)
+        self.bytes_sent += size
+        self._budget_consumed = budget_after
+        self.datagrams_sent += 1
+        self._sequence += 1
+        if self.media_bytes_remaining <= 0:
+            self._finish()
+            return
+        self.sim.schedule_in(delay, self._tick)
+
+    def _meta_for(self, sent_after: float) -> PayloadMeta:
+        completed: List[int] = []
+        while (self._frames_completed < len(self._frame_ends)
+               and self._frame_ends[self._frames_completed] <= sent_after):
+            completed.append(self._frames_completed)
+            self._frames_completed += 1
+        media_time = (sent_after / self._total_media_bytes
+                      * self.schedule.duration
+                      if self._total_media_bytes else 0.0)
+        return PayloadMeta(kind="media", adu_sequence=self._sequence,
+                           frame_numbers=tuple(completed),
+                           media_time=media_time)
+
+    def _finish(self) -> None:
+        if self.finished_at is not None:
+            return
+        self.finished_at = self.sim.now
+        # End-of-stream marker so the client can close its session.
+        self.socket.send(self.dst, self.dst_port, 16,
+                         payload=PayloadMeta(kind="media-eos",
+                                             adu_sequence=self._sequence))
+        if self.on_finished is not None:
+            self.on_finished()
+
+    # ------------------------------------------------------------------
+    # Subclass hook
+    # ------------------------------------------------------------------
+    def _next_send(self) -> Optional[Tuple[int, float]]:
+        """Return (datagram size bytes, delay to next send) or None."""
+        raise NotImplementedError
+
+    @property
+    def streaming_duration(self) -> Optional[float]:
+        """Wall seconds from start to finish, once finished."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+# ----------------------------------------------------------------------
+# Windows Media: CBR ADUs on a fixed tick
+# ----------------------------------------------------------------------
+
+#: The tick observed in Figure 12: the OS receives a packet group
+#: every 100 ms for Windows Media streams.
+WMS_TICK_SECONDS = 0.100
+
+#: Below this ADU size WMS holds the packet near a fixed size and
+#: stretches the interval instead (Figure 6: ~900-byte packets for the
+#: ~50 Kbps clip, arriving every ~145 ms in Figure 8).
+WMS_MIN_ADU_BYTES = 820
+WMS_MAX_SMALL_ADU_BYTES = 980
+
+
+def wms_packetization(encoded_bps: float,
+                      small_adu_bytes: int = 900) -> Tuple[int, float]:
+    """The (ADU size, tick interval) Windows Media uses for a rate.
+
+    Above the rate where a 100 ms tick fills more than ``small_adu``
+    bytes, the ADU grows with the rate (and will fragment once past the
+    MTU); below it, the ADU stays at ``small_adu_bytes`` and the tick
+    stretches to hold the rate.
+
+    Raises:
+        MediaError: for a nonpositive rate.
+    """
+    if encoded_bps <= 0:
+        raise MediaError(f"rate must be positive: {encoded_bps}")
+    tick_payload = encoded_bps * WMS_TICK_SECONDS / 8.0
+    if tick_payload >= small_adu_bytes:
+        return int(round(tick_payload)), WMS_TICK_SECONDS
+    interval = small_adu_bytes * 8.0 / encoded_bps
+    return small_adu_bytes, interval
+
+
+class CbrAduPacer(Pacer):
+    """Windows Media pacing: constant ADU, constant tick, no burst."""
+
+    def __init__(self, sim: Simulator, socket: UdpSocket, dst: IPAddress,
+                 dst_port: int, clip: Clip, schedule: FrameSchedule,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(sim, socket, dst, dst_port, clip, schedule)
+        rng = rng or random.Random(0)
+        # The small-ADU size is constant within a clip but differs
+        # between clips (the paper: "the size of the last fragment is
+        # different for each clip but is the same within each clip").
+        small_adu = rng.randint(WMS_MIN_ADU_BYTES, WMS_MAX_SMALL_ADU_BYTES)
+        self.adu_bytes, self.tick_interval = wms_packetization(
+            clip.encoded_bps, small_adu)
+
+    def _next_send(self) -> Optional[Tuple[int, float]]:
+        if self.media_bytes_remaining <= 0:
+            return None
+        # Media scaling thins the ADU while keeping the tick: the
+        # stream stays CBR at ``scale ×`` the full rate.
+        adu = max(1, int(round(self.adu_bytes * self.rate_scale)))
+        return adu, self.tick_interval
+
+
+# ----------------------------------------------------------------------
+# RealServer: buffering burst, varied sizes and intervals
+# ----------------------------------------------------------------------
+
+#: RealServer never lets a media packet fragment; stay under the MTU
+#: with margin (the paper saw Real packets up to ~1200 bytes).
+REAL_MAX_PACKET_BYTES = 1200
+REAL_MIN_PACKET_BYTES = 128
+
+
+def real_mean_packet_bytes(encoded_kbps: float) -> int:
+    """Mean RealServer packet size for an encoding rate.
+
+    Calibrated to the paper's traces: ~450 B at 36 Kbps (Figure 6) and
+    ~700 B at 217–284 Kbps (Figure 4's ~40 packets/second), capped well
+    under the MTU.
+    """
+    mean = 420.0 + 1.05 * encoded_kbps
+    return int(max(REAL_MIN_PACKET_BYTES + 64,
+                   min(mean, REAL_MAX_PACKET_BYTES * 0.75)))
+
+
+class BurstThenSteadyPacer(Pacer):
+    """RealServer pacing: burst at ``ratio × rate`` for the buffering
+    phase, then the playout rate; sizes spread ~0.6–1.8× the mean.
+
+    Args:
+        burst_ratio: buffering-rate / playout-rate (Figure 11's y-axis).
+        burst_duration: nominal buffering-phase length in seconds; the
+            burst also ends early if the clip runs out of bytes.
+        rng: random source for size/interval draws (seeded per session).
+    """
+
+    #: Gamma shape for interarrival jitter; shape 4 gives a coefficient
+    #: of variation of 0.5 — visibly spread, never wildly heavy-tailed.
+    INTERARRIVAL_SHAPE = 4.0
+
+    def __init__(self, sim: Simulator, socket: UdpSocket, dst: IPAddress,
+                 dst_port: int, clip: Clip, schedule: FrameSchedule,
+                 burst_ratio: float, burst_duration: float,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(sim, socket, dst, dst_port, clip, schedule)
+        if burst_ratio < 1.0:
+            raise MediaError(f"burst ratio must be >= 1, got {burst_ratio}")
+        if burst_duration < 0:
+            raise MediaError("burst duration must be nonnegative")
+        self.burst_ratio = burst_ratio
+        self.burst_duration = burst_duration
+        self._rng = rng or random.Random(0)
+        self.mean_packet_bytes = real_mean_packet_bytes(clip.encoded_kbps)
+
+    def current_rate_bps(self) -> float:
+        """The send rate in force right now (burst or steady), after
+        any media scaling."""
+        base = self.clip.encoded_bps * self.rate_scale
+        if self.started_at is None:
+            return base
+        elapsed = self.sim.now - self.started_at
+        if elapsed < self.burst_duration:
+            return base * self.burst_ratio
+        return base
+
+    def _draw_size(self) -> int:
+        # A two-component mixture spreading ~0.6-1.8x the mean, with an
+        # asymmetric upper tail (Figure 7's normalized PDF).
+        if self._rng.random() < 0.72:
+            factor = self._rng.uniform(0.60, 1.30)
+        else:
+            factor = self._rng.uniform(1.30, 1.80)
+        size = int(round(self.mean_packet_bytes * factor))
+        return max(REAL_MIN_PACKET_BYTES,
+                   min(size, REAL_MAX_PACKET_BYTES))
+
+    def _next_send(self) -> Optional[Tuple[int, float]]:
+        if self.media_bytes_remaining <= 0:
+            return None
+        size = self._draw_size()
+        rate = self.current_rate_bps()
+        mean_gap = size * 8.0 / rate
+        shape = self.INTERARRIVAL_SHAPE
+        gap = self._rng.gammavariate(shape, mean_gap / shape)
+        return size, gap

@@ -1,0 +1,74 @@
+"""The RealServer model.
+
+Behavioral summary (paper Sections III.C–III.F):
+
+* application frames are split into packets *smaller than the MTU* —
+  no IP fragmentation appears in any RealPlayer trace;
+* packet sizes spread roughly 0.6–1.8× their mean, and interarrivals
+  vary accordingly (Figures 6–9);
+* streaming starts with a *buffering phase* at up to 3× the playout
+  rate; the ratio falls toward 1 as the encoding rate grows
+  (Figure 11), and the stream consequently ends before the clip does
+  (Figure 10).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MediaError
+from repro.media.clip import PlayerFamily
+from repro.servers.base import StreamingServer
+from repro.servers.pacing import BurstThenSteadyPacer, Pacer
+from repro.servers.session import ServerSession
+
+__all__ = ["RealServer", "buffering_ratio", "burst_duration"]
+
+#: Figure 11 calibration: ~3 at <= 56 Kbps falling to ~1 at 637 Kbps.
+_RATIO_INTERCEPT = 3.10
+_RATIO_SLOPE_PER_KBPS = 1.0 / 260.0
+_RATIO_FLOOR = 1.0
+_RATIO_CEILING = 3.0
+
+
+def buffering_ratio(encoded_kbps: float) -> float:
+    """Buffering-rate / playout-rate for a RealServer stream.
+
+    The paper's Figure 11: about 3 for low-rate clips (< 56 Kbps),
+    decaying with the encoding rate to about 1 at 637 Kbps ("possibly
+    because the bottleneck bandwidth is insufficiently small for a
+    higher buffering rate").
+
+    Raises:
+        MediaError: for a nonpositive rate.
+    """
+    if encoded_kbps <= 0:
+        raise MediaError(f"rate must be positive: {encoded_kbps}")
+    ratio = _RATIO_INTERCEPT - encoded_kbps * _RATIO_SLOPE_PER_KBPS
+    return max(_RATIO_FLOOR, min(_RATIO_CEILING, ratio))
+
+
+def burst_duration(encoded_kbps: float) -> float:
+    """Nominal buffering-phase length in seconds.
+
+    Section IV: Real streams run above the encoded rate "for the first
+    20 seconds (for low data rate clips) to 40 seconds (for high data
+    rate clips)".
+    """
+    if encoded_kbps <= 0:
+        raise MediaError(f"rate must be positive: {encoded_kbps}")
+    return 20.0 + 20.0 * min(1.0, encoded_kbps / 300.0)
+
+
+class RealServer(StreamingServer):
+    """A RealSystem iQ-era streaming server."""
+
+    family = PlayerFamily.REAL
+
+    def _make_pacer(self, session: ServerSession) -> Pacer:
+        kbps = session.clip.encoded_kbps
+        return BurstThenSteadyPacer(
+            sim=self.host.sim, socket=session.socket, dst=session.client,
+            dst_port=session.client_media_port, clip=session.clip,
+            schedule=session.schedule,
+            burst_ratio=buffering_ratio(kbps),
+            burst_duration=burst_duration(kbps),
+            rng=self._session_rng(session))

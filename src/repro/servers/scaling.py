@@ -1,0 +1,92 @@
+"""Media scaling: rate adaptation from receiver reports.
+
+Both 2002 products could "employ media scaling to reduce application
+level data rates in the presence of reduced bandwidth" (paper §VI):
+RealServer switched between SureStream sub-encodings; Windows Media
+"intelligent streaming" thinned the stream.  Both reduce to the same
+control shape — a ladder of rate scales walked down on loss and slowly
+back up on silence — which :class:`MediaScalingPolicy` implements and
+:class:`ScalingController` applies to a live pacer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import MediaError
+from repro.servers.feedback import ReceiverReport
+from repro.servers.pacing import Pacer
+
+#: SureStream-like ladder: fractions of the clip's full encoding rate.
+DEFAULT_LEVELS = (1.0, 0.8, 0.6, 0.45, 0.3)
+
+
+class MediaScalingPolicy:
+    """The downgrade/upgrade ladder for one streaming session.
+
+    Args:
+        levels: descending rate scales; index 0 is full rate.
+        downgrade_loss: interval loss fraction above which the policy
+            steps one level down.
+        upgrade_loss: interval loss fraction below which, after
+            ``cooldown`` seconds at the current level, it steps back up.
+        cooldown: minimum seconds between level changes (prevents
+            oscillation on a single noisy report).
+    """
+
+    def __init__(self, levels: Sequence[float] = DEFAULT_LEVELS,
+                 downgrade_loss: float = 0.02,
+                 upgrade_loss: float = 0.002,
+                 cooldown: float = 4.0) -> None:
+        if not levels:
+            raise MediaError("scaling policy needs at least one level")
+        ordered = list(levels)
+        if any(b >= a for a, b in zip(ordered, ordered[1:])):
+            raise MediaError("levels must be strictly descending")
+        if not 0 <= upgrade_loss < downgrade_loss:
+            raise MediaError("need 0 <= upgrade_loss < downgrade_loss")
+        self.levels: List[float] = ordered
+        self.downgrade_loss = downgrade_loss
+        self.upgrade_loss = upgrade_loss
+        self.cooldown = cooldown
+        self.level_index = 0
+        self._last_change: Optional[float] = None
+        #: (time, scale) after every change — the scaling trace.
+        self.history: List[Tuple[float, float]] = []
+
+    @property
+    def current_scale(self) -> float:
+        return self.levels[self.level_index]
+
+    def on_report(self, report: ReceiverReport,
+                  now: float) -> Optional[float]:
+        """Process one report; return the new scale if it changed."""
+        if (self._last_change is not None
+                and now - self._last_change < self.cooldown):
+            return None
+        loss = report.interval_loss_fraction
+        if (loss > self.downgrade_loss
+                and self.level_index < len(self.levels) - 1):
+            self.level_index += 1
+        elif loss < self.upgrade_loss and self.level_index > 0:
+            self.level_index -= 1
+        else:
+            return None
+        self._last_change = now
+        self.history.append((now, self.current_scale))
+        return self.current_scale
+
+
+class ScalingController:
+    """Bind a policy to a live pacer."""
+
+    def __init__(self, policy: MediaScalingPolicy, pacer: Pacer) -> None:
+        self.policy = policy
+        self.pacer = pacer
+        self.reports_seen = 0
+
+    def on_report(self, report: ReceiverReport, now: float) -> None:
+        self.reports_seen += 1
+        new_scale = self.policy.on_report(report, now)
+        if new_scale is not None:
+            self.pacer.set_rate_scale(new_scale)

@@ -1,0 +1,82 @@
+"""Server-side streaming sessions.
+
+A :class:`ServerSession` tracks one client's stream from SETUP to
+TEARDOWN: which clip, where the media goes, the session's UDP socket,
+and the pacer doing the work once PLAY arrives.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.media.clip import Clip
+from repro.media.frames import FrameSchedule
+from repro.netsim.addressing import IPAddress
+from repro.netsim.udp import UdpSocket
+from repro.servers.pacing import Pacer
+
+
+class SessionState(Enum):
+    READY = "ready"        # SETUP done, awaiting PLAY
+    PLAYING = "playing"    # pacer running
+    DONE = "done"          # clip fully streamed
+    TORN_DOWN = "torn-down"
+
+
+class ServerSession:
+    """One client's stream on the server.
+
+    ``socket`` is whatever the pacer streams through: a
+    :class:`~repro.netsim.udp.UdpSocket` for the paper's forced-UDP
+    runs, or a :class:`~repro.servers.tcp_media.TcpMediaSender` once
+    the client's TCP media channel connects (``None`` until then).
+    """
+
+    def __init__(self, session_id: int, clip: Clip,
+                 schedule: FrameSchedule, client: IPAddress,
+                 client_media_port: int, socket,
+                 transport: str = "UDP") -> None:
+        self.session_id = session_id
+        self.clip = clip
+        self.schedule = schedule
+        self.client = client
+        self.client_media_port = client_media_port
+        self.socket = socket
+        self.transport = transport
+        self.state = SessionState.READY
+        self.pacer: Optional[Pacer] = None
+
+    def attach_media_sender(self, sender) -> None:
+        """Late-bind the media channel (TCP transport only)."""
+        self.socket = sender
+
+    def play(self, pacer: Pacer) -> None:
+        """Attach a pacer and start streaming.
+
+        Raises:
+            ProtocolError: if the session is not READY.
+        """
+        if self.state != SessionState.READY:
+            raise ProtocolError(
+                f"PLAY in state {self.state.value} for session "
+                f"{self.session_id}")
+        self.pacer = pacer
+        pacer.on_finished = self._on_finished
+        self.state = SessionState.PLAYING
+        pacer.start()
+
+    def _on_finished(self) -> None:
+        if self.state == SessionState.PLAYING:
+            self.state = SessionState.DONE
+
+    def teardown(self) -> None:
+        """Stop streaming (if active) and release the media socket."""
+        if self.state == SessionState.TORN_DOWN:
+            return
+        if self.pacer is not None and self.state == SessionState.PLAYING:
+            self.pacer.stop()
+        if self.socket is not None:
+            self.socket.close()
+        self.state = SessionState.TORN_DOWN

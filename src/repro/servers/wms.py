@@ -1,0 +1,34 @@
+"""The Windows Media Server model.
+
+Behavioral summary (paper Sections III.C–III.F):
+
+* one application data unit per fixed tick (~100 ms at broadband
+  rates), constant size within a clip — CBR at the network layer;
+* ADUs above the MTU are handed whole to the OS, whose IP layer
+  fragments them (the paper: "MediaPlayer servers send large
+  application layer frames that are then fragmented by the operating
+  system to the size of the MTU");
+* no buffering burst: delivery rate equals playout rate for the whole
+  clip, so the stream lasts as long as the clip.
+"""
+
+from __future__ import annotations
+
+from repro.media.clip import PlayerFamily
+from repro.servers.base import StreamingServer
+from repro.servers.pacing import CbrAduPacer, Pacer, wms_packetization
+from repro.servers.session import ServerSession
+
+__all__ = ["WindowsMediaServer", "wms_packetization"]
+
+
+class WindowsMediaServer(StreamingServer):
+    """A Windows Media Services 7-era streaming server."""
+
+    family = PlayerFamily.WMP
+
+    def _make_pacer(self, session: ServerSession) -> Pacer:
+        return CbrAduPacer(
+            sim=self.host.sim, socket=session.socket, dst=session.client,
+            dst_port=session.client_media_port, clip=session.clip,
+            schedule=session.schedule, rng=self._session_rng(session))

@@ -1,0 +1,33 @@
+"""Methodology tools: ping, tracert, and playlist automation.
+
+The paper's methodology ran ``ping`` and ``tracert`` before and after
+every experiment to verify network conditions (Section II.D) and used
+the trackers' playlist support to play clips back to back.  These are
+their simulated equivalents.
+"""
+
+from repro.tools.packet_pair import (
+    BandwidthEstimate,
+    estimate_bottleneck,
+    estimate_from_trace,
+)
+from repro.tools.ping import PingReport, PingSession, run_ping
+from repro.tools.playlist import PlaylistEntry, PlaylistRunner
+from repro.tools.stability import StabilityVerdict, verify_stability
+from repro.tools.tracert import TracerouteHop, TracerouteReport, run_tracert
+
+__all__ = [
+    "BandwidthEstimate",
+    "PingReport",
+    "PingSession",
+    "PlaylistEntry",
+    "PlaylistRunner",
+    "StabilityVerdict",
+    "TracerouteHop",
+    "verify_stability",
+    "TracerouteReport",
+    "estimate_bottleneck",
+    "estimate_from_trace",
+    "run_ping",
+    "run_tracert",
+]

@@ -1,0 +1,138 @@
+"""Simulated ``ping``.
+
+Sends a series of ICMP echo requests and summarizes round-trip times
+and loss, like the Windows 2000 ping the paper ran before and after
+each experiment.  Figure 1's RTT CDF is built from these reports.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ExperimentError
+from repro.netsim.addressing import IPAddress
+from repro.netsim.icmp import EchoResult
+from repro.netsim.node import Host
+
+#: Windows ping defaults: 4 echoes, 1 s apart, ~4 s timeout (we use a
+#: tighter one; simulated paths answer in well under a second).
+DEFAULT_COUNT = 4
+DEFAULT_INTERVAL = 1.0
+DEFAULT_TIMEOUT = 2.0
+
+
+@dataclass
+class PingReport:
+    """Summary of one ping run."""
+
+    target: IPAddress
+    sent: int
+    received: int
+    rtts: List[float] = field(default_factory=list)
+
+    @property
+    def loss_percent(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return 100.0 * (self.sent - self.received) / self.sent
+
+    @property
+    def min_rtt(self) -> float:
+        return min(self.rtts) if self.rtts else float("nan")
+
+    @property
+    def max_rtt(self) -> float:
+        return max(self.rtts) if self.rtts else float("nan")
+
+    @property
+    def avg_rtt(self) -> float:
+        return statistics.fmean(self.rtts) if self.rtts else float("nan")
+
+    @property
+    def median_rtt(self) -> float:
+        return statistics.median(self.rtts) if self.rtts else float("nan")
+
+    def render(self) -> str:
+        """A human-readable summary in the classic ping style."""
+        lines = [f"Ping statistics for {self.target}:",
+                 f"    Packets: Sent = {self.sent}, "
+                 f"Received = {self.received}, "
+                 f"Lost = {self.sent - self.received} "
+                 f"({self.loss_percent:.0f}% loss)"]
+        if self.rtts:
+            lines.append(
+                "Approximate round trip times in milli-seconds:")
+            lines.append(
+                f"    Minimum = {self.min_rtt * 1000:.0f}ms, "
+                f"Maximum = {self.max_rtt * 1000:.0f}ms, "
+                f"Average = {self.avg_rtt * 1000:.0f}ms")
+        return "\n".join(lines)
+
+
+class PingSession:
+    """An in-progress ping; completes as echoes return or time out."""
+
+    def __init__(self, host: Host, target: IPAddress,
+                 count: int = DEFAULT_COUNT,
+                 interval: float = DEFAULT_INTERVAL,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        if count <= 0:
+            raise ExperimentError("ping count must be positive")
+        self.host = host
+        self.target = target
+        self.count = count
+        self.interval = interval
+        self.timeout = timeout
+        self.report = PingReport(target=target, sent=0, received=0)
+        self._outstanding = 0
+        self._launched = False
+
+    def start(self) -> "PingSession":
+        if self._launched:
+            raise ExperimentError("ping session already started")
+        self._launched = True
+        for index in range(self.count):
+            self.host.sim.schedule_in(index * self.interval,
+                                      self._send_probe, index + 1)
+        return self
+
+    def _send_probe(self, sequence: int) -> None:
+        self.report.sent += 1
+        self._outstanding += 1
+        identifier = self.host.icmp.send_echo(self.target, self._on_reply,
+                                              sequence=sequence)
+        self.host.sim.schedule_in(self.timeout, self._on_timeout,
+                                  identifier, sequence)
+
+    def _on_reply(self, result: EchoResult) -> None:
+        self._outstanding -= 1
+        if result.time_exceeded:
+            return  # counted as lost (target unreachable at this TTL)
+        self.report.received += 1
+        self.report.rtts.append(result.rtt)
+
+    def _on_timeout(self, identifier: int, sequence: int) -> None:
+        if self.host.icmp.cancel(identifier, sequence):
+            self._outstanding -= 1
+
+    @property
+    def complete(self) -> bool:
+        return (self._launched and self.report.sent == self.count
+                and self._outstanding == 0)
+
+
+def run_ping(host: Host, target: IPAddress, count: int = DEFAULT_COUNT,
+             interval: float = DEFAULT_INTERVAL,
+             timeout: float = DEFAULT_TIMEOUT) -> PingReport:
+    """Run a ping to completion (advances the simulation clock).
+
+    Convenience wrapper: schedules the probes, runs the simulator far
+    enough for every echo to return or time out, and returns the report.
+    """
+    session = PingSession(host, target, count=count, interval=interval,
+                          timeout=timeout).start()
+    horizon = host.sim.now + (count - 1) * interval + timeout + 0.001
+    host.sim.run(until=horizon)
+    return session.report

@@ -1,0 +1,77 @@
+"""Playlist automation.
+
+Both trackers "support a customized play list to automatic playback of
+multiple video clips" — the mechanism that let the paper's authors
+leave experiments running unattended every afternoon.
+:class:`PlaylistRunner` replays that workflow: it plays a list of clips
+sequentially, constructing a fresh player per entry (each player
+instance handles exactly one playback, like one playlist row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Type
+
+from repro.errors import ExperimentError
+from repro.netsim.addressing import IPAddress
+from repro.netsim.node import Host
+from repro.players.base import StreamingClient
+from repro.players.stats import PlayerStats
+
+
+@dataclass(frozen=True)
+class PlaylistEntry:
+    """One row of a play list."""
+
+    player_class: Type[StreamingClient]
+    server: IPAddress
+    clip_title: str
+    #: Idle seconds between this clip finishing and the next starting.
+    gap_seconds: float = 2.0
+
+
+class PlaylistRunner:
+    """Play entries back to back on one client host."""
+
+    def __init__(self, host: Host, entries: List[PlaylistEntry],
+                 preroll_seconds: float = 5.0) -> None:
+        if not entries:
+            raise ExperimentError("playlist is empty")
+        self.host = host
+        self.entries = list(entries)
+        self.preroll_seconds = preroll_seconds
+        self.results: List[PlayerStats] = []
+        self.players: List[StreamingClient] = []
+        self._index = 0
+        self._started = False
+        self.on_complete: Optional[Callable[[List[PlayerStats]], None]] = None
+
+    def start(self) -> "PlaylistRunner":
+        if self._started:
+            raise ExperimentError("playlist already started")
+        self._started = True
+        self._play_next()
+        return self
+
+    @property
+    def complete(self) -> bool:
+        return self._started and self._index >= len(self.entries)
+
+    def _play_next(self) -> None:
+        if self._index >= len(self.entries):
+            if self.on_complete is not None:
+                self.on_complete(self.results)
+            return
+        entry = self.entries[self._index]
+        player = entry.player_class(self.host, entry.server,
+                                    preroll_seconds=self.preroll_seconds)
+        self.players.append(player)
+        player.play(entry.clip_title, on_done=self._on_clip_done)
+
+    def _on_clip_done(self, stats: PlayerStats) -> None:
+        self.results.append(stats)
+        entry = self.entries[self._index]
+        self._index += 1
+        self.host.sim.schedule_in(max(0.0, entry.gap_seconds),
+                                  self._play_next)

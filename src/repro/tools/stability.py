@@ -1,0 +1,66 @@
+"""Path-stability verification.
+
+Section II.D: "Before and after each run, ping and tracert were run to
+verify that the network status had not dramatically changed, say from a
+route change, during the run."  This module does the comparing: given
+the before/after reports, decide whether the run's measurements are
+trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.tools.ping import PingReport
+from repro.tools.tracert import TracerouteReport
+
+#: An RTT shift beyond this factor flags "dramatic change".
+RTT_SHIFT_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """The before/after comparison."""
+
+    route_changed: bool
+    rtt_shifted: bool
+    rtt_before: float
+    rtt_after: float
+    hop_count: int
+
+    @property
+    def stable(self) -> bool:
+        return not (self.route_changed or self.rtt_shifted)
+
+    def describe(self) -> str:
+        if self.stable:
+            return (f"path stable: {self.hop_count} hops, RTT "
+                    f"{self.rtt_before * 1000:.0f} -> "
+                    f"{self.rtt_after * 1000:.0f} ms")
+        reasons: List[str] = []
+        if self.route_changed:
+            reasons.append("route changed")
+        if self.rtt_shifted:
+            reasons.append(
+                f"RTT shifted {self.rtt_before * 1000:.0f} -> "
+                f"{self.rtt_after * 1000:.0f} ms")
+        return "path UNSTABLE: " + ", ".join(reasons)
+
+
+def verify_stability(ping_before: PingReport, ping_after: PingReport,
+                     tracert_before: TracerouteReport,
+                     tracert_after: TracerouteReport) -> StabilityVerdict:
+    """Compare the bracketing measurements of one run."""
+    route_changed = (tracert_before.addresses()
+                     != tracert_after.addresses())
+    before = ping_before.median_rtt
+    after = ping_after.median_rtt
+    rtt_shifted = False
+    if before == before and after == after and before > 0:  # NaN guards
+        ratio = max(after, before) / min(after, before)
+        rtt_shifted = ratio > RTT_SHIFT_FACTOR
+    return StabilityVerdict(route_changed=route_changed,
+                            rtt_shifted=rtt_shifted,
+                            rtt_before=before, rtt_after=after,
+                            hop_count=tracert_before.hop_count)

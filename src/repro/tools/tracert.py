@@ -1,0 +1,145 @@
+"""Simulated ``tracert``.
+
+Discovers the route to a host by sending echo requests with increasing
+TTLs, exactly like the Windows tool the paper used to verify that both
+players' servers shared a network path (Section II.C) and that routes
+stayed stable across runs (Section II.D).  Figure 2's hop-count CDF is
+built from these reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ExperimentError
+from repro.netsim.addressing import IPAddress
+from repro.netsim.icmp import EchoResult
+from repro.netsim.node import Host
+
+DEFAULT_MAX_HOPS = 30
+DEFAULT_PROBES_PER_HOP = 3
+DEFAULT_TIMEOUT = 2.0
+
+
+@dataclass
+class TracerouteHop:
+    """One row of tracert output."""
+
+    ttl: int
+    responder: Optional[IPAddress]
+    rtts: List[float] = field(default_factory=list)
+
+    @property
+    def timed_out(self) -> bool:
+        return self.responder is None
+
+
+@dataclass
+class TracerouteReport:
+    """The discovered route."""
+
+    target: IPAddress
+    hops: List[TracerouteHop] = field(default_factory=list)
+    reached: bool = False
+
+    @property
+    def hop_count(self) -> int:
+        """Hops to the target (the paper's Figure 2 metric)."""
+        return len(self.hops)
+
+    def addresses(self) -> List[Optional[IPAddress]]:
+        return [hop.responder for hop in self.hops]
+
+    def render(self) -> str:
+        lines = [f"Tracing route to {self.target} over a maximum of "
+                 f"{DEFAULT_MAX_HOPS} hops:"]
+        for hop in self.hops:
+            if hop.timed_out:
+                lines.append(f"  {hop.ttl:2d}  *  *  *  Request timed out.")
+                continue
+            rtt_text = "  ".join(f"{rtt * 1000:4.0f} ms"
+                                 for rtt in hop.rtts)
+            lines.append(f"  {hop.ttl:2d}  {rtt_text}  {hop.responder}")
+        lines.append("Trace complete." if self.reached
+                     else "Target not reached.")
+        return "\n".join(lines)
+
+
+class TracerouteSession:
+    """An in-progress traceroute, advanced by the simulator."""
+
+    def __init__(self, host: Host, target: IPAddress,
+                 max_hops: int = DEFAULT_MAX_HOPS,
+                 probes_per_hop: int = DEFAULT_PROBES_PER_HOP,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        if max_hops <= 0:
+            raise ExperimentError("max_hops must be positive")
+        self.host = host
+        self.target = target
+        self.max_hops = max_hops
+        self.probes_per_hop = probes_per_hop
+        self.timeout = timeout
+        self.report = TracerouteReport(target=target)
+        self.complete = False
+        self._current: Optional[TracerouteHop] = None
+        self._probes_answered = 0
+        self._sequence = 0
+
+    def start(self) -> "TracerouteSession":
+        self._probe_hop(1)
+        return self
+
+    def _probe_hop(self, ttl: int) -> None:
+        self._current = TracerouteHop(ttl=ttl, responder=None)
+        self._probes_answered = 0
+        for _ in range(self.probes_per_hop):
+            self._sequence += 1
+            identifier = self.host.icmp.send_echo(
+                self.target, self._on_result, sequence=self._sequence,
+                ttl=ttl)
+            self.host.sim.schedule_in(self.timeout, self._on_timeout,
+                                      identifier, self._sequence)
+
+    def _on_result(self, result: EchoResult) -> None:
+        hop = self._current
+        if hop is None:
+            return
+        hop.responder = result.responder
+        hop.rtts.append(result.rtt)
+        self._register_answer(reached=not result.time_exceeded)
+
+    def _on_timeout(self, identifier: int, sequence: int) -> None:
+        if not self.host.icmp.cancel(identifier, sequence):
+            return  # already answered
+        self._register_answer(reached=False)
+
+    def _register_answer(self, reached: bool) -> None:
+        self._probes_answered += 1
+        if reached and not self.report.reached:
+            self.report.reached = True
+        if self._probes_answered < self.probes_per_hop:
+            return
+        hop = self._current
+        self._current = None
+        self.report.hops.append(hop)
+        if self.report.reached or hop.ttl >= self.max_hops:
+            self.complete = True
+            return
+        self._probe_hop(hop.ttl + 1)
+
+
+def run_tracert(host: Host, target: IPAddress,
+                max_hops: int = DEFAULT_MAX_HOPS,
+                probes_per_hop: int = DEFAULT_PROBES_PER_HOP,
+                timeout: float = DEFAULT_TIMEOUT) -> TracerouteReport:
+    """Run a traceroute to completion (advances the simulation clock)."""
+    session = TracerouteSession(host, target, max_hops=max_hops,
+                                probes_per_hop=probes_per_hop,
+                                timeout=timeout).start()
+    # Each hop takes at most `timeout`; run generously past the worst case.
+    horizon = host.sim.now + max_hops * (timeout + 0.01) + 1.0
+    host.sim.run(until=horizon)
+    if not session.complete:
+        raise ExperimentError(f"traceroute to {target} did not complete")
+    return session.report

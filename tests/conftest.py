@@ -1,0 +1,40 @@
+"""Shared fixtures: a pair of directly-linked hosts and a full path."""
+
+import pytest
+
+from repro import units
+from repro.netsim.addressing import IPAddress, Subnet
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.topology import build_path_topology
+
+
+class HostPair:
+    """Two hosts joined by one fast link, with routing set up."""
+
+    def __init__(self, sim, bandwidth_bps=units.mbps(100),
+                 propagation_delay=0.001, mtu=None):
+        self.sim = sim
+        self.left = Host(sim, "left", IPAddress.parse("10.0.0.1"), mtu=mtu)
+        self.right = Host(sim, "right", IPAddress.parse("10.0.0.2"), mtu=mtu)
+        self.link = Link(sim, self.left, self.right,
+                         bandwidth_bps=bandwidth_bps,
+                         propagation_delay=propagation_delay)
+        self.left.routing.set_default(self.right)
+        self.right.routing.set_default(self.left)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def host_pair(sim):
+    return HostPair(sim)
+
+
+@pytest.fixture
+def path(sim):
+    return build_path_topology(sim, hop_count=17, rtt=0.040)

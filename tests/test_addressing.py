@@ -1,0 +1,84 @@
+"""IPv4 address and subnet tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.netsim.addressing import AddressAllocator, IPAddress, Subnet
+
+
+class TestIPAddress:
+    def test_parse_and_str_round_trip(self):
+        text = "130.215.28.181"
+        assert str(IPAddress.parse(text)) == text
+
+    def test_parse_rejects_short_quads(self):
+        with pytest.raises(AddressError):
+            IPAddress.parse("10.0.0")
+
+    def test_parse_rejects_out_of_range_octet(self):
+        with pytest.raises(AddressError):
+            IPAddress.parse("10.0.0.256")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(AddressError):
+            IPAddress.parse("not.an.ip.addr")
+
+    def test_value_bounds_enforced(self):
+        with pytest.raises(AddressError):
+            IPAddress(-1)
+        with pytest.raises(AddressError):
+            IPAddress(1 << 32)
+
+    def test_ordering_matches_numeric(self):
+        assert IPAddress.parse("10.0.0.1") < IPAddress.parse("10.0.0.2")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_str_parse_round_trip_property(self, value):
+        address = IPAddress(value)
+        assert IPAddress.parse(str(address)) == address
+
+
+class TestSubnet:
+    def test_membership(self):
+        subnet = Subnet.parse("130.215.0.0/16")
+        assert IPAddress.parse("130.215.1.1") in subnet
+        assert IPAddress.parse("130.216.1.1") not in subnet
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(AddressError):
+            Subnet.parse("10.0.0.1/24")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(AddressError):
+            Subnet.parse("10.0.0.0/33")
+
+    def test_slash32_contains_only_itself(self):
+        subnet = Subnet.parse("10.0.0.5/32")
+        assert IPAddress.parse("10.0.0.5") in subnet
+        assert IPAddress.parse("10.0.0.6") not in subnet
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        subnet = Subnet.parse("10.0.0.0/30")
+        hosts = list(subnet.hosts())
+        assert [str(h) for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_str(self):
+        assert str(Subnet.parse("64.14.118.0/24")) == "64.14.118.0/24"
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        alloc = AddressAllocator(Subnet.parse("10.0.0.0/29"))
+        first = alloc.allocate()
+        second = alloc.allocate()
+        assert str(first) == "10.0.0.1"
+        assert str(second) == "10.0.0.2"
+
+    def test_exhaustion_raises(self):
+        alloc = AddressAllocator(Subnet.parse("10.0.0.0/30"))
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(AddressError):
+            alloc.allocate()

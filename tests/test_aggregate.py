@@ -1,0 +1,85 @@
+"""Boundary-study (multi-client campus) tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.aggregate import run_boundary_study
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import build_campus_topology
+
+
+class TestCampusTopology:
+    def test_clients_share_one_egress(self):
+        sim = Simulator(seed=1)
+        campus = build_campus_topology(sim, client_count=3)
+        assert len(campus.clients) == 3
+        for client in campus.clients:
+            assert campus.egress in client.neighbors
+
+    def test_every_client_reaches_every_server(self):
+        sim = Simulator(seed=1)
+        campus = build_campus_topology(sim, client_count=3)
+        for client in campus.clients:
+            for server in campus.servers:
+                results = []
+                client.icmp.send_echo(server.address, results.append)
+                sim.run()
+                assert results and not results[0].time_exceeded
+
+    def test_servers_reach_each_client_separately(self):
+        sim = Simulator(seed=1)
+        campus = build_campus_topology(sim, client_count=3)
+        inboxes = []
+        for port_offset, client in enumerate(campus.clients):
+            sock = client.udp.bind(7000)
+            inbox = []
+            sock.on_receive = inbox.append
+            inboxes.append(inbox)
+        source = campus.servers[0].udp.bind_ephemeral()
+        for client in campus.clients:
+            source.send(client.address, 7000, 100)
+        sim.run()
+        assert all(len(inbox) == 1 for inbox in inboxes)
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            build_campus_topology(sim, client_count=0)
+        with pytest.raises(ValueError):
+            build_campus_topology(sim, hop_count=1)
+        with pytest.raises(ValueError):
+            build_campus_topology(sim, rtt=0)
+
+
+class TestBoundaryStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_boundary_study(client_count=4, duration=25.0,
+                                  encoded_kbps=150.0, seed=77)
+
+    def test_every_flow_profiled(self, result):
+        assert len(result.per_flow_profiles) == 4
+
+    def test_flows_classify_by_alternating_product(self, result):
+        kinds = [profile.classify() for profile in result.per_flow_profiles]
+        assert kinds == ["realplayer", "mediaplayer"] * 2
+
+    def test_aggregate_rate_near_sum_of_flows(self, result):
+        # 4 flows of ~150 Kbps each (Real's bursts average out above).
+        assert result.aggregate_kbps > 3 * 150.0
+
+    def test_aggregate_steady_while_all_flows_active(self, result):
+        assert result.common_window_cv < 0.30
+
+    def test_real_early_endings_leave_a_cliff(self, result):
+        # Real flows front-load their clips and end early; the egress
+        # sees a rate cliff mid-playback that no single-client study
+        # would show (the paper's motivating interaction).
+        real_spans = result.flow_spans[0::2]
+        wmp_spans = result.flow_spans[1::2]
+        assert max(real_spans) < min(wmp_spans)
+        assert result.cliff_factor > 1.5
+
+    def test_requires_multiple_clients(self):
+        with pytest.raises(ExperimentError):
+            run_boundary_study(client_count=1)

@@ -1,0 +1,100 @@
+"""CLI tests (fast paths; the study command is covered at tiny scale)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1Command:
+    def test_prints_the_clip_table(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "284.0/323.1" in out
+        assert "Movie clip" in out
+
+
+class TestGenerateCommand:
+    def test_generates_and_profiles(self, capsys):
+        assert main(["generate", "wmp", "307.2", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "mediaplayer" in out
+        assert "67%" in out
+
+    def test_exports_pcap_and_csv(self, tmp_path, capsys):
+        pcap_path = str(tmp_path / "flow.pcap")
+        csv_path = str(tmp_path / "flow.csv")
+        assert main(["generate", "real", "100", "10",
+                     "--pcap", pcap_path, "--csv", csv_path]) == 0
+        from repro.capture.pcap import read_pcap
+        from repro.capture.serialize import read_csv
+
+        assert len(read_pcap(pcap_path)) > 0
+        assert len(read_csv(csv_path)) > 0
+
+
+class TestPcapInfoCommand:
+    def test_summarizes_a_file(self, tmp_path, capsys):
+        pcap_path = str(tmp_path / "flow.pcap")
+        main(["generate", "wmp", "307.2", "10", "--pcap", pcap_path])
+        capsys.readouterr()
+        assert main(["pcap-info", pcap_path]) == 0
+        out = capsys.readouterr().out
+        assert "fragmentation: 66" in out
+        assert "packets" in out
+
+
+class TestFigureCommand:
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err
+
+    def test_single_figure_small_scale(self, capsys):
+        assert main(["figure", "fig02", "--scale", "0.12",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "CDF of Number of Hops" in out
+
+
+class TestProbeCommand:
+    def test_probe_reports_friendliness(self, capsys):
+        assert main(["probe", "wmp", "307.2", "0.10",
+                     "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "offered load" in out
+        assert "friendliness index" in out
+
+    def test_probe_with_scaling(self, capsys):
+        assert main(["probe", "wmp", "307.2", "0.05",
+                     "--duration", "15", "--scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "final rate scale" in out
+
+
+class TestBoundaryCommand:
+    def test_boundary_prints_profiles(self, capsys):
+        assert main(["boundary", "--clients", "4",
+                     "--duration", "20", "--kbps", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "realplayer" in out
+        assert "cliff factor" in out
+
+
+class TestFigureCsvOption:
+    def test_writes_csv(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "fig.csv")
+        assert main(["figure", "fig02", "--scale", "0.12",
+                     "--seed", "5", "--csv", csv_path]) == 0
+        with open(csv_path) as stream:
+            assert "series,x,y" in stream.read()
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,131 @@
+"""Tests for KS comparison and path-stability verification."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.compare import ks_statistic, ks_test
+from repro.errors import AnalysisError
+from repro.netsim.addressing import IPAddress
+from repro.tools.ping import PingReport
+from repro.tools.stability import verify_stability
+from repro.tools.tracert import TracerouteHop, TracerouteReport
+
+TARGET = IPAddress.parse("64.14.118.1")
+
+
+class TestKsStatistic:
+    def test_identical_samples_zero(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert ks_statistic(values, list(values)) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_shifted_distributions_detected(self):
+        rng = random.Random(1)
+        a = [rng.gauss(0, 1) for _ in range(500)]
+        b = [rng.gauss(2, 1) for _ in range(500)]
+        assert ks_statistic(a, b) > 0.5
+
+    def test_same_distribution_small_distance(self):
+        rng = random.Random(2)
+        a = [rng.gauss(0, 1) for _ in range(800)]
+        b = [rng.gauss(0, 1) for _ in range(800)]
+        assert ks_statistic(a, b) < 0.08
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ks_statistic([], [1.0])
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=200),
+           st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_and_symmetric(self, a, b):
+        forward = ks_statistic(a, b)
+        backward = ks_statistic(b, a)
+        assert 0.0 <= forward <= 1.0
+        assert forward == pytest.approx(backward, abs=1e-12)
+
+
+class TestKsTest:
+    def test_same_distribution_high_p(self):
+        rng = random.Random(3)
+        a = [rng.random() for _ in range(600)]
+        b = [rng.random() for _ in range(600)]
+        result = ks_test(a, b)
+        assert result.similar(alpha=0.01)
+
+    def test_different_distribution_low_p(self):
+        rng = random.Random(3)
+        a = [rng.random() for _ in range(600)]
+        b = [rng.random() * 2 for _ in range(600)]
+        result = ks_test(a, b)
+        assert result.p_value < 0.001
+        assert not result.similar()
+
+    def test_p_value_bounded(self):
+        result = ks_test([1.0, 2.0], [1.5, 2.5])
+        assert 0.0 <= result.p_value <= 1.0
+
+
+def make_ping(median_ms):
+    rtts = [median_ms / 1000.0] * 4
+    return PingReport(target=TARGET, sent=4, received=4, rtts=rtts)
+
+
+def make_tracert(addresses):
+    hops = [TracerouteHop(ttl=index + 1,
+                          responder=IPAddress.parse(address),
+                          rtts=[0.01 * (index + 1)])
+            for index, address in enumerate(addresses)]
+    return TracerouteReport(target=TARGET, hops=hops, reached=True)
+
+
+class TestStability:
+    ROUTE = ["10.1.0.1", "10.1.0.2", "64.14.118.1"]
+
+    def test_stable_run(self):
+        verdict = verify_stability(make_ping(40), make_ping(45),
+                                   make_tracert(self.ROUTE),
+                                   make_tracert(self.ROUTE))
+        assert verdict.stable
+        assert "stable" in verdict.describe()
+
+    def test_route_change_flagged(self):
+        changed = ["10.1.0.1", "10.9.9.9", "64.14.118.1"]
+        verdict = verify_stability(make_ping(40), make_ping(40),
+                                   make_tracert(self.ROUTE),
+                                   make_tracert(changed))
+        assert verdict.route_changed
+        assert not verdict.stable
+        assert "route changed" in verdict.describe()
+
+    def test_rtt_shift_flagged(self):
+        verdict = verify_stability(make_ping(40), make_ping(120),
+                                   make_tracert(self.ROUTE),
+                                   make_tracert(self.ROUTE))
+        assert verdict.rtt_shifted
+        assert not verdict.stable
+
+    def test_moderate_rtt_variation_tolerated(self):
+        verdict = verify_stability(make_ping(40), make_ping(65),
+                                   make_tracert(self.ROUTE),
+                                   make_tracert(self.ROUTE))
+        assert verdict.stable
+
+    def test_study_runs_are_stable(self):
+        from repro.experiments.datasets import build_table1_library
+        from repro.experiments.runner import run_pair_experiment
+        from repro.media.library import RateBand
+
+        library = build_table1_library(duration_scale=0.2)
+        clip_set = library.get_set(2)
+        result = run_pair_experiment(clip_set,
+                                     clip_set.pair(RateBand.LOW), seed=3)
+        assert result.stability.stable
+        assert result.tracert_after.reached

@@ -1,0 +1,227 @@
+"""Core-package tests: profiles, fitting, Section IV flow models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.buffering import detect_buffering_phase
+from repro.analysis.bandwidth import bandwidth_series
+from repro.capture.reassembly import fragmentation_percent
+from repro.core.fitting import fit_profile
+from repro.core.generator import FlowReplayer, generate_flow
+from repro.core.models import (
+    MediaPlayerFlowModel,
+    RealPlayerFlowModel,
+    flow_model_for,
+    sample_hop_count,
+    sample_rtt,
+)
+from repro.core.turbulence import TurbulenceProfile
+from repro.errors import AnalysisError, MediaError
+from repro.media.clip import PlayerFamily
+
+from .helpers import make_fragment_train
+
+
+class TestConditionSampling:
+    def test_rtt_distribution_shape(self):
+        rng = random.Random(42)
+        samples = [sample_rtt(rng) for _ in range(4000)]
+        samples.sort()
+        median = samples[len(samples) // 2]
+        assert median == pytest.approx(0.040, abs=0.006)
+        assert max(samples) <= 0.160
+        assert min(samples) >= 0.010
+
+    def test_hop_count_distribution_shape(self):
+        rng = random.Random(42)
+        samples = [sample_hop_count(rng) for _ in range(4000)]
+        assert all(12 <= hops <= 25 for hops in samples)
+        mid = sum(1 for hops in samples if 15 <= hops <= 20)
+        assert mid / len(samples) == pytest.approx(0.70, abs=0.05)
+
+
+class TestMediaPlayerFlowModel:
+    def test_high_rate_schedule_is_grouped_cbr(self):
+        model = MediaPlayerFlowModel(307.2, random.Random(1))
+        events = model.packet_schedule(10.0)
+        groups = {e.group_sequence for e in events}
+        # 100 ms ticks over 10 s -> ~100 groups of 3 packets.
+        assert len(groups) == pytest.approx(100, abs=2)
+        full_groups = [e for e in events if e.group_sequence < len(groups) - 1]
+        per_group = len(full_groups) / (len(groups) - 1)
+        assert per_group == pytest.approx(3.0, abs=0.1)
+
+    def test_low_rate_never_fragments(self):
+        model = MediaPlayerFlowModel(49.8, random.Random(1))
+        events = model.packet_schedule(30.0)
+        assert all(not e.is_fragment for e in events)
+
+    def test_byte_conservation(self):
+        model = MediaPlayerFlowModel(307.2, random.Random(1))
+        events = model.packet_schedule(10.0)
+        payload = sum(e.ip_bytes - 20 for e in events)
+        udp_headers = len({e.group_sequence for e in events}) * 8
+        media = payload - udp_headers
+        assert media == pytest.approx(307_200 * 10 / 8, rel=0.01)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(MediaError):
+            MediaPlayerFlowModel(0)
+
+
+class TestRealPlayerFlowModel:
+    def test_never_fragments(self):
+        model = RealPlayerFlowModel(636.9, random.Random(1))
+        events = model.packet_schedule(20.0)
+        assert all(not e.is_fragment for e in events)
+        assert all(e.ip_bytes <= 1500 for e in events)
+
+    def test_burst_front_loads_bytes(self):
+        model = RealPlayerFlowModel(36.0, random.Random(1),
+                                    burst_ratio=3.0, burst_seconds=20.0)
+        events = model.packet_schedule(120.0)
+        early = sum(e.wire_bytes for e in events if e.time < 20.0)
+        late = sum(e.wire_bytes for e in events if 25.0 <= e.time < 45.0)
+        assert early / max(late, 1) == pytest.approx(3.0, rel=0.35)
+
+    def test_flow_ends_before_clip_duration(self):
+        model = RealPlayerFlowModel(36.0, random.Random(1))
+        events = model.packet_schedule(120.0)
+        assert events[-1].time < 120.0 * 0.8
+
+    def test_sizes_spread(self):
+        model = RealPlayerFlowModel(217.6, random.Random(1))
+        events = model.packet_schedule(30.0)
+        sizes = [e.wire_bytes for e in events]
+        mean = sum(sizes) / len(sizes)
+        assert min(sizes) / mean < 0.8
+        assert max(sizes) / mean > 1.25
+
+    def test_factory_selects_model(self):
+        assert isinstance(flow_model_for(PlayerFamily.WMP, 100.0),
+                          MediaPlayerFlowModel)
+        assert isinstance(flow_model_for(PlayerFamily.REAL, 100.0),
+                          RealPlayerFlowModel)
+
+
+class TestSyntheticFlow:
+    def test_generate_flow_round_trips_to_trace(self):
+        flow = generate_flow(PlayerFamily.WMP, 307.2, 20.0, seed=3)
+        trace = flow.to_trace()
+        assert len(trace) == flow.packet_count
+        assert fragmentation_percent(trace) == pytest.approx(66.7, abs=2.0)
+
+    def test_real_flow_trace_has_no_fragments(self):
+        flow = generate_flow(PlayerFamily.REAL, 284.0, 20.0, seed=3)
+        assert fragmentation_percent(flow.to_trace()) == 0.0
+
+    def test_streaming_duration_shorter_for_real(self):
+        wmp = generate_flow(PlayerFamily.WMP, 300.0, 60.0, seed=3)
+        real = generate_flow(PlayerFamily.REAL, 300.0, 60.0, seed=3)
+        assert real.streaming_duration < wmp.streaming_duration
+
+    def test_group_payloads_reconstruct_adus(self):
+        flow = generate_flow(PlayerFamily.WMP, 307.2, 5.0, seed=3)
+        payloads = [payload for _, payload in flow.group_payloads()]
+        # 100 ms ticks at 307.2 Kbps -> 3840-byte ADUs.
+        assert payloads[0] == 3840
+
+    def test_same_seed_reproducible(self):
+        first = generate_flow(PlayerFamily.REAL, 100.0, 20.0, seed=9)
+        second = generate_flow(PlayerFamily.REAL, 100.0, 20.0, seed=9)
+        assert first.events == second.events
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(MediaError):
+            generate_flow(PlayerFamily.WMP, 100.0, 0.0)
+
+    @given(kbps=st.floats(min_value=20.0, max_value=800.0))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_rate_matches_request(self, kbps):
+        flow = generate_flow(PlayerFamily.WMP, kbps, 10.0, seed=1)
+        media_bytes = sum(e.ip_bytes - 20 for e in flow.events)
+        udp_overhead = len({e.group_sequence for e in flow.events}) * 8
+        implied_kbps = (media_bytes - udp_overhead) * 8 / 10.0 / 1000.0
+        assert implied_kbps == pytest.approx(kbps, rel=0.02)
+
+
+class TestProfileFitting:
+    def wmp_like_trace(self):
+        records = []
+        for index in range(60):
+            records += make_fragment_train(start_number=3 * index + 1,
+                                           start_time=index * 0.1,
+                                           identification=index + 1)
+        from repro.capture.trace import Trace
+
+        return Trace(records, description="wmp-like")
+
+    def test_fit_wmp_profile_classifies_mediaplayer(self):
+        profile = fit_profile(self.wmp_like_trace(), encoded_kbps=307.2)
+        assert profile.fragments
+        assert profile.classify() == "mediaplayer"
+        assert profile.typical_group_size == 3
+        assert profile.interarrival_cv < 0.05
+
+    def test_fit_real_profile_classifies_realplayer(self):
+        # The clip must be long enough that a steady phase follows the
+        # burst (a short clip is consumed entirely within the burst).
+        flow = generate_flow(PlayerFamily.REAL, 100.0, 200.0, seed=5)
+        profile = fit_profile(flow.to_trace(), encoded_kbps=100.0)
+        assert not profile.fragments
+        assert not profile.is_cbr
+        assert profile.bursts
+        assert profile.classify() == "realplayer"
+
+    def test_generated_wmp_flow_fits_cbr_profile(self):
+        flow = generate_flow(PlayerFamily.WMP, 307.2, 30.0, seed=5)
+        profile = fit_profile(flow.to_trace(), encoded_kbps=307.2)
+        assert profile.is_cbr
+        assert profile.fragment_percent == pytest.approx(66.7, abs=2.0)
+
+    def test_tiny_trace_rejected(self):
+        from repro.capture.trace import Trace
+
+        with pytest.raises(AnalysisError):
+            fit_profile(Trace(), encoded_kbps=100.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(AnalysisError):
+            TurbulenceProfile(
+                label="bad", encoded_kbps=0.0, mean_packet_bytes=100.0,
+                packet_size_cv=0.0, packet_size_pdf=(), adu_size_cv=0.0,
+                mean_interarrival=0.1, interarrival_cv=0.0,
+                interarrival_pdf=(), fragment_percent=0.0,
+                typical_group_size=1)
+
+    def test_summary_row_shape(self):
+        flow = generate_flow(PlayerFamily.WMP, 307.2, 20.0, seed=5)
+        profile = fit_profile(flow.to_trace(), encoded_kbps=307.2)
+        row = profile.summary_row()
+        assert len(row) == len(TurbulenceProfile.SUMMARY_HEADERS)
+
+
+class TestFlowReplayer:
+    def test_replayed_wmp_flow_refragments_in_simulator(self, host_pair):
+        flow = generate_flow(PlayerFamily.WMP, 307.2, 5.0, seed=2)
+        received = []
+        sink = host_pair.right.udp.bind(7000)
+        sink.on_receive = received.append
+        socket = host_pair.left.udp.bind_ephemeral()
+        FlowReplayer(host_pair.sim, socket, host_pair.right.address, 7000,
+                     flow).start()
+        host_pair.sim.run()
+        assert len(received) == len(flow.group_payloads())
+        assert received[0].fragment_count == 3
+
+    def test_replayer_cannot_start_twice(self, host_pair):
+        flow = generate_flow(PlayerFamily.WMP, 100.0, 2.0, seed=2)
+        socket = host_pair.left.udp.bind_ephemeral()
+        replayer = FlowReplayer(host_pair.sim, socket,
+                                host_pair.right.address, 7000, flow)
+        replayer.start()
+        with pytest.raises(MediaError):
+            replayer.start()

@@ -1,0 +1,130 @@
+"""Cross-traffic source tests: rates, on/off structure, interaction."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.netsim.crosstraffic import OnOffParetoSource, pareto
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import build_path_topology
+
+
+class TestPareto:
+    def test_respects_minimum(self):
+        rng = random.Random(1)
+        draws = [pareto(rng, 1.5, 0.4) for _ in range(500)]
+        assert min(draws) >= 0.4
+
+    def test_mean_close_to_theory(self):
+        rng = random.Random(2)
+        shape, minimum = 1.8, 0.5
+        draws = [pareto(rng, shape, minimum) for _ in range(20_000)]
+        theoretical = shape * minimum / (shape - 1.0)
+        assert sum(draws) / len(draws) == pytest.approx(theoretical,
+                                                        rel=0.15)
+
+
+class TestOnOffSource:
+    def test_sends_at_configured_rate_while_on(self, host_pair):
+        source = OnOffParetoSource(
+            host_pair.sim, host_pair.left, host_pair.right,
+            rate_bps=units.mbps(1), mean_on=100.0, mean_off=0.001,
+            rng=random.Random(3)).start()
+        host_pair.sim.run(until=10.0)
+        sent_bps = source.packets_sent * source.packet_bytes * 8 / 10.0
+        assert sent_bps == pytest.approx(1e6, rel=0.1)
+
+    def test_off_periods_produce_gaps(self, host_pair):
+        arrivals = []
+        host_pair.right.add_tap(
+            lambda direction, packet, time: arrivals.append(time))
+        OnOffParetoSource(
+            host_pair.sim, host_pair.left, host_pair.right,
+            rate_bps=units.mbps(2), mean_on=0.2, mean_off=0.5,
+            rng=random.Random(4)).start()
+        host_pair.sim.run(until=30.0)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        packet_gap = 1514 * 8 / 2e6
+        assert max(gaps) > 20 * packet_gap  # clear idle periods
+
+    def test_duty_cycle(self, host_pair):
+        source = OnOffParetoSource(
+            host_pair.sim, host_pair.left, host_pair.right,
+            mean_on=1.0, mean_off=3.0)
+        assert source.duty_cycle == pytest.approx(0.25)
+
+    def test_stop_halts_emission(self, host_pair):
+        source = OnOffParetoSource(
+            host_pair.sim, host_pair.left, host_pair.right,
+            mean_on=100.0, mean_off=0.001, rng=random.Random(5)).start()
+        host_pair.sim.run(until=1.0)
+        count = source.packets_sent
+        source.stop()
+        host_pair.sim.run(until=5.0)
+        assert source.packets_sent == count
+
+    def test_parameter_validation(self, host_pair):
+        with pytest.raises(SimulationError):
+            OnOffParetoSource(host_pair.sim, host_pair.left,
+                              host_pair.right, rate_bps=0)
+        with pytest.raises(SimulationError):
+            OnOffParetoSource(host_pair.sim, host_pair.left,
+                              host_pair.right, mean_on=0)
+        with pytest.raises(SimulationError):
+            OnOffParetoSource(host_pair.sim, host_pair.left,
+                              host_pair.right, shape=3.0)
+
+
+class TestClassifierUnderCrossTraffic:
+    def test_turbulence_signatures_survive_contention(self):
+        """The WMP/Real classification must survive realistic cross
+        traffic sharing the path (the paper's conditions were a live
+        campus uplink, not a quiet lab)."""
+        from repro.capture.sniffer import Sniffer
+        from repro.core.fitting import fit_profile
+        from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+        from repro.players.mediatracker import MediaTracker
+        from repro.players.realtracker import RealTracker
+        from repro.servers.realserver import RealServer
+        from repro.servers.wms import WindowsMediaServer
+
+        sim = Simulator(seed=99)
+        path = build_path_topology(sim, hop_count=10, rtt=0.040)
+        real_server = RealServer(path.servers[0])
+        real_server.add_clip(Clip(
+            title="r", genre="T", duration=30.0,
+            encoding=ClipEncoding(family=PlayerFamily.REAL,
+                                  encoded_kbps=217.6,
+                                  advertised_kbps=300.0)))
+        wms = WindowsMediaServer(path.servers[1])
+        wms.add_clip(Clip(
+            title="m", genre="T", duration=30.0,
+            encoding=ClipEncoding(family=PlayerFamily.WMP,
+                                  encoded_kbps=250.4,
+                                  advertised_kbps=300.0)))
+        # ~2 Mbps of bursty noise sharing the whole path.
+        OnOffParetoSource(sim, path.servers[1], path.client,
+                          rate_bps=units.mbps(8), mean_on=0.5,
+                          mean_off=1.5, port=9,
+                          rng=sim.streams.stream("noise")).start()
+        sniffer = Sniffer(path.client, rx_only=True).start()
+        real_player = RealTracker(path.client, path.servers[0].address)
+        wmp_player = MediaTracker(path.client, path.servers[1].address)
+        real_player.play("r")
+        wmp_player.play("m")
+        sim.run(until=200.0)
+        trace = sniffer.stop()
+        media = trace.filter(lambda r: r.payload_kind == "media")
+        real_flow = media.flow(path.servers[0].address)
+        wmp_flow = media.flow(path.servers[1].address)
+        real_profile = fit_profile(real_flow, 217.6,
+                                   stats=real_player.stats)
+        wmp_profile = fit_profile(wmp_flow, 250.4,
+                                  stats=wmp_player.stats)
+        assert wmp_profile.classify() == "mediaplayer"
+        assert real_profile.classify() == "realplayer"
+        # The noise itself is visible in the full capture.
+        noise = trace.filter(lambda r: r.payload_kind == "cross-traffic")
+        assert len(noise) > 100

@@ -1,0 +1,191 @@
+"""Edge-case tests across the stack: misdelivery, error paths, reuse."""
+
+import pytest
+
+from repro.errors import (
+    MediaError,
+    RoutingError,
+    SimulationError,
+)
+from repro.netsim.addressing import IPAddress, Subnet
+from repro.netsim.engine import Simulator
+from repro.netsim.headers import IpProtocol, PayloadMeta
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Router
+
+
+class TestRoutingEdges:
+    def test_no_route_raises(self, sim):
+        host = Host(sim, "lonely", IPAddress.parse("10.0.0.1"))
+        socket = host.udp.bind_ephemeral()
+        with pytest.raises(RoutingError):
+            socket.send(IPAddress.parse("10.0.0.2"), 7000, 100)
+
+    def test_next_hop_not_a_neighbor_raises(self, sim):
+        a = Host(sim, "a", IPAddress.parse("10.0.0.1"))
+        b = Host(sim, "b", IPAddress.parse("10.0.0.2"))
+        # Route exists but no link was ever built.
+        a.routing.set_default(b)
+        socket = a.udp.bind_ephemeral()
+        with pytest.raises(RoutingError):
+            socket.send(b.address, 7000, 100)
+
+    def test_misrouted_packet_counted_and_dropped(self, host_pair):
+        # Address a packet to a third party; the right host must not
+        # deliver it upward.
+        stranger = IPAddress.parse("10.0.0.99")
+        socket = host_pair.left.udp.bind_ephemeral()
+        host_pair.left.routing.add_route(Subnet(stranger, 32),
+                                         host_pair.right)
+        socket.send(stranger, 7000, 100)
+        host_pair.sim.run()
+        assert host_pair.right.ip.misrouted == 1
+
+    def test_router_ignores_non_icmp_addressed_to_it(self, sim):
+        client = Host(sim, "c", IPAddress.parse("10.0.0.1"))
+        router = Router(sim, "r", IPAddress.parse("10.0.1.1"))
+        Link(sim, client, router)
+        client.routing.set_default(router)
+        socket = client.udp.bind_ephemeral()
+        socket.send(router.address, 7000, 64)
+        sim.run()  # no crash, packet silently dropped
+        assert router.forwarded == 0
+
+
+class TestEngineEdges:
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule_at(1.0, reenter)
+        sim.run()
+
+    def test_run_with_empty_heap_is_noop(self):
+        sim = Simulator()
+        assert sim.run() == 0
+        assert sim.now == 0.0
+
+
+class TestSocketEdges:
+    def test_port_reuse_after_close(self, host_pair):
+        first = host_pair.left.udp.bind_ephemeral()
+        port = first.port
+        first.close()
+        second = host_pair.left.udp.bind(port)
+        assert second.port == port
+
+    def test_icmp_cancel_after_answer_returns_false(self, host_pair):
+        results = []
+        identifier = host_pair.left.icmp.send_echo(
+            host_pair.right.address, results.append, sequence=2)
+        host_pair.sim.run()
+        assert results
+        assert not host_pair.left.icmp.cancel(identifier, 2)
+
+
+class TestPacerEdges:
+    def make_pacer(self, host_pair):
+        import random
+
+        from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+        from repro.media.codec import SyntheticCodec
+        from repro.servers.pacing import CbrAduPacer
+
+        clip = Clip(title="t", genre="T", duration=5.0,
+                    encoding=ClipEncoding(family=PlayerFamily.WMP,
+                                          encoded_kbps=100.0,
+                                          advertised_kbps=100.0))
+        schedule = SyntheticCodec(random.Random(1)).encode(clip)
+        socket = host_pair.left.udp.bind_ephemeral()
+        return CbrAduPacer(host_pair.sim, socket, host_pair.right.address,
+                           7000, clip, schedule, rng=random.Random(1))
+
+    def test_double_start_rejected(self, host_pair):
+        pacer = self.make_pacer(host_pair)
+        pacer.start()
+        with pytest.raises(MediaError):
+            pacer.start()
+
+    def test_stop_halts_the_stream(self, host_pair):
+        received = []
+        sink = host_pair.right.udp.bind(7000)
+        sink.on_receive = received.append
+        pacer = self.make_pacer(host_pair)
+        pacer.start()
+        host_pair.sim.run(until=1.0)
+        count = len(received)
+        pacer.stop()
+        host_pair.sim.run()
+        assert len(received) <= count + 1  # at most one in-flight tick
+        assert pacer.finished_at is None
+
+    def test_streaming_duration_none_before_finish(self, host_pair):
+        pacer = self.make_pacer(host_pair)
+        assert pacer.streaming_duration is None
+        pacer.start()
+        assert pacer.streaming_duration is None
+
+
+class TestReplayerEdges:
+    def test_real_flow_replays_packet_for_packet(self, host_pair):
+        from repro.core.generator import FlowReplayer, generate_flow
+        from repro.media.clip import PlayerFamily
+
+        flow = generate_flow(PlayerFamily.REAL, 100.0, 5.0, seed=2)
+        received = []
+        sink = host_pair.right.udp.bind(7000)
+        sink.on_receive = received.append
+        socket = host_pair.left.udp.bind_ephemeral()
+        FlowReplayer(host_pair.sim, socket, host_pair.right.address,
+                     7000, flow).start()
+        host_pair.sim.run()
+        assert len(received) == flow.packet_count  # no fragmentation
+        assert all(d.fragment_count == 1 for d in received)
+
+
+class TestClientEdges:
+    def test_player_reuse_rejected(self, path):
+        from repro.errors import ProtocolError
+        from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+        from repro.players.mediatracker import MediaTracker
+        from repro.servers.wms import WindowsMediaServer
+
+        server = WindowsMediaServer(path.server)
+        server.add_clip(Clip(
+            title="one", genre="T", duration=10.0,
+            encoding=ClipEncoding(family=PlayerFamily.WMP,
+                                  encoded_kbps=64.0,
+                                  advertised_kbps=64.0)))
+        player = MediaTracker(path.client, path.server.address)
+        player.play("one")
+        with pytest.raises(ProtocolError):
+            player.play("one")
+
+    def test_finalize_before_describe_raises(self, path):
+        from repro.errors import ProtocolError
+        from repro.players.realtracker import RealTracker
+
+        player = RealTracker(path.client, path.server.address)
+        with pytest.raises(ProtocolError):
+            player.finalize()
+
+    def test_finalize_is_idempotent_after_done(self, path):
+        from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+        from repro.players.mediatracker import MediaTracker
+        from repro.servers.wms import WindowsMediaServer
+
+        server = WindowsMediaServer(path.server)
+        server.add_clip(Clip(
+            title="one", genre="T", duration=8.0,
+            encoding=ClipEncoding(family=PlayerFamily.WMP,
+                                  encoded_kbps=64.0,
+                                  advertised_kbps=64.0)))
+        player = MediaTracker(path.client, path.server.address)
+        player.play("one")
+        path.sim.run(until=60.0)
+        assert player.done
+        stats = player.finalize()
+        assert stats is player.stats

@@ -1,0 +1,124 @@
+"""Display-filter language tests."""
+
+import pytest
+
+from repro.capture.filters import compile_filter
+from repro.errors import FilterSyntaxError
+
+from .helpers import CLIENT, SERVER, make_record
+
+
+class TestProtocolAtoms:
+    def test_udp_atom(self):
+        predicate = compile_filter("udp")
+        assert predicate(make_record(protocol="UDP"))
+        assert not predicate(make_record(protocol="TCP"))
+
+    def test_tcp_and_icmp_atoms(self):
+        assert compile_filter("tcp")(make_record(protocol="TCP"))
+        assert compile_filter("icmp")(make_record(protocol="ICMP",
+                                                  src_port=None,
+                                                  dst_port=None))
+
+
+class TestFragmentFields:
+    def test_ip_frag_matches_any_fragment(self):
+        predicate = compile_filter("ip.frag")
+        assert predicate(make_record(more_fragments=True))
+        assert predicate(make_record(fragment_offset=185))
+        assert not predicate(make_record())
+
+    def test_trailing_only(self):
+        predicate = compile_filter("ip.frag.trailing")
+        assert not predicate(make_record(more_fragments=True))
+        assert predicate(make_record(fragment_offset=185))
+
+    def test_offset_comparison_in_bytes(self):
+        predicate = compile_filter("ip.offset == 1480")
+        assert predicate(make_record(fragment_offset=185))
+        assert not predicate(make_record(fragment_offset=370))
+
+
+class TestComparisons:
+    def test_frame_len(self):
+        predicate = compile_filter("frame.len == 1514")
+        assert predicate(make_record(ip_bytes=1500))
+        assert not predicate(make_record(ip_bytes=1000))
+
+    def test_relational_operators(self):
+        record = make_record(ip_bytes=1000)
+        assert compile_filter("ip.len >= 1000")(record)
+        assert compile_filter("ip.len <= 1000")(record)
+        assert not compile_filter("ip.len < 1000")(record)
+        assert compile_filter("ip.len > 999")(record)
+        assert compile_filter("ip.len != 1")(record)
+
+    def test_ip_address_literal(self):
+        predicate = compile_filter("ip.src == 64.14.118.1")
+        assert predicate(make_record(src=SERVER))
+        assert not predicate(make_record(src=CLIENT, dst=SERVER))
+
+    def test_port_matches_either_side(self):
+        predicate = compile_filter("udp.port == 7000")
+        assert predicate(make_record(dst_port=7000, src_port=5005))
+        assert predicate(make_record(dst_port=5005, src_port=7000))
+        assert not predicate(make_record(dst_port=1, src_port=2))
+
+    def test_udp_port_requires_udp(self):
+        predicate = compile_filter("udp.dstport == 554")
+        assert not predicate(make_record(protocol="TCP", dst_port=554))
+
+    def test_direction_with_bare_word(self):
+        predicate = compile_filter("dir == rx")
+        assert predicate(make_record(direction="rx"))
+        assert not predicate(make_record(direction="tx"))
+
+    def test_string_literal(self):
+        predicate = compile_filter('dir == "tx"')
+        assert predicate(make_record(direction="tx"))
+
+    def test_float_literal(self):
+        predicate = compile_filter("frame.time < 1.5")
+        assert predicate(make_record(time=1.0))
+        assert not predicate(make_record(time=2.0))
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = compile_filter("udp && frame.len == 1514")
+        assert predicate(make_record(ip_bytes=1500))
+        assert not predicate(make_record(protocol="TCP", ip_bytes=1500))
+
+    def test_or(self):
+        predicate = compile_filter("tcp || icmp")
+        assert predicate(make_record(protocol="TCP"))
+        assert not predicate(make_record(protocol="UDP"))
+
+    def test_not(self):
+        predicate = compile_filter("!ip.frag")
+        assert predicate(make_record())
+        assert not predicate(make_record(more_fragments=True))
+
+    def test_parentheses_override_precedence(self):
+        # Without parens: a || (b && c); with parens: (a || b) && c.
+        record = make_record(protocol="TCP", ip_bytes=1000)
+        assert compile_filter("tcp || udp && frame.len == 1")(record)
+        assert not compile_filter("(tcp || udp) && frame.len == 1")(record)
+
+    def test_nested_expression(self):
+        expression = "(udp && !ip.frag.trailing) || (tcp && tcp.port == 554)"
+        predicate = compile_filter(expression)
+        assert predicate(make_record())
+        assert predicate(make_record(protocol="TCP", dst_port=554))
+        assert not predicate(make_record(fragment_offset=185))
+
+
+class TestErrors:
+    @pytest.mark.parametrize("expression", [
+        "", "   ", "&&", "udp &&", "(udp", "udp)", "frame.len ==",
+        "nosuchfield", "nosuchfield == 1", "udp == 5", "frame.len @ 3",
+        "frame.len == ==",
+    ])
+    def test_malformed_expressions_raise(self, expression):
+        with pytest.raises(FilterSyntaxError):
+            compile_filter(expression)

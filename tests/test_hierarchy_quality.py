@@ -1,0 +1,139 @@
+"""Tests for protocol-hierarchy statistics and quality reports."""
+
+import pytest
+
+from repro.capture.hierarchy import (
+    HierarchyNode,
+    protocol_hierarchy,
+    render_hierarchy,
+)
+from repro.capture.trace import Trace
+from repro.errors import AnalysisError
+from repro.players.quality import QualityReport, quality_report
+from repro.players.stats import PacketReceipt, PlayerStats
+from repro.servers.control import ClipDescription
+
+from .helpers import make_fragment_train, make_record
+
+
+def mixed_trace():
+    records = [make_record(number=1, time=0.0, ip_bytes=928)]
+    records += make_fragment_train(start_number=2, start_time=0.1,
+                                   identification=5)
+    records.append(make_record(number=5, time=0.2, protocol="TCP",
+                               dst_port=554, ip_bytes=60))
+    records.append(make_record(number=6, time=0.3, protocol="ICMP",
+                               src_port=None, dst_port=None, ip_bytes=60))
+    return Trace(records)
+
+
+class TestProtocolHierarchy:
+    def test_counts_by_protocol(self):
+        nodes = protocol_hierarchy(mixed_trace())
+        assert nodes["eth"].packets == 6
+        assert nodes["ip"].packets == 6
+        assert nodes["udp"].packets == 2  # whole datagram + first frag
+        assert nodes["ip.fragment"].packets == 2
+        assert nodes["tcp"].packets == 1
+        assert nodes["icmp"].packets == 1
+
+    def test_bytes_aggregate_upward(self):
+        nodes = protocol_hierarchy(mixed_trace())
+        leaf_bytes = sum(nodes[name].wire_bytes
+                         for name in ("udp", "ip.fragment", "tcp", "icmp"))
+        assert nodes["eth"].wire_bytes == leaf_bytes
+
+    def test_percentages(self):
+        nodes = protocol_hierarchy(mixed_trace())
+        assert nodes["ip.fragment"].percent_of(6) == pytest.approx(33.3,
+                                                                   abs=0.1)
+        assert HierarchyNode("x").percent_of(0) == 0.0
+
+    def test_render_contains_rows(self):
+        text = render_hierarchy(mixed_trace())
+        assert "Protocol Hierarchy Statistics" in text
+        assert "ip.fragment" in text
+        assert "udp" in text
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            protocol_hierarchy(Trace())
+
+
+def make_stats(fps=25.0, duration=2.0, played=45, late=3, missing=None,
+               playout_start=5.0):
+    description = ClipDescription(title="clip", genre="Test",
+                                  duration=duration, encoded_kbps=300.0,
+                                  advertised_kbps=300.0, nominal_fps=fps)
+    stats = PlayerStats(description)
+    stats.record_receipt(PacketReceipt(
+        sequence=0, network_time=0.0, app_time=0.0, payload_bytes=1000,
+        fragment_count=1, first_packet_time=0.0))
+    for index in range(played):
+        stats.record_frame_play(index / fps)
+    stats.frames_late = late
+    stats.playout_started_at = playout_start
+    return stats
+
+
+class TestQualityReport:
+    def test_perfect_playback_scores_high(self):
+        # 2 s at 25 fps = 50 expected frames; all played on time.
+        stats = make_stats(played=50, late=0)
+        report = quality_report(stats)
+        assert report.frames_missing == 0
+        assert report.frame_completeness == 1.0
+        assert report.score > 95.0
+
+    def test_late_and_missing_frames_lower_the_score(self):
+        degraded = quality_report(make_stats(played=30, late=10))
+        perfect = quality_report(make_stats(played=50, late=0))
+        assert degraded.frames_missing == 10
+        assert degraded.score < perfect.score - 15.0
+
+    def test_rebuffers_penalize(self):
+        smooth = quality_report(make_stats(played=50, late=0))
+        stalled = quality_report(make_stats(played=50, late=0),
+                                 rebuffer_events=3)
+        assert stalled.score == pytest.approx(smooth.score - 30.0)
+
+    def test_startup_delay_computed(self):
+        report = quality_report(make_stats(playout_start=5.0))
+        assert report.startup_delay == pytest.approx(5.0)
+
+    def test_render_mentions_key_numbers(self):
+        text = quality_report(make_stats(played=50, late=0)).render()
+        assert "quality" in text
+        assert "fps" in text
+
+    def test_score_bounded(self):
+        report = quality_report(make_stats(played=1, late=40),
+                                rebuffer_events=10)
+        assert 0.0 <= report.score <= 100.0
+
+    def test_empty_playback_rejected(self):
+        description = ClipDescription(title="c", genre="T", duration=1.0,
+                                      encoded_kbps=1.0,
+                                      advertised_kbps=1.0,
+                                      nominal_fps=10.0)
+        with pytest.raises(AnalysisError):
+            quality_report(PlayerStats(description))
+
+    def test_end_to_end_quality_from_live_stream(self, path):
+        from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+        from repro.players.mediatracker import MediaTracker
+        from repro.servers.wms import WindowsMediaServer
+
+        server = WindowsMediaServer(path.server)
+        server.add_clip(Clip(
+            title="m", genre="Test", duration=20.0,
+            encoding=ClipEncoding(family=PlayerFamily.WMP,
+                                  encoded_kbps=250.4,
+                                  advertised_kbps=300.0)))
+        player = MediaTracker(path.client, path.server.address)
+        player.play("m")
+        path.sim.run(until=120.0)
+        report = quality_report(player.stats,
+                                rebuffer_events=player.buffer.underruns)
+        assert report.score > 90.0
+        assert report.startup_delay > 0.0

@@ -1,0 +1,81 @@
+"""ICMP echo and time-exceeded tests, including over the full path."""
+
+import pytest
+
+
+class TestHostEcho:
+    def test_echo_round_trip_measures_rtt(self, host_pair):
+        results = []
+        host_pair.left.icmp.send_echo(host_pair.right.address,
+                                      results.append)
+        host_pair.sim.run()
+        assert len(results) == 1
+        result = results[0]
+        assert result.responder == host_pair.right.address
+        assert not result.time_exceeded
+        # RTT must be at least twice the propagation delay.
+        assert result.rtt >= 2 * 0.001
+
+    def test_sequence_numbers_echoed_back(self, host_pair):
+        results = []
+        host_pair.left.icmp.send_echo(host_pair.right.address,
+                                      results.append, sequence=42)
+        host_pair.sim.run()
+        assert results[0].sequence == 42
+
+    def test_cancel_pending_probe(self, host_pair):
+        results = []
+        identifier = host_pair.left.icmp.send_echo(
+            host_pair.right.address, results.append, sequence=9)
+        assert host_pair.left.icmp.cancel(identifier, 9)
+        host_pair.sim.run()
+        assert results == []
+
+    def test_cancel_unknown_probe_returns_false(self, host_pair):
+        assert not host_pair.left.icmp.cancel(999, 1)
+
+
+class TestPathIcmp:
+    def test_ping_server_over_path(self, path):
+        results = []
+        path.client.icmp.send_echo(path.server.address, results.append)
+        path.sim.run()
+        assert len(results) == 1
+        # RTT close to the nominal 40 ms (plus serialization).
+        assert results[0].rtt == pytest.approx(0.040, rel=0.3)
+
+    def test_low_ttl_triggers_time_exceeded_from_first_router(self, path):
+        results = []
+        path.client.icmp.send_echo(path.server.address, results.append,
+                                   ttl=1)
+        path.sim.run()
+        assert len(results) == 1
+        assert results[0].time_exceeded
+        assert results[0].responder == path.routers[0].address
+
+    def test_each_ttl_reveals_the_next_router(self, path):
+        responders = []
+        for ttl in range(1, len(path.routers) + 1):
+            results = []
+            path.client.icmp.send_echo(path.server.address, results.append,
+                                       sequence=ttl, ttl=ttl)
+            path.sim.run()
+            responders.append(results[0].responder)
+        assert responders == [r.address for r in path.routers]
+
+    def test_sufficient_ttl_reaches_server(self, path):
+        results = []
+        path.client.icmp.send_echo(path.server.address, results.append,
+                                   ttl=64)
+        path.sim.run()
+        assert not results[0].time_exceeded
+        assert results[0].responder == path.server.address
+
+    def test_ping_intermediate_router_directly(self, path):
+        target = path.routers[3]
+        results = []
+        path.client.icmp.send_echo(target.address, results.append)
+        path.sim.run()
+        assert len(results) == 1
+        assert results[0].responder == target.address
+        assert not results[0].time_exceeded

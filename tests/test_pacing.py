@@ -1,0 +1,217 @@
+"""Pacer tests: the WMS and RealServer packetization models."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.errors import MediaError
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.media.codec import SyntheticCodec
+from repro.servers.pacing import (
+    BurstThenSteadyPacer,
+    CbrAduPacer,
+    WMS_TICK_SECONDS,
+    real_mean_packet_bytes,
+    wms_packetization,
+)
+
+
+def make_clip(family, kbps, duration=30.0):
+    return Clip(title=f"t-{family.value}-{kbps}", genre="Test",
+                duration=duration,
+                encoding=ClipEncoding(family=family, encoded_kbps=kbps,
+                                      advertised_kbps=kbps))
+
+
+def run_pacer(host_pair, pacer_factory, family, kbps, duration=30.0,
+              horizon=400.0):
+    """Wire a pacer between the fixture hosts; return received datagrams."""
+    clip = make_clip(family, kbps, duration)
+    schedule = SyntheticCodec(random.Random(3)).encode(clip)
+    received = []
+    sink = host_pair.right.udp.bind(7000)
+    sink.on_receive = received.append
+    socket = host_pair.left.udp.bind_ephemeral()
+    pacer = pacer_factory(host_pair.sim, socket, host_pair.right.address,
+                          7000, clip, schedule)
+    pacer.start()
+    host_pair.sim.run(until=horizon)
+    return pacer, received
+
+
+def wms_factory(rng_seed=1):
+    def factory(sim, socket, dst, port, clip, schedule):
+        return CbrAduPacer(sim, socket, dst, port, clip, schedule,
+                           rng=random.Random(rng_seed))
+    return factory
+
+
+def real_factory(ratio=3.0, burst=20.0, rng_seed=1):
+    def factory(sim, socket, dst, port, clip, schedule):
+        return BurstThenSteadyPacer(sim, socket, dst, port, clip, schedule,
+                                    burst_ratio=ratio, burst_duration=burst,
+                                    rng=random.Random(rng_seed))
+    return factory
+
+
+class TestWmsPacketization:
+    def test_high_rate_uses_100ms_tick(self):
+        adu, tick = wms_packetization(units.kbps(307.2))
+        assert tick == WMS_TICK_SECONDS
+        assert adu == pytest.approx(307_200 * 0.1 / 8, abs=1)
+
+    def test_low_rate_stretches_interval(self):
+        adu, tick = wms_packetization(units.kbps(49.8), small_adu_bytes=900)
+        assert adu == 900
+        assert tick == pytest.approx(900 * 8 / 49_800)
+        assert tick > WMS_TICK_SECONDS
+
+    def test_threshold_rate_continuity(self):
+        # Just above the threshold the ADU exceeds the small size.
+        adu_above, tick_above = wms_packetization(units.kbps(120),
+                                                  small_adu_bytes=900)
+        assert tick_above == WMS_TICK_SECONDS
+        assert adu_above >= 900
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(MediaError):
+            wms_packetization(0)
+
+
+class TestCbrAduPacer:
+    def test_low_rate_unfragmented_constant_size(self, host_pair):
+        pacer, received = run_pacer(host_pair, wms_factory(),
+                                    PlayerFamily.WMP, 49.8)
+        media = [d for d in received if d.payload.kind == "media"]
+        sizes = {d.payload_bytes for d in media[:-1]}  # last may be short
+        assert len(sizes) == 1
+        assert all(d.fragment_count == 1 for d in media)
+
+    def test_high_rate_fragments_every_adu(self, host_pair):
+        pacer, received = run_pacer(host_pair, wms_factory(),
+                                    PlayerFamily.WMP, 307.2)
+        media = [d for d in received if d.payload.kind == "media"]
+        # 3840-byte ADUs -> 3 IP packets each (paper Figure 4).
+        assert all(d.fragment_count == 3 for d in media[:-1])
+
+    def test_constant_interarrival(self, host_pair):
+        pacer, received = run_pacer(host_pair, wms_factory(),
+                                    PlayerFamily.WMP, 307.2)
+        media = [d for d in received if d.payload.kind == "media"]
+        times = [d.first_packet_time for d in media]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(WMS_TICK_SECONDS, rel=0.02)
+        assert max(gaps) - min(gaps) < 0.01
+
+    def test_streams_for_full_clip_duration(self, host_pair):
+        pacer, received = run_pacer(host_pair, wms_factory(),
+                                    PlayerFamily.WMP, 307.2, duration=30.0)
+        assert pacer.streaming_duration == pytest.approx(30.0, rel=0.05)
+
+    def test_sends_whole_byte_budget(self, host_pair):
+        pacer, received = run_pacer(host_pair, wms_factory(),
+                                    PlayerFamily.WMP, 100.0)
+        assert pacer.bytes_sent == pacer.total_media_bytes
+
+    def test_eos_marker_sent_last(self, host_pair):
+        pacer, received = run_pacer(host_pair, wms_factory(),
+                                    PlayerFamily.WMP, 49.8)
+        assert received[-1].payload.kind == "media-eos"
+
+    def test_frame_numbers_cover_schedule(self, host_pair):
+        pacer, received = run_pacer(host_pair, wms_factory(),
+                                    PlayerFamily.WMP, 100.0, duration=20.0)
+        media = [d for d in received if d.payload.kind == "media"]
+        frames = [n for d in media for n in d.payload.frame_numbers]
+        assert frames == sorted(frames)
+        assert len(frames) == len(set(frames))
+        # Every frame of the schedule is eventually carried.
+        assert frames[-1] == len(pacer.schedule) - 1
+
+
+class TestBurstThenSteadyPacer:
+    def test_burst_rate_is_ratio_times_steady(self, host_pair):
+        pacer, received = run_pacer(
+            host_pair, real_factory(ratio=3.0, burst=10.0),
+            PlayerFamily.REAL, 100.0, duration=120.0)
+        media = [d for d in received if d.payload.kind == "media"]
+        burst_bytes = sum(d.payload_bytes for d in media
+                          if d.arrival_time < 10.0)
+        steady_bytes = sum(d.payload_bytes for d in media
+                           if 10.0 <= d.arrival_time < 20.0)
+        assert burst_bytes / max(steady_bytes, 1) == pytest.approx(3.0,
+                                                                   rel=0.25)
+
+    def test_stream_shorter_than_clip(self, host_pair):
+        pacer, received = run_pacer(
+            host_pair, real_factory(ratio=3.0, burst=20.0),
+            PlayerFamily.REAL, 100.0, duration=120.0)
+        assert pacer.streaming_duration < 120.0 * 0.8
+
+    def test_never_fragments(self, host_pair):
+        pacer, received = run_pacer(
+            host_pair, real_factory(), PlayerFamily.REAL, 636.9,
+            duration=30.0)
+        media = [d for d in received if d.payload.kind == "media"]
+        assert all(d.fragment_count == 1 for d in media)
+        assert all(d.payload_bytes <= units.MAX_UNFRAGMENTED_UDP_PAYLOAD
+                   for d in media)
+
+    def test_sizes_spread_around_mean(self, host_pair):
+        pacer, received = run_pacer(
+            host_pair, real_factory(), PlayerFamily.REAL, 217.6,
+            duration=60.0)
+        media = [d for d in received if d.payload.kind == "media"]
+        sizes = [d.payload_bytes for d in media]
+        mean = sum(sizes) / len(sizes)
+        normalized = [s / mean for s in sizes]
+        assert min(normalized) < 0.75
+        assert max(normalized) > 1.3
+
+    def test_interarrivals_vary(self, host_pair):
+        pacer, received = run_pacer(
+            host_pair, real_factory(), PlayerFamily.REAL, 100.0,
+            duration=60.0)
+        media = [d for d in received if d.payload.kind == "media"]
+        times = [d.arrival_time for d in media]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        deviation = (sum((g - mean) ** 2 for g in gaps) / len(gaps)) ** 0.5
+        assert deviation / mean > 0.3  # visibly jittered
+
+    def test_byte_conservation(self, host_pair):
+        pacer, received = run_pacer(
+            host_pair, real_factory(), PlayerFamily.REAL, 100.0,
+            duration=30.0)
+        assert pacer.bytes_sent == pacer.total_media_bytes
+        media_bytes = sum(d.payload_bytes for d in received
+                          if d.payload.kind == "media")
+        assert media_bytes == pacer.bytes_sent
+
+    def test_parameter_validation(self, host_pair):
+        clip = make_clip(PlayerFamily.REAL, 100.0)
+        schedule = SyntheticCodec().encode(clip)
+        socket = host_pair.left.udp.bind_ephemeral()
+        with pytest.raises(MediaError):
+            BurstThenSteadyPacer(host_pair.sim, socket,
+                                 host_pair.right.address, 7000, clip,
+                                 schedule, burst_ratio=0.5,
+                                 burst_duration=10.0)
+        with pytest.raises(MediaError):
+            BurstThenSteadyPacer(host_pair.sim, socket,
+                                 host_pair.right.address, 7000, clip,
+                                 schedule, burst_ratio=2.0,
+                                 burst_duration=-1.0)
+
+
+class TestRealMeanPacketSize:
+    def test_grows_with_rate(self):
+        assert (real_mean_packet_bytes(36.0)
+                < real_mean_packet_bytes(217.0)
+                < real_mean_packet_bytes(500.0))
+
+    def test_always_below_mtu(self):
+        for kbps in (10, 100, 300, 637, 2000):
+            assert real_mean_packet_bytes(kbps) < units.MAX_UNFRAGMENTED_UDP_PAYLOAD

@@ -1,0 +1,77 @@
+"""Packet and header model tests."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.netsim.addressing import IPAddress
+from repro.netsim.headers import IPv4Header, IpProtocol, UdpHeader
+from repro.netsim.packet import Packet
+
+SRC = IPAddress.parse("64.14.118.1")
+DST = IPAddress.parse("130.215.0.1")
+
+
+def make_header(**overrides):
+    fields = dict(src=SRC, dst=DST, protocol=IpProtocol.UDP,
+                  total_length=1500, identification=7, ttl=64)
+    fields.update(overrides)
+    return IPv4Header(**fields)
+
+
+class TestIPv4Header:
+    def test_payload_bytes(self):
+        assert make_header(total_length=1500).payload_bytes == 1480
+
+    def test_not_fragment_by_default(self):
+        header = make_header()
+        assert not header.is_fragment
+        assert not header.is_trailing_fragment
+
+    def test_first_fragment_flags(self):
+        header = make_header(more_fragments=True, fragment_offset=0)
+        assert header.is_fragment
+        assert not header.is_trailing_fragment
+
+    def test_trailing_fragment_flags(self):
+        header = make_header(more_fragments=False, fragment_offset=185)
+        assert header.is_fragment
+        assert header.is_trailing_fragment
+
+    def test_decremented_reduces_ttl_only(self):
+        header = make_header(ttl=10)
+        lower = header.decremented()
+        assert lower.ttl == 9
+        assert lower.total_length == header.total_length
+
+
+class TestPacket:
+    def test_wire_bytes_adds_ethernet_header(self):
+        packet = Packet(ip=make_header(total_length=1500))
+        assert packet.wire_bytes == 1514
+
+    def test_total_length_smaller_than_header_rejected(self):
+        with pytest.raises(PacketError):
+            Packet(ip=make_header(total_length=10))
+
+    def test_trailing_fragment_with_transport_rejected(self):
+        header = make_header(fragment_offset=185)
+        udp = UdpHeader(src_port=1, dst_port=2, length=100)
+        with pytest.raises(PacketError):
+            Packet(ip=header, transport=udp)
+
+    def test_uids_are_unique(self):
+        a = Packet(ip=make_header())
+        b = Packet(ip=make_header())
+        assert a.uid != b.uid
+
+    def test_forwarded_decrements_ttl_keeps_identity(self):
+        packet = Packet(ip=make_header(ttl=5), datagram_id=99)
+        forwarded = packet.forwarded()
+        assert forwarded.ip.ttl == 4
+        assert forwarded.datagram_id == 99
+        assert forwarded.transport is packet.transport
+
+    def test_forwarding_dead_packet_rejected(self):
+        packet = Packet(ip=make_header(ttl=0))
+        with pytest.raises(PacketError):
+            packet.forwarded()

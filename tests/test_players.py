@@ -1,0 +1,186 @@
+"""Player-component tests: buffer, interleaver, stats records."""
+
+import pytest
+
+from repro.errors import AnalysisError, MediaError
+from repro.players.buffer import DelayBuffer
+from repro.players.interleave import BatchingReceiver
+from repro.players.stats import PacketReceipt, PlayerStats
+from repro.servers.control import ClipDescription
+
+
+def make_description(kbps=300.0, fps=25.0, duration=60.0):
+    return ClipDescription(title="clip", genre="Sports", duration=duration,
+                           encoded_kbps=kbps, advertised_kbps=kbps,
+                           nominal_fps=fps)
+
+
+def make_receipt(sequence=0, time=0.0, size=1000, fragments=1):
+    return PacketReceipt(sequence=sequence, network_time=time,
+                         app_time=time, payload_bytes=size,
+                         fragment_count=fragments, first_packet_time=time)
+
+
+class TestDelayBuffer:
+    def test_playout_starts_at_preroll(self):
+        buffer = DelayBuffer(preroll_seconds=5.0)
+        buffer.add_media(0.0, 2.0)
+        assert not buffer.playing
+        buffer.add_media(1.0, 3.5)
+        assert buffer.playing
+        assert buffer.playout_started_at == 1.0
+
+    def test_zero_preroll_starts_immediately(self):
+        buffer = DelayBuffer(preroll_seconds=0.0)
+        buffer.add_media(0.5, 0.1)
+        assert buffer.playing
+
+    def test_drains_in_real_time_after_start(self):
+        buffer = DelayBuffer(preroll_seconds=1.0)
+        buffer.add_media(0.0, 4.0)  # playing, 4 s buffered
+        assert buffer.occupancy(2.0) == pytest.approx(2.0)
+
+    def test_does_not_drain_before_playout(self):
+        buffer = DelayBuffer(preroll_seconds=10.0)
+        buffer.add_media(0.0, 3.0)
+        assert buffer.occupancy(5.0) == pytest.approx(3.0)
+
+    def test_underrun_counted(self):
+        buffer = DelayBuffer(preroll_seconds=1.0)
+        buffer.add_media(0.0, 1.5)
+        buffer.occupancy(10.0)  # long stall drains everything
+        assert buffer.underruns == 1
+
+    def test_startup_delay(self):
+        buffer = DelayBuffer(preroll_seconds=2.0)
+        assert buffer.startup_delay(0.0) is None
+        buffer.add_media(3.0, 2.5)
+        assert buffer.startup_delay(0.0) == 3.0
+
+    def test_faster_fill_starts_sooner(self):
+        # The paper's Section III.F point: with equal buffers, Real's
+        # 3x burst begins playback before WMP's 1x fill.
+        slow = DelayBuffer(preroll_seconds=5.0)
+        fast = DelayBuffer(preroll_seconds=5.0)
+        for tick in range(20):
+            slow.add_media(tick * 1.0, 1.0)   # 1x: 1 media-second per second
+            fast.add_media(tick * 1.0, 3.0)   # 3x burst
+        assert fast.playout_started_at < slow.playout_started_at
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(MediaError):
+            DelayBuffer(preroll_seconds=-1)
+        buffer = DelayBuffer()
+        with pytest.raises(MediaError):
+            buffer.add_media(0.0, -0.5)
+
+
+class TestBatchingReceiver:
+    def test_releases_at_next_block_boundary(self):
+        receiver = BatchingReceiver(batch_interval=1.0)
+        assert receiver.receive(0.0) == 1.0
+        assert receiver.receive(0.35) == 1.0
+        assert receiver.receive(1.2) == 2.0
+
+    def test_paper_shape_ten_per_batch(self):
+        # 100 ms arrivals with 1 s blocks -> batches of 10 (Figure 12).
+        receiver = BatchingReceiver(batch_interval=1.0)
+        for index in range(40):
+            receiver.receive(index * 0.1)
+        sizes = receiver.batch_sizes()
+        assert sizes == [10, 10, 10, 10]
+
+    def test_grid_anchored_at_first_arrival(self):
+        receiver = BatchingReceiver(batch_interval=1.0)
+        assert receiver.receive(5.3) == 6.3
+        assert receiver.receive(6.0) == 6.3
+
+    def test_max_holding_delay(self):
+        receiver = BatchingReceiver(batch_interval=1.0)
+        receiver.receive(0.0)
+        receiver.receive(0.9)
+        assert receiver.max_holding_delay == pytest.approx(1.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(MediaError):
+            BatchingReceiver(batch_interval=0)
+
+
+class TestPlayerStats:
+    def test_receipt_accounting(self):
+        stats = PlayerStats(make_description())
+        for index in range(5):
+            stats.record_receipt(make_receipt(sequence=index,
+                                              time=index * 0.1))
+        assert stats.packets_received == 5
+        assert stats.bytes_received == 5000
+        assert stats.first_media_at == 0.0
+
+    def test_average_playback_rate_needs_eos(self):
+        stats = PlayerStats(make_description())
+        stats.record_receipt(make_receipt())
+        with pytest.raises(AnalysisError):
+            _ = stats.average_playback_kbps
+
+    def test_average_playback_rate(self):
+        stats = PlayerStats(make_description())
+        for index in range(10):
+            stats.record_receipt(make_receipt(sequence=index,
+                                              time=float(index)))
+        stats.eos_at = 10.0
+        # 10,000 bytes over 10 s = 8 Kbps.
+        assert stats.average_playback_kbps == pytest.approx(8.0)
+
+    def test_bandwidth_timeline_buckets(self):
+        stats = PlayerStats(make_description())
+        for index in range(20):
+            stats.record_receipt(make_receipt(sequence=index,
+                                              time=index * 0.25, size=500))
+        timeline = stats.bandwidth_timeline(interval=1.0)
+        assert len(timeline) == 5
+        # 4 x 500 bytes per second = 16 Kbps in full buckets.
+        assert timeline[0][1] == pytest.approx(16.0)
+
+    def test_bandwidth_timeline_validates_interval(self):
+        stats = PlayerStats(make_description())
+        with pytest.raises(AnalysisError):
+            stats.bandwidth_timeline(interval=0)
+
+    def test_empty_timelines(self):
+        stats = PlayerStats(make_description())
+        assert stats.bandwidth_timeline() == []
+        assert stats.frame_rate_timeline() == []
+
+    def test_frame_rate_timeline_and_average(self):
+        stats = PlayerStats(make_description(fps=10.0))
+        for index in range(25):
+            stats.record_frame_play(index / 10.0)
+        timeline = stats.frame_rate_timeline(window=1.0)
+        assert [fps for _, fps in timeline] == [10.0, 10.0, 5.0]
+        assert stats.average_fps == pytest.approx(10.0, rel=0.01)
+
+    def test_frame_loss_percent_counts_late_frames(self):
+        # 1 s clip at 10 fps -> 10 expected frames.
+        stats = PlayerStats(make_description(fps=10.0, duration=1.0))
+        for index in range(9):
+            stats.record_frame_play(index * 0.1)
+        stats.frames_late = 1
+        assert stats.frames_missing == 0
+        assert stats.frame_loss_percent == pytest.approx(10.0)
+
+    def test_frame_loss_percent_counts_missing_frames(self):
+        # Frames in lost datagrams never arrive: neither played nor
+        # late, but still lost from the viewer's perspective.
+        stats = PlayerStats(make_description(fps=10.0, duration=1.0))
+        for index in range(7):
+            stats.record_frame_play(index * 0.1)
+        assert stats.frames_missing == 3
+        assert stats.frame_loss_percent == pytest.approx(30.0)
+
+    def test_expected_frames(self):
+        stats = PlayerStats(make_description(fps=25.0, duration=60.0))
+        assert stats.expected_frames == 1500
+
+    def test_average_fps_empty_is_zero(self):
+        stats = PlayerStats(make_description())
+        assert stats.average_fps == 0.0

@@ -1,0 +1,193 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each class pins an invariant that must hold for *arbitrary* inputs, not
+just the calibrated paper scenarios: event ordering in the engine,
+byte conservation in the pacers, reassembly under arbitrary fragment
+interleavings, pcap round trips, and display-filter algebra.
+"""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capture.filters import compile_filter
+from repro.capture.pcap import read_pcap, write_pcap
+from repro.capture.trace import Trace
+from repro.netsim.engine import Simulator
+
+from .conftest import HostPair
+from .helpers import make_record
+
+
+class TestEngineOrderingProperty:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_fire_in_time_order(self, times):
+        sim = Simulator()
+        fired = []
+        for time in times:
+            sim.schedule_at(time, fired.append, time)
+        sim.run()
+        assert fired == sorted(times)
+        assert sim.now == max(times)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0),
+                    min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_relative_scheduling_accumulates(self, delays):
+        sim = Simulator()
+        seen = []
+
+        def chain(remaining):
+            seen.append(sim.now)
+            if remaining:
+                sim.schedule_in(remaining[0], chain, remaining[1:])
+
+        sim.schedule_in(delays[0], chain, delays[1:])
+        sim.run()
+        assert len(seen) == len(delays)
+        assert seen == sorted(seen)
+
+
+class TestPacerConservationProperty:
+    @given(kbps=st.floats(min_value=20.0, max_value=900.0),
+           duration=st.floats(min_value=3.0, max_value=25.0))
+    @settings(max_examples=20, deadline=None)
+    def test_cbr_pacer_sends_exactly_its_budget(self, kbps, duration):
+        from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+        from repro.media.codec import SyntheticCodec
+        from repro.servers.pacing import CbrAduPacer
+
+        sim = Simulator(seed=1)
+        pair = HostPair(sim)
+        clip = Clip(title="p", genre="T", duration=duration,
+                    encoding=ClipEncoding(family=PlayerFamily.WMP,
+                                          encoded_kbps=kbps,
+                                          advertised_kbps=kbps))
+        schedule = SyntheticCodec(random.Random(2)).encode(clip)
+        received = []
+        sink = pair.right.udp.bind(7000)
+        sink.on_receive = received.append
+        pacer = CbrAduPacer(sim, pair.left.udp.bind_ephemeral(),
+                            pair.right.address, 7000, clip, schedule,
+                            rng=random.Random(2))
+        pacer.start()
+        sim.run(until=duration * 3 + 60)
+        assert pacer.bytes_sent == pacer.total_media_bytes
+        media = sum(d.payload_bytes for d in received
+                    if d.payload.kind == "media")
+        assert media == pacer.bytes_sent
+        # Every frame is named exactly once across all datagrams.
+        frames = [n for d in received for n in d.payload.frame_numbers]
+        assert sorted(frames) == list(range(len(schedule)))
+
+
+class TestReassemblyInterleavingProperty:
+    @given(sizes=st.lists(st.integers(min_value=1473, max_value=20_000),
+                          min_size=1, max_size=6),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_datagram_mix_reassembles(self, sizes, seed):
+        sim = Simulator(seed=1)
+        pair = HostPair(sim)
+        received = []
+        sink = pair.right.udp.bind(7000)
+        sink.on_receive = received.append
+        # Capture the emitted fragments instead of sending them.
+        captured = []
+        pair.left.send_packet = captured.append
+        source = pair.left.udp.bind_ephemeral()
+        for size in sizes:
+            source.send(pair.right.address, 7000, size)
+        # Deliver in a shuffled order: fragments of different datagrams
+        # interleave arbitrarily (offsets within a datagram may even
+        # arrive out of order — IP must cope).
+        rng = random.Random(seed)
+        rng.shuffle(captured)
+        for packet in captured:
+            pair.right.ip.receive(packet)
+        assert sorted(d.payload_bytes for d in received) == sorted(sizes)
+        assert all(d.fragment_count >= 2 for d in received)
+
+
+class TestPcapRoundTripProperty:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),
+        st.integers(min_value=28, max_value=1500),
+        st.sampled_from(["UDP", "TCP", "ICMP"]),
+        st.integers(min_value=0, max_value=0xFFFF)),
+        min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_wire_fields_survive(self, rows):
+        records = []
+        for index, (time, size, protocol, ident) in enumerate(
+                sorted(rows), start=1):
+            ports = {}
+            if protocol == "ICMP":
+                ports = dict(src_port=None, dst_port=None)
+            records.append(make_record(
+                number=index, time=time, ip_bytes=size,
+                protocol=protocol, identification=ident, **ports))
+        trace = Trace(records)
+        buffer = io.BytesIO()
+        write_pcap(trace, buffer)
+        buffer.seek(0)
+        loaded = read_pcap(buffer)
+        assert len(loaded) == len(trace)
+        for before, after in zip(trace, loaded):
+            assert after.ip_bytes == before.ip_bytes
+            assert after.protocol == before.protocol
+            assert after.identification == before.identification
+            assert after.time == pytest.approx(before.time, abs=1e-6)
+
+
+class TestFilterAlgebraProperty:
+    FIELD_EXPRESSIONS = st.sampled_from([
+        "udp", "tcp", "icmp", "ip.frag", "ip.frag.trailing",
+        "frame.len > 500", "frame.len <= 1200", "ip.ttl == 110",
+        "udp.dstport == 7000", "dir == rx",
+    ])
+
+    @st.composite
+    def record(draw):
+        protocol = draw(st.sampled_from(["UDP", "TCP", "ICMP"]))
+        fragment_offset = draw(st.sampled_from([0, 0, 0, 185, 370]))
+        more = draw(st.booleans()) if fragment_offset == 0 else \
+            draw(st.booleans())
+        ports = {}
+        if protocol == "ICMP" or fragment_offset > 0:
+            ports = dict(src_port=None, dst_port=None)
+        return make_record(
+            protocol=protocol,
+            ip_bytes=draw(st.integers(min_value=28, max_value=1500)),
+            ttl=draw(st.integers(min_value=1, max_value=255)),
+            more_fragments=more if fragment_offset == 0 else False,
+            fragment_offset=fragment_offset,
+            direction=draw(st.sampled_from(["rx", "tx"])),
+            **ports)
+
+    @given(expr=FIELD_EXPRESSIONS, rec=record())
+    @settings(max_examples=150, deadline=None)
+    def test_negation_inverts(self, expr, rec):
+        positive = compile_filter(expr)
+        negative = compile_filter(f"!({expr})")
+        assert positive(rec) != negative(rec)
+
+    @given(a=FIELD_EXPRESSIONS, b=FIELD_EXPRESSIONS, rec=record())
+    @settings(max_examples=150, deadline=None)
+    def test_demorgan(self, a, b, rec):
+        lhs = compile_filter(f"!(({a}) && ({b}))")
+        rhs = compile_filter(f"!({a}) || !({b})")
+        assert lhs(rec) == rhs(rec)
+
+    @given(a=FIELD_EXPRESSIONS, b=FIELD_EXPRESSIONS, rec=record())
+    @settings(max_examples=150, deadline=None)
+    def test_conjunction_implies_conjuncts(self, a, b, rec):
+        both = compile_filter(f"({a}) && ({b})")
+        if both(rec):
+            assert compile_filter(a)(rec)
+            assert compile_filter(b)(rec)

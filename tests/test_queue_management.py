@@ -1,0 +1,48 @@
+"""Queue-management study tests (drop-tail vs RED at a bottleneck)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.queue_management import run_queue_study
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {discipline: run_queue_study(discipline, duration=30.0)
+            for discipline in ("droptail", "red")}
+
+
+class TestQueueStudy:
+    def test_bottleneck_actually_drops(self, outcomes):
+        for result in outcomes.values():
+            assert result.bottleneck_drops > 0
+
+    def test_both_flows_lose_packets_under_congestion(self, outcomes):
+        for result in outcomes.values():
+            assert result.real_packets_lost > 0
+            assert result.wmp_packets_lost > 0
+
+    def test_fragmentation_amplifies_wmp_frame_loss(self, outcomes):
+        # Per lost packet, WMP loses more frames than Real: each lost
+        # fragment voids a multi-frame ADU ([FF99]'s warning, at a
+        # managed queue instead of a random-loss link).
+        for result in outcomes.values():
+            wmp_per_packet = (result.wmp_frame_loss_percent
+                              / max(result.wmp_packets_lost, 1))
+            real_per_packet = (result.real_frame_loss_percent
+                               / max(result.real_packets_lost, 1))
+            assert wmp_per_packet > real_per_packet
+
+    def test_wasted_fragment_bytes_nonzero(self, outcomes):
+        for result in outcomes.values():
+            assert result.wasted_fragment_bytes > 0
+
+    def test_disciplines_differ(self, outcomes):
+        droptail = outcomes["droptail"]
+        red = outcomes["red"]
+        assert (droptail.real_packets_lost, droptail.wmp_packets_lost) \
+            != (red.real_packets_lost, red.wmp_packets_lost)
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_queue_study("codel")

@@ -1,0 +1,88 @@
+"""Queue behavior tests: FIFO order, capacity, RED drops."""
+
+import random
+
+import pytest
+
+from repro.netsim.addressing import IPAddress
+from repro.netsim.headers import IPv4Header, IpProtocol
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue, RedQueue
+
+SRC = IPAddress.parse("1.1.1.1")
+DST = IPAddress.parse("2.2.2.2")
+
+
+def make_packet(size=1000):
+    header = IPv4Header(src=SRC, dst=DST, protocol=IpProtocol.UDP,
+                        total_length=size)
+    return Packet(ip=header)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        packets = [make_packet() for _ in range(3)]
+        for packet in packets:
+            assert queue.offer(packet)
+        assert [queue.poll() for _ in range(3)] == packets
+
+    def test_poll_empty_returns_none(self):
+        assert DropTailQueue().poll() is None
+
+    def test_capacity_enforced_in_bytes(self):
+        queue = DropTailQueue(capacity_bytes=2500)
+        assert queue.offer(make_packet(1000))
+        assert queue.offer(make_packet(1000))
+        assert not queue.offer(make_packet(1000))
+        assert queue.stats.dropped == 1
+
+    def test_bytes_queued_tracks_contents(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        queue.offer(make_packet(700))
+        queue.offer(make_packet(300))
+        assert queue.bytes_queued == 1000
+        queue.poll()
+        assert queue.bytes_queued == 300
+
+    def test_peak_bytes_recorded(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        queue.offer(make_packet(700))
+        queue.offer(make_packet(700))
+        queue.poll()
+        assert queue.stats.peak_bytes == 1400
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_bytes=0)
+
+
+class TestRed:
+    def test_behaves_like_droptail_when_empty(self):
+        queue = RedQueue(capacity_bytes=100_000, rng=random.Random(1))
+        assert queue.offer(make_packet())
+        assert queue.poll() is not None
+
+    def test_drops_everything_above_max_threshold(self):
+        queue = RedQueue(capacity_bytes=10_000, min_threshold=0.1,
+                         max_threshold=0.5, weight=1.0,
+                         rng=random.Random(1))
+        # Fill past max threshold; weight=1 makes the average track
+        # instantaneous occupancy exactly.
+        assert queue.offer(make_packet(3000))
+        assert queue.offer(make_packet(3000))  # avg 3000/10000 < 0.5
+        assert not queue.offer(make_packet(3000))  # avg 6000/10000 >= 0.5
+
+    def test_probabilistic_region_drops_some(self):
+        rng = random.Random(7)
+        queue = RedQueue(capacity_bytes=100_000, min_threshold=0.01,
+                         max_threshold=0.99, max_drop_probability=1.0,
+                         weight=1.0, rng=rng)
+        outcomes = []
+        for _ in range(150):
+            outcomes.append(queue.offer(make_packet(500)))
+        assert any(outcomes) and not all(outcomes)
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            RedQueue(min_threshold=0.9, max_threshold=0.1)

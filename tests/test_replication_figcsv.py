@@ -1,0 +1,80 @@
+"""Tests for replication utilities and figure CSV export."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.replication import (
+    MetricSummary,
+    ReplicationResult,
+    headline_metrics,
+    run_replicated_study,
+)
+from repro.experiments.runner import run_study
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return run_study(seed=606, duration_scale=0.2)
+
+
+class TestHeadlineMetrics:
+    def test_all_metrics_present_and_sane(self, tiny_study):
+        metrics = headline_metrics(tiny_study)
+        assert set(metrics) == {
+            "wmp_frag_pct_high", "real_low_buffer_ratio",
+            "low_band_fps_gap", "real_stream_fraction", "ping_loss_pct"}
+        assert 55.0 <= metrics["wmp_frag_pct_high"] <= 90.0
+        assert metrics["low_band_fps_gap"] > 0.0
+        assert metrics["ping_loss_pct"] == 0.0
+        assert 0.0 < metrics["real_stream_fraction"] <= 1.1
+
+
+class TestReplication:
+    def test_summaries_aggregate_across_seeds(self, tiny_study):
+        result = ReplicationResult(seeds=(1, 2))
+        result.per_seed.append({"m": 1.0})
+        result.per_seed.append({"m": 3.0})
+        summary = result.summaries()[0]
+        assert summary.mean == 2.0
+        assert summary.std == pytest.approx(2.0 ** 0.5)
+        assert summary.row()[0] == "m"
+
+    def test_single_replication_zero_std(self):
+        summary = MetricSummary(name="x", values=(5.0,))
+        assert summary.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_replicated_study([])
+        with pytest.raises(ExperimentError):
+            ReplicationResult(seeds=()).summaries()
+
+    def test_two_seed_run(self):
+        result = run_replicated_study((51, 52), duration_scale=0.2)
+        assert len(result.per_seed) == 2
+        names = {s.name for s in result.summaries()}
+        assert "wmp_frag_pct_high" in names
+
+
+class TestFigureCsv:
+    def test_series_long_form(self):
+        result = FigureResult(figure_id="t", title="t",
+                              series={"a": [(1.0, 2.0), (3.0, 4.0)]})
+        text = result.to_csv()
+        assert "series,x,y" in text
+        assert "a,1.0,2.0" in text
+
+    def test_rows_then_series(self):
+        result = FigureResult(figure_id="t", title="t",
+                              headers=("k", "v"), rows=[["x", 1]],
+                              series={"s": [(0.0, 0.0)]})
+        text = result.to_csv()
+        assert text.index("k,v") < text.index("series,x,y")
+
+    def test_real_figure_exports(self, tiny_study):
+        from repro.experiments.figures import ALL_FIGURES
+
+        text = ALL_FIGURES["fig05"](tiny_study).to_csv()
+        assert "wmp_frag_percent" in text
+        assert text.endswith("\n")

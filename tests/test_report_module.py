@@ -1,0 +1,31 @@
+"""Tests for the full-report builder (repro.experiments.report)."""
+
+import io
+
+import pytest
+
+from repro.experiments.report import build_report
+from repro.experiments.runner import run_study
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return run_study(seed=31337, duration_scale=0.2)
+
+
+class TestBuildReport:
+    def test_contains_every_artifact(self, small_study):
+        text = build_report(small_study)
+        for figure_id in ("fig01", "fig05", "fig11", "fig15", "table1",
+                          "sec4"):
+            assert f"== {figure_id}:" in text
+
+    def test_findings_present_for_each_section(self, small_study):
+        text = build_report(small_study)
+        assert text.count("findings:") == 17
+
+    def test_plots_optional(self, small_study):
+        without = build_report(small_study, plots=False)
+        with_plots = build_report(small_study, plots=True)
+        assert len(with_plots) > len(without)
+        assert "cumulative density" not in without

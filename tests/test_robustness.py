@@ -1,0 +1,62 @@
+"""Seed-robustness: the headline findings hold across random seeds.
+
+The figures' calibration could in principle be an artifact of one lucky
+seed; these tests rerun a reduced study under several seeds and require
+every paper-critical ordering to hold in each.
+"""
+
+import pytest
+
+from repro.capture.reassembly import fragmentation_percent
+from repro.experiments.runner import run_study
+from repro.media.library import RateBand
+
+SEEDS = (11, 222, 3333)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def study(request):
+    return run_study(seed=request.param, duration_scale=0.2)
+
+
+class TestSeedRobustness:
+    def test_fragmentation_signature(self, study):
+        for run in study:
+            wmp = fragmentation_percent(run.wmp_flow())
+            real = fragmentation_percent(run.real_flow())
+            assert real == 0.0
+            if run.wmp_clip.encoded_kbps > 200:
+                assert wmp > 60.0
+
+    def test_real_streams_end_earlier(self, study):
+        from repro.servers.realserver import buffering_ratio
+
+        for run in study:
+            # The very-high clip's burst ratio is ~1 (paper Figure 11),
+            # so it streams in real time like WMP; the early-finish
+            # claim applies to clips that actually burst.
+            if buffering_ratio(run.real_clip.encoded_kbps) < 1.2:
+                continue
+            assert (run.real_stats.streaming_duration
+                    < run.wmp_stats.streaming_duration)
+
+    def test_classification_never_flips(self, study):
+        for run in study:
+            assert run.wmp_profile().classify() == "mediaplayer"
+            assert run.real_profile().classify() == "realplayer"
+
+    def test_low_band_frame_rate_ordering(self, study):
+        for run in study.by_band(RateBand.LOW):
+            assert (run.real_stats.average_fps
+                    > run.wmp_stats.average_fps)
+
+    def test_network_conditions_in_envelope(self, study):
+        for rtt in study.rtt_samples():
+            assert rtt <= 0.200
+        for hops in study.hop_samples():
+            assert 12 <= hops <= 25
+
+    def test_no_loss_under_typical_conditions(self, study):
+        assert study.loss_percent() == 0.0
+        for run in study:
+            assert run.stability.stable

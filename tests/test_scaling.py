@@ -1,0 +1,195 @@
+"""Media scaling and TCP-friendliness probe tests (paper §VI)."""
+
+import pytest
+
+from repro.errors import ExperimentError, MediaError
+from repro.experiments.tcp_friendly import (
+    run_probe,
+    tcp_friendly_rate_bps,
+)
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.servers.feedback import ReceiverReport
+from repro.servers.scaling import MediaScalingPolicy
+
+
+def make_report(session_id=1, received=100, lost=0, sent_at=0.0):
+    return ReceiverReport(session_id=session_id, sent_at=sent_at,
+                          packets_received=received, packets_lost=lost,
+                          interval_received=received, interval_lost=lost)
+
+
+class TestReceiverReport:
+    def test_loss_fraction(self):
+        report = make_report(received=90, lost=10)
+        assert report.interval_loss_fraction == pytest.approx(0.1)
+
+    def test_empty_interval_is_zero_loss(self):
+        report = ReceiverReport(session_id=1, sent_at=0.0,
+                                packets_received=0, packets_lost=0,
+                                interval_received=0, interval_lost=0)
+        assert report.interval_loss_fraction == 0.0
+
+    def test_wire_bytes_positive(self):
+        assert make_report().wire_bytes > 0
+
+
+class TestMediaScalingPolicy:
+    def test_starts_at_full_rate(self):
+        policy = MediaScalingPolicy()
+        assert policy.current_scale == 1.0
+
+    def test_downgrades_on_heavy_loss(self):
+        policy = MediaScalingPolicy(cooldown=0.0)
+        new_scale = policy.on_report(make_report(received=80, lost=20),
+                                     now=1.0)
+        assert new_scale == 0.8
+        assert policy.current_scale == 0.8
+
+    def test_walks_the_ladder_to_the_bottom(self):
+        policy = MediaScalingPolicy(cooldown=0.0)
+        for step in range(10):
+            policy.on_report(make_report(received=80, lost=20),
+                             now=float(step))
+        assert policy.current_scale == policy.levels[-1]
+
+    def test_upgrades_after_clean_interval(self):
+        policy = MediaScalingPolicy(cooldown=0.0)
+        policy.on_report(make_report(received=80, lost=20), now=1.0)
+        new_scale = policy.on_report(make_report(received=100, lost=0),
+                                     now=2.0)
+        assert new_scale == 1.0
+
+    def test_cooldown_suppresses_rapid_changes(self):
+        policy = MediaScalingPolicy(cooldown=5.0)
+        assert policy.on_report(make_report(received=80, lost=20),
+                                now=1.0) == 0.8
+        assert policy.on_report(make_report(received=80, lost=20),
+                                now=2.0) is None
+        assert policy.on_report(make_report(received=80, lost=20),
+                                now=7.0) == 0.6
+
+    def test_moderate_loss_holds_level(self):
+        policy = MediaScalingPolicy(cooldown=0.0, downgrade_loss=0.05,
+                                    upgrade_loss=0.001)
+        assert policy.on_report(make_report(received=99, lost=1),
+                                now=1.0) is None
+
+    def test_history_records_changes(self):
+        policy = MediaScalingPolicy(cooldown=0.0)
+        policy.on_report(make_report(received=50, lost=50), now=3.0)
+        assert policy.history == [(3.0, 0.8)]
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(MediaError):
+            MediaScalingPolicy(levels=())
+        with pytest.raises(MediaError):
+            MediaScalingPolicy(levels=(0.5, 0.8))
+        with pytest.raises(MediaError):
+            MediaScalingPolicy(downgrade_loss=0.01, upgrade_loss=0.02)
+
+
+class TestPacerScaling:
+    def make_pacer(self, host_pair, scale=None):
+        import random
+
+        from repro.media.codec import SyntheticCodec
+        from repro.servers.pacing import CbrAduPacer
+
+        clip = Clip(title="t", genre="Test", duration=20.0,
+                    encoding=ClipEncoding(family=PlayerFamily.WMP,
+                                          encoded_kbps=300.0,
+                                          advertised_kbps=300.0))
+        schedule = SyntheticCodec(random.Random(1)).encode(clip)
+        received = []
+        sink = host_pair.right.udp.bind(7000)
+        sink.on_receive = received.append
+        socket = host_pair.left.udp.bind_ephemeral()
+        pacer = CbrAduPacer(host_pair.sim, socket,
+                            host_pair.right.address, 7000, clip, schedule,
+                            rng=random.Random(1))
+        if scale is not None:
+            pacer.set_rate_scale(scale)
+        return pacer, received
+
+    def test_scaled_pacer_halves_wire_bytes(self, host_pair):
+        pacer, received = self.make_pacer(host_pair, scale=0.5)
+        pacer.start()
+        host_pair.sim.run(until=60.0)
+        media_bytes = sum(d.payload_bytes for d in received
+                          if d.payload.kind == "media")
+        # Half the bytes cover the same 20 s of media.
+        assert media_bytes == pytest.approx(pacer.total_media_bytes / 2,
+                                            rel=0.02)
+        assert pacer.streaming_duration == pytest.approx(20.0, rel=0.05)
+
+    def test_unscaled_behavior_unchanged(self, host_pair):
+        pacer, received = self.make_pacer(host_pair)
+        pacer.start()
+        host_pair.sim.run(until=60.0)
+        assert pacer.bytes_sent == pacer.total_media_bytes
+
+    def test_frames_still_cover_schedule_when_scaled(self, host_pair):
+        pacer, received = self.make_pacer(host_pair, scale=0.45)
+        pacer.start()
+        host_pair.sim.run(until=60.0)
+        frames = [n for d in received if d.payload.kind == "media"
+                  for n in d.payload.frame_numbers]
+        assert frames[-1] == len(pacer.schedule) - 1
+
+    def test_invalid_scale_rejected(self, host_pair):
+        pacer, _ = self.make_pacer(host_pair)
+        with pytest.raises(MediaError):
+            pacer.set_rate_scale(0.0)
+        with pytest.raises(MediaError):
+            pacer.set_rate_scale(1.5)
+
+
+class TestTcpFriendlyFormula:
+    def test_known_value(self):
+        # 1.22 * 1500 / (0.1 * sqrt(0.01)) = 183,000 B/s = 1.464 Mbps.
+        rate = tcp_friendly_rate_bps(rtt=0.1, loss_fraction=0.01)
+        assert rate == pytest.approx(1_464_000, rel=1e-3)
+
+    def test_more_loss_means_lower_rate(self):
+        low = tcp_friendly_rate_bps(0.05, 0.001)
+        high = tcp_friendly_rate_bps(0.05, 0.04)
+        assert high < low
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ExperimentError):
+            tcp_friendly_rate_bps(0.0, 0.01)
+        with pytest.raises(ExperimentError):
+            tcp_friendly_rate_bps(0.1, 0.0)
+
+
+class TestFriendlinessProbe:
+    def test_unscaled_wmp_ignores_loss(self):
+        result = run_probe(PlayerFamily.WMP, 307.2,
+                           loss_probability=0.02, duration=30.0)
+        # Delivered rate stays near the encoding rate minus loss.
+        assert result.achieved_kbps > 307.2 * 0.9
+        assert result.final_rate_scale == 1.0
+
+    def test_scaling_reduces_rate_under_loss(self):
+        unscaled = run_probe(PlayerFamily.WMP, 307.2,
+                             loss_probability=0.05, duration=30.0,
+                             scaling=False)
+        scaled = run_probe(PlayerFamily.WMP, 307.2,
+                           loss_probability=0.05, duration=30.0,
+                           scaling=True)
+        assert scaled.final_rate_scale < 1.0
+        assert scaled.achieved_kbps < unscaled.achieved_kbps * 0.95
+
+    def test_friendliness_index_flags_unfriendly_flow(self):
+        # At 15% loss and 200 ms RTT the TCP bound is ~189 Kbps; an
+        # unscaled 300 Kbps CBR flow keeps offering well above it.
+        result = run_probe(PlayerFamily.WMP, 307.2,
+                           loss_probability=0.15, duration=30.0,
+                           rtt=0.200)
+        assert result.offered_kbps > 280.0
+        assert result.friendliness_index > 1.4
+
+    def test_lossless_probe_is_trivially_friendly(self):
+        result = run_probe(PlayerFamily.REAL, 100.0,
+                           loss_probability=0.0, duration=20.0)
+        assert result.friendliness_index == 0.0

@@ -1,0 +1,222 @@
+"""Streaming-server tests: control protocol, sessions, both models."""
+
+import pytest
+
+from repro.errors import MediaError, ProtocolError
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.servers.base import StreamingServer
+from repro.servers.control import ControlRequest, ControlResponse
+from repro.servers.realserver import (
+    RealServer,
+    buffering_ratio,
+    burst_duration,
+)
+from repro.servers.session import SessionState
+from repro.servers.wms import WindowsMediaServer
+
+
+def make_clip(family, kbps=300.0, duration=30.0, title=None):
+    return Clip(title=title or f"clip-{family.value}", genre="Sports",
+                duration=duration,
+                encoding=ClipEncoding(family=family, encoded_kbps=kbps,
+                                      advertised_kbps=kbps))
+
+
+class ControlDriver:
+    """A minimal hand-rolled control client for protocol tests."""
+
+    def __init__(self, host_pair, control_port=554):
+        self.pair = host_pair
+        self.responses = []
+        self.connection = host_pair.left.tcp.connect(
+            host_pair.right.address, control_port)
+        self.connection.on_message = lambda conn, msg: self.responses.append(msg)
+        host_pair.sim.run()
+
+    def send(self, request):
+        self.connection.send_message(request, request.wire_bytes)
+        self.pair.sim.run()
+        return self.responses[-1]
+
+
+@pytest.fixture
+def wms(host_pair):
+    server = WindowsMediaServer(host_pair.right)
+    server.add_clip(make_clip(PlayerFamily.WMP, title="news"))
+    return server
+
+
+class TestClipRegistry:
+    def test_wrong_family_rejected(self, host_pair):
+        server = WindowsMediaServer(host_pair.right)
+        with pytest.raises(MediaError):
+            server.add_clip(make_clip(PlayerFamily.REAL))
+
+    def test_duplicate_title_rejected(self, wms):
+        with pytest.raises(MediaError):
+            wms.add_clip(make_clip(PlayerFamily.WMP, title="news"))
+
+    def test_clip_titles_listed(self, wms):
+        wms.add_clip(make_clip(PlayerFamily.WMP, title="another"))
+        assert wms.clip_titles() == ["another", "news"]
+
+
+class TestControlProtocol:
+    def test_describe_returns_clip_metadata(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        response = driver.send(ControlRequest(method="DESCRIBE",
+                                              clip_title="news"))
+        assert response.ok
+        assert response.description.encoded_kbps == 300.0
+        assert response.description.duration == 30.0
+        assert response.description.nominal_fps > 0
+
+    def test_describe_unknown_clip_404(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        response = driver.send(ControlRequest(method="DESCRIBE",
+                                              clip_title="ghost"))
+        assert response.status == 404
+
+    def test_setup_allocates_session_and_port(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        response = driver.send(ControlRequest(method="SETUP",
+                                              clip_title="news",
+                                              client_media_port=7000))
+        assert response.ok
+        assert response.session_id == 1
+        assert response.server_media_port >= 49152
+        assert wms.sessions[1].state == SessionState.READY
+
+    def test_setup_requires_client_port(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        response = driver.send(ControlRequest(method="SETUP",
+                                              clip_title="news"))
+        assert response.status == 400
+
+    def test_play_starts_streaming(self, host_pair, wms):
+        received = []
+        media = host_pair.left.udp.bind(7000)
+        media.on_receive = received.append
+        driver = ControlDriver(host_pair)
+        setup = driver.send(ControlRequest(method="SETUP",
+                                           clip_title="news",
+                                           client_media_port=7000))
+        play = driver.send(ControlRequest(method="PLAY",
+                                          session_id=setup.session_id))
+        assert play.ok
+        assert len(received) > 10
+        assert wms.sessions[setup.session_id].state == SessionState.DONE
+
+    def test_play_unknown_session_454(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        response = driver.send(ControlRequest(method="PLAY", session_id=99))
+        assert response.status == 454
+
+    def test_double_play_rejected_455(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        media = host_pair.left.udp.bind(7000)
+        media.on_receive = lambda d: None
+        setup = driver.send(ControlRequest(method="SETUP",
+                                           clip_title="news",
+                                           client_media_port=7000))
+        driver.send(ControlRequest(method="PLAY",
+                                   session_id=setup.session_id))
+        again = driver.send(ControlRequest(method="PLAY",
+                                           session_id=setup.session_id))
+        assert again.status == 455
+
+    def test_teardown_stops_stream(self, host_pair, wms):
+        received = []
+        media = host_pair.left.udp.bind(7000)
+        media.on_receive = received.append
+        driver = ControlDriver(host_pair)
+        setup = driver.send(ControlRequest(method="SETUP",
+                                           clip_title="news",
+                                           client_media_port=7000))
+        # PLAY then TEARDOWN immediately: run only a little between.
+        driver.connection.send_message(
+            ControlRequest(method="PLAY", session_id=setup.session_id), 220)
+        host_pair.sim.run(until=host_pair.sim.now + 1.0)
+        count_at_teardown = len(received)
+        response = driver.send(ControlRequest(method="TEARDOWN",
+                                              session_id=setup.session_id))
+        assert response.ok
+        assert wms.sessions[setup.session_id].state == SessionState.TORN_DOWN
+        host_pair.sim.run()
+        assert len(received) <= count_at_teardown + 2
+
+    def test_unknown_method_501(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        response = driver.send(ControlRequest(method="PAUSE"))
+        assert response.status == 501
+
+
+class TestRealServerModel:
+    def test_buffering_ratio_matches_figure11(self):
+        # ~3 at low rates, ~1 at 637 Kbps, monotonically decreasing.
+        assert buffering_ratio(22.0) == pytest.approx(3.0, abs=0.1)
+        assert buffering_ratio(36.0) >= 2.8
+        assert buffering_ratio(637.0) == pytest.approx(1.0, abs=0.15)
+        rates = [22, 36, 84, 180, 284, 637]
+        ratios = [buffering_ratio(r) for r in rates]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_burst_duration_20_to_40_seconds(self):
+        assert burst_duration(36.0) == pytest.approx(22.4, abs=0.1)
+        assert burst_duration(300.0) == 40.0
+        assert burst_duration(637.0) == 40.0
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(MediaError):
+            buffering_ratio(0)
+        with pytest.raises(MediaError):
+            burst_duration(-1)
+
+    def test_real_server_streams_with_burst(self, host_pair):
+        server = RealServer(host_pair.right)
+        server.add_clip(make_clip(PlayerFamily.REAL, kbps=36.0,
+                                  duration=120.0, title="low"))
+        received = []
+        media = host_pair.left.udp.bind(7000)
+        media.on_receive = received.append
+        driver = ControlDriver(host_pair)
+        setup = driver.send(ControlRequest(method="SETUP", clip_title="low",
+                                           client_media_port=7000))
+        driver.send(ControlRequest(method="PLAY",
+                                   session_id=setup.session_id))
+        payload = [d for d in received if d.payload.kind == "media"]
+        # Burst phase delivers roughly 3x the steady rate.
+        early = sum(d.payload_bytes for d in payload
+                    if d.arrival_time < 10.0)
+        later = sum(d.payload_bytes for d in payload
+                    if 30.0 <= d.arrival_time < 40.0)
+        assert early > 2.0 * max(later, 1)
+
+
+class TestSessionStateMachine:
+    def test_play_from_wrong_state_raises(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        media = host_pair.left.udp.bind(7000)
+        media.on_receive = lambda d: None
+        setup = driver.send(ControlRequest(method="SETUP",
+                                           clip_title="news",
+                                           client_media_port=7000))
+        session = wms.sessions[setup.session_id]
+        session.teardown()
+        with pytest.raises(ProtocolError):
+            session.play(pacer=None)
+
+    def test_teardown_is_idempotent(self, host_pair, wms):
+        driver = ControlDriver(host_pair)
+        setup = driver.send(ControlRequest(method="SETUP",
+                                           clip_title="news",
+                                           client_media_port=7000))
+        session = wms.sessions[setup.session_id]
+        session.teardown()
+        session.teardown()  # no error
+        assert session.state == SessionState.TORN_DOWN
+
+    def test_base_server_pacer_hook_abstract(self, host_pair):
+        server = StreamingServer.__new__(StreamingServer)
+        with pytest.raises(NotImplementedError):
+            server._make_pacer(None)

@@ -1,0 +1,90 @@
+"""Sniffer tests: capturing live simulated traffic at a host."""
+
+import pytest
+
+from repro.capture.sniffer import Sniffer
+from repro.errors import CaptureError
+
+
+def stream_datagrams(host_pair, count=5, size=500, port=7000):
+    sink = host_pair.right.udp.bind(port)
+    sink.on_receive = lambda d: None
+    source = host_pair.left.udp.bind_ephemeral()
+    for index in range(count):
+        host_pair.sim.schedule_at(
+            index * 0.1, source.send, host_pair.right.address, port, size)
+
+
+class TestCaptureLifecycle:
+    def test_captures_received_packets(self, host_pair):
+        sniffer = Sniffer(host_pair.right).start()
+        stream_datagrams(host_pair, count=5)
+        host_pair.sim.run()
+        trace = sniffer.stop()
+        assert len(trace) == 5
+        assert all(r.direction == "rx" for r in trace)
+
+    def test_capture_includes_tx_at_the_tapped_host(self, host_pair):
+        sniffer = Sniffer(host_pair.left).start()
+        stream_datagrams(host_pair, count=3)
+        host_pair.sim.run()
+        trace = sniffer.stop()
+        assert len(trace) == 3
+        assert all(r.direction == "tx" for r in trace)
+
+    def test_stop_without_start_raises(self, host_pair):
+        with pytest.raises(CaptureError):
+            Sniffer(host_pair.right).stop()
+
+    def test_nothing_recorded_after_stop(self, host_pair):
+        sniffer = Sniffer(host_pair.right).start()
+        stream_datagrams(host_pair, count=2)
+        host_pair.sim.run(until=0.05)
+        sniffer.stop()
+        host_pair.sim.run()
+        assert len(sniffer.trace) == 1
+
+    def test_context_manager(self, host_pair):
+        stream_datagrams(host_pair, count=2)
+        with Sniffer(host_pair.right) as sniffer:
+            host_pair.sim.run()
+        assert sniffer.packet_count == 2
+
+
+class TestCaptureFiltering:
+    def test_rx_only_mode(self, host_pair):
+        # Tap the right host, which also replies with ICMP echoes.
+        sniffer = Sniffer(host_pair.right, rx_only=True).start()
+        results = []
+        host_pair.left.icmp.send_echo(host_pair.right.address,
+                                      results.append)
+        host_pair.sim.run()
+        trace = sniffer.stop()
+        assert len(trace) == 1  # the request only, not the tx reply
+
+    def test_capture_filter_expression(self, host_pair):
+        sniffer = Sniffer(host_pair.right,
+                          capture_filter="udp && frame.len > 400").start()
+        stream_datagrams(host_pair, count=3, size=500)
+        stream_datagrams(host_pair, count=3, size=100, port=7001)
+        host_pair.sim.run()
+        trace = sniffer.stop()
+        assert len(trace) == 3
+        assert all(r.wire_bytes > 400 for r in trace)
+
+    def test_filtered_packets_do_not_consume_numbers(self, host_pair):
+        sniffer = Sniffer(host_pair.right, capture_filter="udp").start()
+        stream_datagrams(host_pair, count=3)
+        host_pair.sim.run()
+        trace = sniffer.stop()
+        assert [r.number for r in trace] == [1, 2, 3]
+
+    def test_fragmented_traffic_appears_as_fragments(self, host_pair):
+        sniffer = Sniffer(host_pair.right).start()
+        stream_datagrams(host_pair, count=1, size=3840)
+        host_pair.sim.run()
+        trace = sniffer.stop()
+        assert len(trace) == 3
+        assert trace[0].src_port is not None
+        assert trace[1].is_trailing_fragment
+        assert trace[0].wire_bytes == 1514

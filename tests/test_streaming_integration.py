@@ -1,0 +1,180 @@
+"""End-to-end integration: both players streaming over the full path.
+
+These tests exercise the entire pipeline — control handshake over TCP,
+media over UDP through 16 routers, IP fragmentation and reassembly,
+capture at the client — and assert the paper's headline findings hold
+in the reproduction.
+"""
+
+import pytest
+
+from repro.capture.reassembly import fragmentation_percent, group_datagrams
+from repro.capture.sniffer import Sniffer
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.players.mediatracker import MediaTracker
+from repro.players.realtracker import RealTracker
+from repro.servers.realserver import RealServer
+from repro.servers.wms import WindowsMediaServer
+
+
+def make_clip(family, kbps, duration=40.0, title=None):
+    return Clip(title=title or f"clip-{family.value}", genre="Sports",
+                duration=duration,
+                encoding=ClipEncoding(family=family, encoded_kbps=kbps,
+                                      advertised_kbps=kbps))
+
+
+def stream_pair(path, real_kbps=284.0, wmp_kbps=323.1, duration=40.0,
+                horizon=600.0):
+    """Stream a Real/WMP pair simultaneously; return (real, wmp, trace)."""
+    real_server = RealServer(path.servers[0])
+    real_server.add_clip(make_clip(PlayerFamily.REAL, real_kbps,
+                                   duration, "content-r"))
+    wms = WindowsMediaServer(path.servers[1])
+    wms.add_clip(make_clip(PlayerFamily.WMP, wmp_kbps, duration,
+                           "content-m"))
+
+    sniffer = Sniffer(path.client, rx_only=True).start()
+    real_player = RealTracker(path.client, path.servers[0].address)
+    media_player = MediaTracker(path.client, path.servers[1].address)
+    real_player.play("content-r")
+    media_player.play("content-m")
+    path.sim.run(until=horizon)
+    trace = sniffer.stop()
+    return real_player, media_player, trace
+
+
+class TestSimultaneousStreaming:
+    @pytest.fixture(scope="class")
+    def run(self):
+        import repro.netsim.engine as engine
+        from repro.netsim.topology import build_path_topology
+
+        sim = engine.Simulator(seed=77)
+        path = build_path_topology(sim, hop_count=17, rtt=0.040)
+        return stream_pair(path)
+
+    def test_both_players_finish(self, run):
+        real_player, media_player, _ = run
+        assert real_player.done
+        assert media_player.done
+
+    def test_wmp_traffic_fragments_at_high_rate(self, run):
+        _, media_player, trace = run
+        wmp_flow = trace.udp().flow(media_player.server)
+        assert fragmentation_percent(wmp_flow) > 50.0
+
+    def test_real_traffic_never_fragments(self, run):
+        real_player, _, trace = run
+        real_flow = trace.udp().flow(real_player.server)
+        assert fragmentation_percent(real_flow) == 0.0
+
+    def test_wmp_groups_are_constant_size(self, run):
+        _, media_player, trace = run
+        wmp_flow = trace.udp().flow(media_player.server).display_filter(
+            "udp.dstport > 0 || ip.frag.trailing")
+        groups = group_datagrams(wmp_flow)
+        media_groups = [g for g in groups if g.packet_count > 1]
+        # The clip's final ADU is truncated to the remaining bytes, so
+        # its group may be shorter; every other group is identical
+        # ("a constant number of packets in each group").
+        counts = {g.packet_count for g in media_groups[:-1]}
+        assert len(counts) == 1
+
+    def test_full_wire_frames_in_wmp_groups(self, run):
+        _, media_player, trace = run
+        fragments = trace.display_filter("ip.frag && !ip.frag.trailing")
+        assert fragments and all(r.wire_bytes == 1514 for r in fragments)
+
+    def test_real_stream_ends_before_wmp(self, run):
+        real_player, media_player, _ = run
+        assert (real_player.stats.streaming_duration
+                < media_player.stats.streaming_duration)
+
+    def test_real_average_rate_above_encoding(self, run):
+        real_player, _, _ = run
+        assert (real_player.stats.average_playback_kbps
+                > real_player.stats.encoded_kbps * 1.05)
+
+    def test_wmp_average_rate_matches_encoding(self, run):
+        _, media_player, _ = run
+        assert (media_player.stats.average_playback_kbps
+                == pytest.approx(media_player.stats.encoded_kbps, rel=0.08))
+
+    def test_no_packets_lost_uncongested(self, run):
+        real_player, media_player, _ = run
+        assert real_player.stats.packets_lost == 0
+        assert media_player.stats.packets_lost == 0
+
+    def test_frame_rates_full_motion_at_high_rate(self, run):
+        real_player, media_player, _ = run
+        assert real_player.stats.average_fps >= 24.0
+        assert media_player.stats.average_fps >= 24.0
+
+    def test_mediatracker_sees_interleaving_batches(self, run):
+        _, media_player, _ = run
+        sizes = media_player.application_batch_sizes()
+        # ~10 packets per 1 s application batch at the 100 ms tick.
+        interior = sizes[1:-1]
+        assert interior
+        assert sum(interior) / len(interior) == pytest.approx(10.0, abs=1.0)
+
+    def test_realtracker_has_no_interleaver(self, run):
+        real_player, _, _ = run
+        assert real_player.interleaver is None
+        receipts = real_player.stats.receipts
+        assert all(r.app_time == r.network_time for r in receipts)
+
+
+class TestLowRatePair:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.netsim.engine import Simulator
+        from repro.netsim.topology import build_path_topology
+
+        sim = Simulator(seed=78)
+        path = build_path_topology(sim, hop_count=17, rtt=0.040)
+        return stream_pair(path, real_kbps=36.0, wmp_kbps=49.8,
+                           duration=60.0)
+
+    def test_no_fragmentation_below_100kbps(self, run):
+        _, media_player, trace = run
+        wmp_flow = trace.udp().flow(media_player.server)
+        assert fragmentation_percent(wmp_flow) == 0.0
+
+    def test_wmp_low_rate_packet_sizes_800_to_1000(self, run):
+        _, media_player, trace = run
+        wmp_flow = trace.udp().flow(media_player.server,
+                                    dst_port=None).display_filter(
+            "frame.len > 100")
+        media_sizes = [r.ip_bytes - 28 for r in wmp_flow
+                       if r.payload_kind == "media"]
+        # All but the clip's truncated final ADU sit in the paper's
+        # 800-1000 byte band (Figure 6).
+        assert all(800 <= size <= 1000 for size in media_sizes[:-1])
+
+    def test_real_frame_rate_beats_wmp_at_low_rate(self, run):
+        real_player, media_player, _ = run
+        assert (real_player.stats.average_fps
+                > media_player.stats.average_fps + 3.0)
+
+    def test_wmp_low_rate_is_about_13fps(self, run):
+        _, media_player, _ = run
+        assert media_player.stats.average_fps == pytest.approx(13.0, abs=2.0)
+
+    def test_real_burst_visible_in_bandwidth_timeline(self, run):
+        real_player, _, _ = run
+        timeline = real_player.stats.bandwidth_timeline(interval=1.0)
+        rates = [kbps for _, kbps in timeline]
+        early = sum(rates[:10]) / 10
+        # Steady-phase window well after the burst:
+        late = sum(rates[30:40]) / 10
+        assert early > 2.0 * late
+
+    def test_playout_starts_sooner_for_real(self, run):
+        real_player, media_player, _ = run
+        real_start = (real_player.stats.playout_started_at
+                      - real_player.stats.first_media_at)
+        wmp_start = (media_player.stats.playout_started_at
+                     - media_player.stats.first_media_at)
+        assert real_start < wmp_start

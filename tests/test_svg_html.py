@@ -1,0 +1,74 @@
+"""Tests for SVG chart rendering and the HTML study report."""
+
+import pytest
+
+from repro.analysis.svg import PALETTE, _nice_ticks, svg_chart
+from repro.errors import AnalysisError
+from repro.experiments.html_report import build_html_report
+from repro.experiments.runner import run_study
+
+
+class TestNiceTicks:
+    def test_covers_the_range(self):
+        ticks = _nice_ticks(0.0, 100.0)
+        assert ticks[0] <= 0.0
+        assert ticks[-1] >= 100.0
+
+    def test_round_values(self):
+        for tick in _nice_ticks(0.0, 97.3):
+            assert tick == round(tick, 10)
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 2
+
+
+class TestSvgChart:
+    def test_valid_svg_with_series(self):
+        text = svg_chart({"a": [(0.0, 0.0), (1.0, 2.0)],
+                          "b": [(0.0, 1.0), (1.0, 0.5)]},
+                         title="demo", x_label="x", y_label="y")
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert "demo" in text
+        assert text.count("polyline") == 2
+        assert PALETTE[0] in text and PALETTE[1] in text
+
+    def test_scatter_only_mode(self):
+        text = svg_chart({"a": [(0.0, 0.0), (1.0, 2.0)]}, lines=False)
+        assert "polyline" not in text
+        assert "circle" in text
+
+    def test_single_point_series(self):
+        text = svg_chart({"a": [(1.0, 1.0)]})
+        assert "circle" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            svg_chart({})
+        with pytest.raises(AnalysisError):
+            svg_chart({"a": []})
+
+
+class TestHtmlReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        study = run_study(seed=909, duration_scale=0.2)
+        return build_html_report(study)
+
+    def test_is_complete_html(self, report):
+        assert report.startswith("<!DOCTYPE html>")
+        assert report.rstrip().endswith("</html>")
+
+    def test_every_artifact_has_a_section(self, report):
+        for figure_id in ("fig01", "fig05", "fig11", "fig15", "table1",
+                          "sec4"):
+            assert f'id="{figure_id}"' in report
+
+    def test_contains_svg_charts_and_tables(self, report):
+        assert report.count("<svg") >= 10
+        assert report.count("<table>") >= 3
+
+    def test_findings_escaped_and_present(self, report):
+        assert "findings" in report
+        assert "paper:" in report

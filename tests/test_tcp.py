@@ -1,0 +1,101 @@
+"""Minimal-TCP channel tests: handshake, messaging, segmentation."""
+
+import pytest
+
+from repro.errors import SocketError
+from repro.netsim.tcp import MSS_BYTES, TcpState
+
+
+def establish(host_pair):
+    """Connect left->right:554; run the handshake; return both ends."""
+    accepted = []
+    host_pair.right.tcp.listen(554, accepted.append)
+    client = host_pair.left.tcp.connect(host_pair.right.address, 554)
+    established = []
+    client.on_established = established.append
+    host_pair.sim.run()
+    assert established == [client]
+    assert len(accepted) == 1
+    return client, accepted[0]
+
+
+class TestHandshake:
+    def test_three_way_handshake_establishes_both_ends(self, host_pair):
+        client, server = establish(host_pair)
+        assert client.state == TcpState.ESTABLISHED
+        assert server.state == TcpState.ESTABLISHED
+
+    def test_connect_to_non_listening_port_stays_syn_sent(self, host_pair):
+        client = host_pair.left.tcp.connect(host_pair.right.address, 9999)
+        host_pair.sim.run()
+        assert client.state == TcpState.SYN_SENT
+
+    def test_double_listen_rejected(self, host_pair):
+        host_pair.right.tcp.listen(554, lambda c: None)
+        with pytest.raises(SocketError):
+            host_pair.right.tcp.listen(554, lambda c: None)
+
+    def test_multiple_clients_get_separate_connections(self, host_pair):
+        accepted = []
+        host_pair.right.tcp.listen(554, accepted.append)
+        first = host_pair.left.tcp.connect(host_pair.right.address, 554)
+        second = host_pair.left.tcp.connect(host_pair.right.address, 554)
+        host_pair.sim.run()
+        assert len(accepted) == 2
+        assert first.local_port != second.local_port
+
+
+class TestMessaging:
+    def test_small_message_delivered(self, host_pair):
+        client, server = establish(host_pair)
+        inbox = []
+        server.on_message = lambda conn, msg: inbox.append(msg)
+        client.send_message({"method": "DESCRIBE"}, 200)
+        host_pair.sim.run()
+        assert inbox == [{"method": "DESCRIBE"}]
+
+    def test_reply_direction_works(self, host_pair):
+        client, server = establish(host_pair)
+        inbox = []
+        client.on_message = lambda conn, msg: inbox.append(msg)
+        server.send_message("200 OK", 150)
+        host_pair.sim.run()
+        assert inbox == ["200 OK"]
+
+    def test_large_message_segmented_and_reassembled(self, host_pair):
+        client, server = establish(host_pair)
+        inbox = []
+        server.on_message = lambda conn, msg: inbox.append(msg)
+        size = MSS_BYTES * 3 + 17
+        client.send_message("big-sdp", size)
+        host_pair.sim.run()
+        assert inbox == ["big-sdp"]
+        assert server.messages_received == 1
+
+    def test_messages_arrive_in_order(self, host_pair):
+        client, server = establish(host_pair)
+        inbox = []
+        server.on_message = lambda conn, msg: inbox.append(msg)
+        for i in range(5):
+            client.send_message(i, 100)
+        host_pair.sim.run()
+        assert inbox == [0, 1, 2, 3, 4]
+
+    def test_send_before_established_rejected(self, host_pair):
+        client = host_pair.left.tcp.connect(host_pair.right.address, 554)
+        with pytest.raises(SocketError):
+            client.send_message("too-early", 10)
+
+    def test_nonpositive_size_rejected(self, host_pair):
+        client, _server = establish(host_pair)
+        with pytest.raises(SocketError):
+            client.send_message("empty", 0)
+
+    def test_message_counters(self, host_pair):
+        client, server = establish(host_pair)
+        server.on_message = lambda conn, msg: None
+        client.send_message("a", 10)
+        client.send_message("b", 10)
+        host_pair.sim.run()
+        assert client.messages_sent == 2
+        assert server.messages_received == 2

@@ -1,0 +1,123 @@
+"""TCP media transport tests (the paper's unstudied other mode)."""
+
+import pytest
+
+from repro.capture.reassembly import fragmentation_percent
+from repro.capture.sniffer import Sniffer
+from repro.errors import ProtocolError
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import build_path_topology
+from repro.players.mediatracker import MediaTracker
+from repro.players.realtracker import RealTracker
+from repro.servers.wms import WindowsMediaServer
+
+
+def make_clip(family, kbps, duration=20.0, title="clip"):
+    return Clip(title=title, genre="Test", duration=duration,
+                encoding=ClipEncoding(family=family, encoded_kbps=kbps,
+                                      advertised_kbps=kbps))
+
+
+def stream_over(transport, kbps=307.2, duration=20.0, seed=42):
+    sim = Simulator(seed=seed)
+    path = build_path_topology(sim, hop_count=10, rtt=0.040)
+    server = WindowsMediaServer(path.server)
+    server.add_clip(make_clip(PlayerFamily.WMP, kbps, duration))
+    sniffer = Sniffer(path.client, rx_only=True).start()
+    player = MediaTracker(path.client, path.server.address,
+                          transport=transport)
+    player.play("clip")
+    sim.run(until=duration * 3 + 60.0)
+    return player, sniffer.stop()
+
+
+class TestTcpStreaming:
+    @pytest.fixture(scope="class")
+    def tcp_run(self):
+        return stream_over("TCP")
+
+    def test_playback_completes(self, tcp_run):
+        player, _ = tcp_run
+        assert player.done
+        assert player.stats.eos_at is not None
+
+    def test_stats_record_the_transport(self, tcp_run):
+        player, _ = tcp_run
+        assert player.stats.transport == "TCP"
+
+    def test_no_ip_fragmentation_over_tcp(self, tcp_run):
+        # The headline counterfactual: the same 307 Kbps WMP stream
+        # that fragments 66% of its packets over UDP produces zero IP
+        # fragments over TCP (MSS segmentation happens above IP).
+        _, trace = tcp_run
+        assert fragmentation_percent(trace) == 0.0
+
+    def test_wire_frames_capped_at_mss(self, tcp_run):
+        _, trace = tcp_run
+        assert max(record.wire_bytes for record in trace) <= 1514
+
+    def test_full_byte_budget_delivered(self, tcp_run):
+        player, _ = tcp_run
+        expected = 307_200 * 20.0 / 8
+        assert player.stats.bytes_received == pytest.approx(expected,
+                                                            rel=0.02)
+
+    def test_frame_rate_matches_udp_mode(self, tcp_run):
+        tcp_player, _ = tcp_run
+        udp_player, _ = stream_over("UDP")
+        assert tcp_player.stats.average_fps == pytest.approx(
+            udp_player.stats.average_fps, rel=0.05)
+
+    def test_interleaving_still_observed(self, tcp_run):
+        player, _ = tcp_run
+        sizes = player.application_batch_sizes()
+        interior = sizes[1:-1]
+        assert interior
+        assert sum(interior) / len(interior) == pytest.approx(10.0,
+                                                              abs=1.5)
+
+
+class TestTransportComparison:
+    def test_udp_fragments_tcp_does_not(self):
+        _, udp_trace = stream_over("UDP", seed=7)
+        _, tcp_trace = stream_over("TCP", seed=7)
+        assert fragmentation_percent(udp_trace.udp()) > 60.0
+        assert fragmentation_percent(tcp_trace) == 0.0
+
+    def test_real_player_over_tcp(self):
+        from repro.servers.realserver import RealServer
+
+        sim = Simulator(seed=9)
+        path = build_path_topology(sim, hop_count=10, rtt=0.040)
+        server = RealServer(path.server)
+        server.add_clip(make_clip(PlayerFamily.REAL, 217.6,
+                                  duration=20.0, title="r"))
+        player = RealTracker(path.client, path.server.address,
+                             transport="TCP")
+        player.play("r")
+        sim.run(until=200.0)
+        assert player.done
+        assert player.stats.packets_received > 50
+
+
+class TestTransportValidation:
+    def test_unknown_transport_rejected(self, path):
+        with pytest.raises(ProtocolError):
+            MediaTracker(path.client, path.server.address,
+                         transport="SCTP")
+
+    def test_play_without_media_channel_455(self, host_pair):
+        from repro.servers.control import ControlRequest
+        from .test_servers import ControlDriver
+
+        server = WindowsMediaServer(host_pair.right)
+        server.add_clip(make_clip(PlayerFamily.WMP, 100.0, title="x"))
+        driver = ControlDriver(host_pair)
+        setup = driver.send(ControlRequest(method="SETUP", clip_title="x",
+                                           transport="TCP"))
+        assert setup.ok
+        # PLAY before the client connected the media channel.
+        play = driver.send(ControlRequest(method="PLAY",
+                                          session_id=setup.session_id))
+        assert play.status == 455

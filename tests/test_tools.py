@@ -1,0 +1,159 @@
+"""Methodology-tool tests: ping, tracert, playlist automation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.media.clip import Clip, ClipEncoding, PlayerFamily
+from repro.players.mediatracker import MediaTracker
+from repro.players.realtracker import RealTracker
+from repro.servers.realserver import RealServer
+from repro.servers.wms import WindowsMediaServer
+from repro.tools.ping import PingSession, run_ping
+from repro.tools.playlist import PlaylistEntry, PlaylistRunner
+from repro.tools.tracert import run_tracert
+
+
+class TestPing:
+    def test_reports_all_received_on_clean_path(self, path):
+        report = run_ping(path.client, path.server.address, count=4)
+        assert report.sent == 4
+        assert report.received == 4
+        assert report.loss_percent == 0.0
+
+    def test_rtt_statistics_near_nominal(self, path):
+        report = run_ping(path.client, path.server.address, count=4)
+        assert report.avg_rtt == pytest.approx(0.040, rel=0.25)
+        assert report.min_rtt <= report.median_rtt <= report.max_rtt
+
+    def test_render_mentions_loss_and_rtt(self, path):
+        report = run_ping(path.client, path.server.address, count=2)
+        text = report.render()
+        assert "0% loss" in text
+        assert "Minimum" in text
+
+    def test_unreachable_target_counts_lost(self, path):
+        # TTL 1 probes die at the first router; ping counts them lost.
+        session = PingSession(path.client, path.server.address, count=2,
+                              interval=0.1, timeout=0.5)
+        original = path.client.icmp.send_echo
+        path.client.icmp.send_echo = (
+            lambda dst, cb, sequence=1, ttl=128, payload_bytes=32:
+            original(dst, cb, sequence=sequence, ttl=1,
+                     payload_bytes=payload_bytes))
+        session.start()
+        path.sim.run(until=2.0)
+        assert session.report.received == 0
+        assert session.report.loss_percent == 100.0
+
+    def test_invalid_count_rejected(self, path):
+        with pytest.raises(ExperimentError):
+            PingSession(path.client, path.server.address, count=0)
+
+    def test_double_start_rejected(self, path):
+        session = PingSession(path.client, path.server.address)
+        session.start()
+        with pytest.raises(ExperimentError):
+            session.start()
+
+
+class TestTracert:
+    def test_discovers_every_router_then_target(self, path):
+        report = run_tracert(path.client, path.server.address)
+        assert report.reached
+        assert report.hop_count == path.hop_count
+        assert report.addresses()[:-1] == [r.address for r in path.routers]
+        assert report.addresses()[-1] == path.server.address
+
+    def test_hop_rtts_increase_along_path(self, path):
+        report = run_tracert(path.client, path.server.address)
+        first = min(report.hops[0].rtts)
+        last = min(report.hops[-1].rtts)
+        assert last > first
+
+    def test_render_output_shape(self, path):
+        report = run_tracert(path.client, path.server.address,
+                             probes_per_hop=1)
+        text = report.render()
+        assert "Tracing route" in text
+        assert "Trace complete." in text
+        assert str(path.server.address) in text
+
+    def test_max_hops_truncates(self, path):
+        report = run_tracert(path.client, path.server.address, max_hops=5)
+        assert not report.reached
+        assert report.hop_count == 5
+
+    def test_same_path_for_colocated_servers(self, path):
+        # The paper's clip-selection criterion: both servers must share
+        # the network path.
+        first = run_tracert(path.client, path.servers[0].address,
+                            probes_per_hop=1)
+        second = run_tracert(path.client, path.servers[1].address,
+                             probes_per_hop=1)
+        assert first.addresses()[:-1] == second.addresses()[:-1]
+
+
+class TestPlaylist:
+    def make_clip(self, family, title, kbps=64.0, duration=10.0):
+        return Clip(title=title, genre="Test", duration=duration,
+                    encoding=ClipEncoding(family=family, encoded_kbps=kbps,
+                                          advertised_kbps=kbps))
+
+    def test_plays_entries_sequentially(self, path):
+        wms = WindowsMediaServer(path.servers[0])
+        wms.add_clip(self.make_clip(PlayerFamily.WMP, "one"))
+        wms.add_clip(self.make_clip(PlayerFamily.WMP, "two"))
+        entries = [
+            PlaylistEntry(MediaTracker, path.servers[0].address, "one"),
+            PlaylistEntry(MediaTracker, path.servers[0].address, "two"),
+        ]
+        runner = PlaylistRunner(path.client, entries).start()
+        path.sim.run(until=120.0)
+        assert runner.complete
+        assert len(runner.results) == 2
+        # Second clip starts after the first finishes plus the gap.
+        first_end = runner.results[0].eos_at
+        second_start = runner.results[1].first_media_at
+        assert second_start > first_end + 1.0
+
+    def test_mixed_player_playlist(self, path):
+        wms = WindowsMediaServer(path.servers[0])
+        wms.add_clip(self.make_clip(PlayerFamily.WMP, "wmp-clip"))
+        real = RealServer(path.servers[1])
+        real.add_clip(self.make_clip(PlayerFamily.REAL, "real-clip"))
+        entries = [
+            PlaylistEntry(MediaTracker, path.servers[0].address,
+                          "wmp-clip"),
+            PlaylistEntry(RealTracker, path.servers[1].address,
+                          "real-clip"),
+        ]
+        runner = PlaylistRunner(path.client, entries).start()
+        path.sim.run(until=120.0)
+        assert runner.complete
+        assert isinstance(runner.players[0], MediaTracker)
+        assert isinstance(runner.players[1], RealTracker)
+
+    def test_on_complete_callback(self, path):
+        wms = WindowsMediaServer(path.servers[0])
+        wms.add_clip(self.make_clip(PlayerFamily.WMP, "one"))
+        runner = PlaylistRunner(path.client, [
+            PlaylistEntry(MediaTracker, path.servers[0].address, "one")])
+        completed = []
+        runner.on_complete = completed.append
+        runner.start()
+        path.sim.run(until=60.0)
+        assert len(completed) == 1
+        assert len(completed[0]) == 1
+
+    def test_empty_playlist_rejected(self, path):
+        with pytest.raises(ExperimentError):
+            PlaylistRunner(path.client, [])
+
+    def test_double_start_rejected(self, path):
+        wms = WindowsMediaServer(path.servers[0])
+        wms.add_clip(self.make_clip(PlayerFamily.WMP, "one"))
+        runner = PlaylistRunner(path.client, [
+            PlaylistEntry(MediaTracker, path.servers[0].address, "one")])
+        runner.start()
+        with pytest.raises(ExperimentError):
+            runner.start()

@@ -1,0 +1,105 @@
+"""Trace container tests."""
+
+import pytest
+
+from repro.capture.trace import Trace
+from repro.errors import CaptureError
+from repro.netsim.addressing import IPAddress
+
+from .helpers import CLIENT, SERVER, make_record
+
+OTHER = IPAddress.parse("64.14.118.2")
+
+
+@pytest.fixture
+def trace():
+    records = [
+        make_record(number=1, time=0.0, src=SERVER, dst_port=7000),
+        make_record(number=2, time=0.1, src=OTHER, dst_port=7001),
+        make_record(number=3, time=0.2, src=SERVER, dst_port=7000,
+                    direction="tx"),
+        make_record(number=4, time=0.3, src=SERVER, protocol="TCP",
+                    dst_port=554),
+        make_record(number=5, time=1.0, src=OTHER, dst_port=7001),
+    ]
+    return Trace(records, description="unit test")
+
+
+class TestContainer:
+    def test_len_and_iteration(self, trace):
+        assert len(trace) == 5
+        assert [r.number for r in trace] == [1, 2, 3, 4, 5]
+
+    def test_indexing_and_slicing(self, trace):
+        assert trace[0].number == 1
+        sliced = trace[1:3]
+        assert isinstance(sliced, Trace)
+        assert [r.number for r in sliced] == [2, 3]
+
+    def test_append(self):
+        trace = Trace()
+        trace.append(make_record())
+        assert len(trace) == 1
+
+
+class TestViews:
+    def test_filter_predicate(self, trace):
+        only_server = trace.filter(lambda r: r.src == SERVER)
+        assert [r.number for r in only_server] == [1, 3, 4]
+
+    def test_between_is_half_open(self, trace):
+        window = trace.between(0.1, 1.0)
+        assert [r.number for r in window] == [2, 3, 4]
+
+    def test_received_excludes_tx(self, trace):
+        assert [r.number for r in trace.received()] == [1, 2, 4, 5]
+
+    def test_udp_view(self, trace):
+        assert all(r.protocol == "UDP" for r in trace.udp())
+        assert len(trace.udp()) == 4
+
+    def test_flow_by_source(self, trace):
+        assert [r.number for r in trace.flow(OTHER)] == [2, 5]
+
+    def test_flow_by_source_and_port(self, trace):
+        flow = trace.flow(SERVER, dst_port=7000)
+        assert [r.number for r in flow] == [1, 3]
+
+    def test_flow_includes_trailing_fragments(self):
+        records = [
+            make_record(number=1, time=0.0, more_fragments=True),
+            make_record(number=2, time=0.001, fragment_offset=185),
+        ]
+        trace = Trace(records)
+        flow = trace.flow(SERVER, dst_port=7000)
+        assert len(flow) == 2
+
+
+class TestStatistics:
+    def test_duration(self, trace):
+        assert trace.duration == pytest.approx(1.0)
+
+    def test_duration_of_tiny_trace_is_zero(self):
+        assert Trace([make_record()]).duration == 0.0
+
+    def test_byte_totals(self, trace):
+        assert trace.total_ip_bytes == 5 * 1000
+        assert trace.total_wire_bytes == 5 * 1014
+
+    def test_times_and_sizes(self, trace):
+        assert trace.times() == [0.0, 0.1, 0.2, 0.3, 1.0]
+        assert set(trace.sizes()) == {1014}
+        assert set(trace.sizes(wire=False)) == {1000}
+
+    def test_average_rate(self, trace):
+        expected = 5 * 1014 * 8 / 1.0
+        assert trace.average_rate_bps() == pytest.approx(expected)
+
+    def test_average_rate_requires_duration(self):
+        with pytest.raises(CaptureError):
+            Trace([make_record()]).average_rate_bps()
+
+    def test_conversations_sorted_by_volume(self, trace):
+        conversations = trace.conversations()
+        assert conversations[0][0] == SERVER
+        assert conversations[0][2] == 3

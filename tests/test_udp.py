@@ -1,0 +1,96 @@
+"""UDP socket tests."""
+
+import pytest
+
+from repro.errors import SocketError
+from repro.netsim.headers import PayloadMeta
+
+
+class TestBinding:
+    def test_bind_and_receive(self, host_pair):
+        received = []
+        server = host_pair.right.udp.bind(5005)
+        server.on_receive = received.append
+        client = host_pair.left.udp.bind_ephemeral()
+        client.send(host_pair.right.address, 5005, 100)
+        host_pair.sim.run()
+        assert len(received) == 1
+        assert received[0].src == host_pair.left.address
+        assert received[0].src_port == client.port
+
+    def test_double_bind_rejected(self, host_pair):
+        host_pair.right.udp.bind(5005)
+        with pytest.raises(SocketError):
+            host_pair.right.udp.bind(5005)
+
+    def test_invalid_port_rejected(self, host_pair):
+        with pytest.raises(SocketError):
+            host_pair.right.udp.bind(0)
+        with pytest.raises(SocketError):
+            host_pair.right.udp.bind(70000)
+
+    def test_close_releases_port(self, host_pair):
+        socket = host_pair.right.udp.bind(5005)
+        socket.close()
+        host_pair.right.udp.bind(5005)  # no error
+
+    def test_ephemeral_ports_are_distinct(self, host_pair):
+        a = host_pair.left.udp.bind_ephemeral()
+        b = host_pair.left.udp.bind_ephemeral()
+        assert a.port != b.port
+        assert a.port >= 49152
+
+
+class TestDelivery:
+    def test_unbound_port_drops_silently(self, host_pair):
+        client = host_pair.left.udp.bind_ephemeral()
+        client.send(host_pair.right.address, 9999, 100)
+        host_pair.sim.run()  # no exception
+
+    def test_payload_metadata_travels(self, host_pair):
+        received = []
+        server = host_pair.right.udp.bind(5005)
+        server.on_receive = received.append
+        client = host_pair.left.udp.bind_ephemeral()
+        meta = PayloadMeta(kind="media", adu_sequence=7, media_time=1.25)
+        client.send(host_pair.right.address, 5005, 512, payload=meta)
+        host_pair.sim.run()
+        assert received[0].payload.adu_sequence == 7
+        assert received[0].payload.media_time == 1.25
+
+    def test_oversized_datagram_arrives_whole(self, host_pair):
+        received = []
+        server = host_pair.right.udp.bind(5005)
+        server.on_receive = received.append
+        client = host_pair.left.udp.bind_ephemeral()
+        client.send(host_pair.right.address, 5005, 9000)
+        host_pair.sim.run()
+        assert received[0].payload_bytes == 9000
+        assert received[0].fragment_count == 7
+
+    def test_socket_counters(self, host_pair):
+        server = host_pair.right.udp.bind(5005)
+        server.on_receive = lambda d: None
+        client = host_pair.left.udp.bind_ephemeral()
+        for _ in range(3):
+            client.send(host_pair.right.address, 5005, 200)
+        host_pair.sim.run()
+        assert client.datagrams_sent == 3
+        assert server.datagrams_received == 3
+        assert server.bytes_received == 600
+
+    def test_negative_size_rejected(self, host_pair):
+        client = host_pair.left.udp.bind_ephemeral()
+        with pytest.raises(SocketError):
+            client.send(host_pair.right.address, 5005, -5)
+
+    def test_datagrams_preserve_send_order(self, host_pair):
+        received = []
+        server = host_pair.right.udp.bind(5005)
+        server.on_receive = received.append
+        client = host_pair.left.udp.bind_ephemeral()
+        for seq in range(10):
+            client.send(host_pair.right.address, 5005, 100,
+                        payload=PayloadMeta(adu_sequence=seq))
+        host_pair.sim.run()
+        assert [d.payload.adu_sequence for d in received] == list(range(10))

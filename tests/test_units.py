@@ -1,0 +1,65 @@
+"""Unit-conversion and wire-arithmetic tests."""
+
+import pytest
+
+from repro import units
+
+
+class TestRates:
+    def test_kbps_is_thousand_bits(self):
+        assert units.kbps(300) == 300_000
+
+    def test_mbps_is_million_bits(self):
+        assert units.mbps(10) == 10_000_000
+
+    def test_to_kbps_round_trips(self):
+        assert units.to_kbps(units.kbps(284.0)) == pytest.approx(284.0)
+
+
+class TestBytesAndBits:
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes(8000) == 1000
+
+    def test_bytes_to_bits(self):
+        assert units.bytes_to_bits(1514) == 12112
+
+    def test_round_trip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(777)) == 777
+
+
+class TestTime:
+    def test_ms(self):
+        assert units.ms(40) == pytest.approx(0.040)
+
+    def test_to_ms(self):
+        assert units.to_ms(0.16) == pytest.approx(160.0)
+
+
+class TestTransmissionDelay:
+    def test_ten_megabit_full_frame(self):
+        # A 1514-byte frame on a 10 Mbps link takes ~1.21 ms.
+        delay = units.transmission_delay(1514, units.mbps(10))
+        assert delay == pytest.approx(1514 * 8 / 10e6)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_delay(100, 0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_delay(100, -1)
+
+
+class TestWireConstants:
+    def test_max_wire_frame_matches_paper(self):
+        # The paper observed 1514-byte wire frames for full fragments.
+        assert units.MAX_WIRE_FRAME_BYTES == 1514
+
+    def test_fragment_payload(self):
+        assert units.FRAGMENT_PAYLOAD_BYTES == 1480
+
+    def test_max_unfragmented_udp_payload(self):
+        assert units.MAX_UNFRAGMENTED_UDP_PAYLOAD == 1472
+
+    def test_wire_frame_bytes_adds_ethernet(self):
+        assert units.wire_frame_bytes(1500) == 1514
