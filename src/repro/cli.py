@@ -9,6 +9,8 @@
 * ``generate``   — synthesize a Section IV flow; optionally export
   pcap/CSV.
 * ``pcap-info``  — summarize any libpcap file (fragmentation, rates).
+* ``telemetry``  — run the sweep fully instrumented; print the metric
+  summary and export JSON / JSON-lines / CSV artifacts.
 """
 
 from __future__ import annotations
@@ -69,6 +71,25 @@ def build_parser() -> argparse.ArgumentParser:
         "scorecard", help="check every paper claim; nonzero on failure")
     scorecard.add_argument("--seed", type=int, default=2002)
     scorecard.add_argument("--scale", type=float, default=1.0)
+
+    telemetry = commands.add_parser(
+        "telemetry", help="run the Table 1 sweep with telemetry enabled "
+                          "and summarize/export what it saw")
+    telemetry.add_argument("--seed", type=int, default=2002)
+    telemetry.add_argument("--scale", type=float, default=1.0,
+                           help="clip duration scale (use <1 for a fast run)")
+    telemetry.add_argument("--json",
+                           help="write the deterministic JSON summary")
+    telemetry.add_argument("--events",
+                           help="write the trace-event stream as JSON lines")
+    telemetry.add_argument("--series-csv",
+                           help="write gauge time series (queue depth, "
+                                "buffer occupancy) as CSV")
+    telemetry.add_argument("--profile", action="store_true",
+                           help="also profile the event loop (wall-clock "
+                                "numbers; excluded from exports)")
+    telemetry.add_argument("--top", type=int, default=12,
+                           help="rows shown per summary section")
 
     commands.add_parser("table1", help="print Table 1 (no simulation)")
 
@@ -231,8 +252,96 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.experiments.runner import run_study
+    from repro.telemetry import (
+        JsonlSink,
+        MemorySink,
+        SimProfiler,
+        Telemetry,
+        rebuffer_timeline,
+        series_csv,
+        to_json,
+    )
+    from repro.telemetry.registry import format_labels
+
+    sinks = [MemorySink()]
+    if args.events:
+        sinks.append(JsonlSink(args.events))
+    profiler = SimProfiler() if args.profile else None
+    telemetry = Telemetry(sinks=sinks, profiler=profiler)
+    study = run_study(seed=args.seed, duration_scale=args.scale,
+                      telemetry=telemetry)
+    print(f"# telemetry: {len(study)} pair runs "
+          f"(seed {args.seed}, scale {args.scale})\n")
+
+    registry = telemetry.registry
+    counters = sorted(registry.counters(), key=lambda item: -item[2].value)
+    print("## counters (top by value)\n")
+    print(format_table(("Counter", "Labels", "Value"),
+                       [(name, format_labels(labels), str(counter.value))
+                        for name, labels, counter in counters[:args.top]]))
+
+    queue_gauges = sorted(
+        ((labels, gauge) for name, labels, gauge in registry.gauges()
+         if name == "queue.bytes"),
+        key=lambda item: -item[1].peak)
+    if queue_gauges:
+        print("\n## per-hop queue depth (top by peak bytes)\n")
+        print(format_table(
+            ("Queue", "Peak B", "Last B", "Samples"),
+            [(format_labels(labels), f"{gauge.peak:.0f}",
+              f"{gauge.value:.0f}", str(len(gauge.series)))
+             for labels, gauge in queue_gauges[:args.top]]))
+
+    histograms = list(registry.histograms())
+    if histograms:
+        print("\n## histograms\n")
+        print(format_table(
+            ("Histogram", "Labels", "Count", "Mean", "Max"),
+            [(name, format_labels(labels), str(h.count),
+              f"{h.mean:.4g}", f"{h.max:.4g}" if h.max is not None else "-")
+             for name, labels, h in histograms[:args.top]]))
+
+    events = telemetry.memory_events()
+    by_type = {}
+    for event in events:
+        by_type[event.type] = by_type.get(event.type, 0) + 1
+    print(f"\n## trace events ({len(events)} retained)\n")
+    print(format_table(("Event", "Count"),
+                       [(etype, str(count))
+                        for etype, count in sorted(by_type.items())]))
+
+    timelines = rebuffer_timeline(events)
+    if timelines:
+        print("\n## playout / rebuffer timelines\n")
+        for player, entries in sorted(timelines.items()):
+            rendered = ", ".join(f"{etype}@{time:.2f}s"
+                                 for etype, time in entries)
+            print(f"  {player}: {rendered}")
+
+    if profiler is not None:
+        print("\n## event-loop profile (wall clock; not exported)\n")
+        print(profiler.report.render())
+
+    if args.json:
+        with open(args.json, "w") as stream:
+            stream.write(to_json(telemetry))
+        print(f"\nwrote {args.json}")
+    if args.series_csv:
+        with open(args.series_csv, "w") as stream:
+            stream.write(series_csv(registry))
+        print(f"wrote {args.series_csv}")
+    telemetry.close()
+    if args.events:
+        print(f"wrote {args.events}")
+    return 0
+
+
 _HANDLERS = {
     "study": _cmd_study,
+    "telemetry": _cmd_telemetry,
     "scorecard": _cmd_scorecard,
     "figure": _cmd_figure,
     "table1": _cmd_table1,

@@ -4,23 +4,39 @@ A full Table 1 sweep takes tens of seconds of wall time; every figure
 generator consumes the same :class:`~repro.experiments.runner.StudyResults`.
 This tiny cache lets a benchmark session (17 benches) or a test module
 run the sweep once per parameter set.
+
+The key includes a fingerprint of the clip library driving the sweep
+(see :meth:`~repro.media.library.ClipLibrary.fingerprint`), so a
+custom library can never alias a memoized default Table 1 study —
+previously only ``(seed, duration_scale, loss_probability)`` was
+keyed, and two different libraries with the same scalars collided.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.experiments.runner import StudyResults, run_study
+from repro.media.library import ClipLibrary
 
-_CACHE: Dict[Tuple[int, float, float], StudyResults] = {}
+#: Key slot used when the caller lets ``run_study`` build the default
+#: Table 1 library; the library itself depends only on duration_scale,
+#: which is already part of the key.
+_DEFAULT_LIBRARY = "table1-default"
+
+_CACHE: Dict[Tuple[int, float, float, str], StudyResults] = {}
 
 
 def get_study(seed: int = 2002, duration_scale: float = 1.0,
-              loss_probability: float = 0.0) -> StudyResults:
+              loss_probability: float = 0.0,
+              library: Optional[ClipLibrary] = None) -> StudyResults:
     """The study for these parameters, running it on first request."""
-    key = (seed, duration_scale, loss_probability)
+    library_key = (library.fingerprint() if library is not None
+                   else _DEFAULT_LIBRARY)
+    key = (seed, duration_scale, loss_probability, library_key)
     if key not in _CACHE:
-        _CACHE[key] = run_study(seed=seed, duration_scale=duration_scale,
+        _CACHE[key] = run_study(library=library, seed=seed,
+                                duration_scale=duration_scale,
                                 loss_probability=loss_probability)
     return _CACHE[key]
 

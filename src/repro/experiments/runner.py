@@ -33,6 +33,7 @@ from repro.players.realtracker import RealTracker
 from repro.players.stats import PlayerStats
 from repro.servers.realserver import RealServer
 from repro.servers.wms import WindowsMediaServer
+from repro.telemetry.core import Telemetry
 from repro.tools.ping import PingReport, run_ping
 from repro.tools.stability import StabilityVerdict, verify_stability
 from repro.tools.tracert import TracerouteReport, run_tracert
@@ -94,6 +95,10 @@ class StudyResults:
     """All pair runs of one study sweep."""
 
     runs: List[PairRunResult] = field(default_factory=list)
+    #: The shared telemetry facade the sweep ran under, when one was
+    #: requested — its registry holds every run's metrics, scoped by a
+    #: ``run=<label>`` context label.
+    telemetry: Optional[Telemetry] = None
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -128,19 +133,24 @@ class StudyResults:
 
 def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
                         conditions: Optional[NetworkConditions] = None,
-                        preroll_seconds: float = 5.0) -> PairRunResult:
+                        preroll_seconds: float = 5.0,
+                        telemetry: Optional[Telemetry] = None,
+                        ) -> PairRunResult:
     """Run the simultaneous-stream methodology for one clip pair.
 
     Args:
         seed: fully determines the run (topology randomness, server
             packetization draws, jitter).
         conditions: override the sampled network conditions.
+        telemetry: optional facade; bound to this run's simulator so
+            every instrumented layer (links, IP, pacers, buffers)
+            reports into it.
 
     Raises:
         ExperimentError: if a stream never finishes within the safety
             horizon (indicates a modeling bug, not a network condition).
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     if conditions is None:
         conditions = sample_conditions(sim.streams.stream("conditions"))
     topology = build_path_topology(
@@ -194,7 +204,8 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
 
 def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
               duration_scale: float = 1.0,
-              loss_probability: float = 0.0) -> StudyResults:
+              loss_probability: float = 0.0,
+              telemetry: Optional[Telemetry] = None) -> StudyResults:
     """Run the full Table 1 sweep (the corpus behind every figure).
 
     Args:
@@ -202,14 +213,24 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
         seed: master seed; run ``i`` uses ``seed + i``.
         duration_scale: shorten clips (tests) or keep them full (1.0).
         loss_probability: middle-link loss for congestion studies.
+        telemetry: optional shared facade.  One registry and one event
+            bus serve every pair run; a ``run=<label>`` context label
+            keeps the runs' instruments apart, and the facade comes
+            back on ``StudyResults.telemetry``.
     """
     if library is None:
         library = build_table1_library(duration_scale=duration_scale)
-    results = StudyResults()
+    results = StudyResults(telemetry=telemetry)
     for index, (clip_set, pair) in enumerate(library.all_pairs()):
         rng = Simulator(seed=seed + index).streams.stream("conditions")
         conditions = sample_conditions(rng,
                                        loss_probability=loss_probability)
+        if telemetry is not None:
+            telemetry.set_context(run=f"set{clip_set.number}-"
+                                      f"{pair.band.short}")
         results.runs.append(run_pair_experiment(
-            clip_set, pair, seed=seed + index, conditions=conditions))
+            clip_set, pair, seed=seed + index, conditions=conditions,
+            telemetry=telemetry))
+    if telemetry is not None:
+        telemetry.clear_context()
     return results

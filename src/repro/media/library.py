@@ -10,6 +10,7 @@ pairs; :class:`ClipLibrary` the whole study.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -132,3 +133,25 @@ class ClipLibrary:
     @property
     def clip_count(self) -> int:
         return len(self.all_clips())
+
+    def fingerprint(self) -> str:
+        """A stable digest of the library's experimental content.
+
+        Two libraries that would drive identical study sweeps (same
+        sets, bands, titles, rates, durations) share a fingerprint;
+        any content difference changes it.  The study cache keys on
+        this so a custom library can never alias a memoized default
+        Table 1 sweep.
+        """
+        digest = hashlib.sha256()
+        for clip_set in self:
+            digest.update(f"set:{clip_set.number}:{clip_set.genre}:"
+                          f"{clip_set.duration!r};".encode())
+            for band in clip_set.bands:
+                for clip in clip_set.pairs[band].clips():
+                    digest.update(
+                        f"{band.value}:{clip.family.name}:{clip.title}:"
+                        f"{clip.encoded_kbps!r}:"
+                        f"{clip.encoding.advertised_kbps!r}:"
+                        f"{clip.duration!r};".encode())
+        return digest.hexdigest()

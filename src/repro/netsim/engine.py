@@ -10,31 +10,58 @@ given seed — a property the test suite relies on heavily.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.netsim.rng import RandomStreams
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.core import Telemetry
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, sequence)`` so the heap pops them in
     deterministic order.  The callback and its arguments do not take
-    part in comparisons.
+    part in comparisons.  A slotted plain class rather than a
+    dataclass: the event loop constructs and compares these millions
+    of times per study.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled",
+                 "consumed", "owner")
+
+    def __init__(self, time: float, sequence: int,
+                 callback: Callable[..., None], args: tuple = (),
+                 owner: Optional["Simulator"] = None) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        #: Set once the event has been popped (fired or discarded); a
+        #: cancel after that must not disturb the pending counter.
+        self.consumed = False
+        #: Owning simulator, for live pending-event accounting.
+        self.owner = owner
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Event(time={self.time!r}, sequence={self.sequence!r}, "
+                f"cancelled={self.cancelled!r})")
 
     def cancel(self) -> None:
         """Prevent the event from firing when its time comes."""
+        if self.cancelled or self.consumed:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._pending -= 1
 
 
 class Simulator:
@@ -43,19 +70,31 @@ class Simulator:
     Args:
         seed: master seed for all random streams drawn from this
             simulator (see :class:`repro.netsim.rng.RandomStreams`).
+        telemetry: optional :class:`~repro.telemetry.core.Telemetry`
+            facade.  When given, its clock is bound to this simulator
+            and instrumented layers (links, IP, pacers, buffers) will
+            find it via ``sim.telemetry``; its profiler, if any,
+            samples every :meth:`run`.
 
     Attributes:
         now: current simulated time in seconds.
         streams: named, independently-seeded random streams.
+        telemetry: the attached facade, or None (the default — every
+            instrumented path is a no-op then).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self.now: float = 0.0
         self.streams = RandomStreams(seed)
         self._heap: List[Event] = []
         self._sequence = 0
         self._running = False
         self._event_count = 0
+        self._pending = 0
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -71,9 +110,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time:.6f}s; clock is at {self.now:.6f}s")
         event = Event(time=time, sequence=self._sequence, callback=callback,
-                      args=args)
+                      args=args, owner=self)
         self._sequence += 1
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     def schedule_in(self, delay: float, callback: Callable[..., None],
@@ -108,19 +148,29 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         executed = 0
+        # The profiler decision is made once per run() call; the
+        # unprofiled loop below is byte-for-byte the pre-telemetry one.
+        profiler = (self.telemetry.profiler
+                    if self.telemetry is not None else None)
         try:
             while self._heap:
                 if max_events is not None and executed >= max_events:
                     break
                 event = self._heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heapq.heappop(self._heap).consumed = True
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                event.consumed = True
+                self._pending -= 1
                 self.now = event.time
-                event.callback(*event.args)
+                if profiler is not None:
+                    profiler.run_event(event.callback, event.args,
+                                       len(self._heap))
+                else:
+                    event.callback(*event.args)
                 executed += 1
         finally:
             self._running = False
@@ -138,7 +188,10 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                event.consumed = True
                 continue
+            event.consumed = True
+            self._pending -= 1
             self.now = event.time
             event.callback(*event.args)
             self._event_count += 1
@@ -147,8 +200,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of scheduled, not-yet-cancelled events.
+
+        Maintained as a live counter (push/pop/cancel each adjust it),
+        so reading it is O(1) rather than a scan of the heap.
+        """
+        return self._pending
 
     @property
     def executed_events(self) -> int:

@@ -25,6 +25,7 @@ from repro.netsim.headers import (
     PayloadMeta,
 )
 from repro.netsim.packet import Packet
+from repro.telemetry.events import FRAGMENT_EMITTED, REASSEMBLY_TIMEOUT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.node import Host
@@ -128,6 +129,17 @@ class IpLayer:
             raise ValueError(f"MTU {self.mtu} too small to carry data")
         self.stats = IpStats()
         self.misrouted = 0
+        self._telemetry = host.sim.telemetry
+        if self._telemetry is not None:
+            registry = self._telemetry.registry
+            self._ctr_fragments = registry.counter("ip.fragments_sent",
+                                                   host=host.name)
+            self._ctr_timeouts = registry.counter("ip.reassembly_timeouts",
+                                                  host=host.name)
+            self._hist_fragments = registry.histogram(
+                "ip.fragments_per_datagram",
+                bounds=(1, 2, 3, 4, 6, 8, 12, 16, 32, 64),
+                host=host.name)
         self._next_ident = 1
         self._handlers: Dict[IpProtocol, Callable[[Datagram], None]] = {}
         self._buffers: Dict[Tuple[IPAddress, IPAddress, int, IpProtocol],
@@ -174,6 +186,8 @@ class IpLayer:
                                 identification=ident, ttl=ttl)
             packet = Packet(ip=header, transport=transport, payload=payload,
                             datagram_id=ident)
+            if self._telemetry is not None:
+                self._hist_fragments.observe(1)
             self._emit([packet])
             return [packet]
 
@@ -199,6 +213,13 @@ class IpLayer:
             offset_bytes += this_payload
             remaining -= this_payload
         self.stats.fragments_sent += len(packets)
+        if self._telemetry is not None:
+            self._ctr_fragments.inc(len(packets))
+            self._hist_fragments.observe(len(packets))
+            self._telemetry.emit(FRAGMENT_EMITTED, host=self.host.name,
+                                 datagram_id=ident,
+                                 fragments=len(packets),
+                                 payload_bytes=ip_payload)
         self._emit(packets)
         return packets
 
@@ -278,6 +299,11 @@ class IpLayer:
         del self._buffers[key]
         self.stats.reassembly_timeouts += 1
         self.stats.wasted_fragment_bytes += buffer.received_bytes
+        if self._telemetry is not None:
+            self._ctr_timeouts.inc()
+            self._telemetry.emit(REASSEMBLY_TIMEOUT, host=self.host.name,
+                                 fragments_held=len(buffer.fragments),
+                                 wasted_bytes=buffer.received_bytes)
 
     @property
     def pending_reassemblies(self) -> int:

@@ -16,6 +16,11 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro import units
 from repro.netsim.packet import Packet
 from repro.netsim.queues import DropTailQueue
+from repro.telemetry.events import (
+    PACKET_DELIVERED,
+    PACKET_ENQUEUED,
+    PACKET_LOSS,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.engine import Simulator
@@ -73,7 +78,7 @@ class _Direction:
     def __init__(self, sim: "Simulator", sink: "Node",
                  bandwidth_bps: float, propagation_delay: float,
                  queue: DropTailQueue, loss: LossModel,
-                 jitter: Callable[[], float]) -> None:
+                 jitter: Callable[[], float], label: str = "") -> None:
         self._sim = sim
         self._sink = sink
         self._bandwidth_bps = bandwidth_bps
@@ -84,15 +89,43 @@ class _Direction:
         self._busy = False
         self._last_delivery = 0.0
         self.stats = DirectionStats()
+        # Telemetry handles are resolved once, here: the facade is
+        # attached at Simulator construction, before any topology
+        # exists, so caching is safe and keeps the per-packet cost to
+        # one None check when disabled.
+        self._telemetry = sim.telemetry
+        if self._telemetry is not None:
+            self._label = label
+            queue.bind_telemetry(self._telemetry, link=label)
+            registry = self._telemetry.registry
+            self._ctr_sent = registry.counter("link.packets_sent", link=label)
+            self._ctr_delivered = registry.counter("link.packets_delivered",
+                                                   link=label)
+            self._ctr_lost = registry.counter("link.packets_lost", link=label)
+            self._ctr_bytes = registry.counter("link.bytes_delivered",
+                                               link=label)
 
     def send(self, packet: Packet) -> None:
         self.stats.packets_sent += 1
+        telemetry = self._telemetry
+        if telemetry is not None:
+            self._ctr_sent.inc()
         if self._loss.should_drop(packet):
             self.stats.packets_lost += 1
+            if telemetry is not None:
+                self._ctr_lost.inc()
+                telemetry.emit(PACKET_LOSS, link=self._label,
+                               packet_bytes=packet.ip_bytes)
             return
         if not self._queue.offer(packet):
             self.stats.packets_lost += 1
+            if telemetry is not None:
+                self._ctr_lost.inc()
             return
+        if telemetry is not None:
+            telemetry.emit(PACKET_ENQUEUED, link=self._label,
+                           packet_bytes=packet.ip_bytes,
+                           queue_bytes=self._queue.bytes_queued)
         if not self._busy:
             self._transmit_next()
 
@@ -119,6 +152,11 @@ class _Direction:
     def _deliver(self, packet: Packet) -> None:
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.ip_bytes
+        if self._telemetry is not None:
+            self._ctr_delivered.inc()
+            self._ctr_bytes.inc(packet.ip_bytes)
+            self._telemetry.emit(PACKET_DELIVERED, link=self._label,
+                                 packet_bytes=packet.ip_bytes)
         self._sink.receive(packet)
 
 
@@ -159,9 +197,11 @@ class Link:
         if queue_factory is None:
             queue_factory = lambda: DropTailQueue(queue_capacity_bytes)  # noqa: E731
         self._forward = _Direction(sim, b, bandwidth_bps, propagation_delay,
-                                   queue_factory(), loss, jitter)
+                                   queue_factory(), loss, jitter,
+                                   label=f"{a.name}->{b.name}")
         self._reverse = _Direction(sim, a, bandwidth_bps, propagation_delay,
-                                   queue_factory(), loss, jitter)
+                                   queue_factory(), loss, jitter,
+                                   label=f"{b.name}->{a.name}")
         a.attach(self, b)
         b.attach(self, a)
 

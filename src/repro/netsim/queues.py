@@ -12,9 +12,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.netsim.packet import Packet
+from repro.telemetry.events import QUEUE_DROP
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.core import Telemetry
 
 
 @dataclass
@@ -37,16 +41,42 @@ class DropTailQueue:
         self._queue: Deque[Packet] = deque()
         self._bytes = 0
         self.stats = QueueStats()
+        self._telemetry: Optional["Telemetry"] = None
+        self._event_fields: dict = {}
+        self._depth_gauge = None
+        self._drop_counter = None
+
+    def bind_telemetry(self, telemetry: Optional["Telemetry"],
+                       **labels: object) -> None:
+        """Attach telemetry; the owning link calls this with its
+        per-direction labels so depth/drop metrics stay per-hop."""
+        self._telemetry = telemetry
+        if telemetry is None:
+            return
+        self._event_fields = dict(labels)
+        self._depth_gauge = telemetry.gauge("queue.bytes", **labels)
+        self._drop_counter = telemetry.counter("queue.drops", **labels)
+
+    def _note_drop(self, packet: Packet) -> None:
+        self.stats.dropped += 1
+        telemetry = self._telemetry
+        if telemetry is not None:
+            self._drop_counter.inc()
+            telemetry.emit(QUEUE_DROP, queue_bytes=self._bytes,
+                           packet_bytes=packet.ip_bytes,
+                           **self._event_fields)
 
     def offer(self, packet: Packet) -> bool:
         """Enqueue the packet if it fits; return False if dropped."""
         if self._bytes + packet.ip_bytes > self.capacity_bytes:
-            self.stats.dropped += 1
+            self._note_drop(packet)
             return False
         self._queue.append(packet)
         self._bytes += packet.ip_bytes
         self.stats.enqueued += 1
         self.stats.peak_bytes = max(self.stats.peak_bytes, self._bytes)
+        if self._telemetry is not None:
+            self._depth_gauge.set(self._bytes, self._telemetry.now())
         return True
 
     def poll(self) -> Optional[Packet]:
@@ -56,6 +86,8 @@ class DropTailQueue:
         packet = self._queue.popleft()
         self._bytes -= packet.ip_bytes
         self.stats.dequeued += 1
+        if self._telemetry is not None:
+            self._depth_gauge.set(self._bytes, self._telemetry.now())
         return packet
 
     def __len__(self) -> int:
@@ -94,7 +126,7 @@ class RedQueue(DropTailQueue):
                            + self.weight * self._bytes)
         occupancy = self._avg_bytes / self.capacity_bytes
         if occupancy >= self.max_threshold:
-            self.stats.dropped += 1
+            self._note_drop(packet)
             return False
         if occupancy > self.min_threshold:
             span = self.max_threshold - self.min_threshold
@@ -102,6 +134,6 @@ class RedQueue(DropTailQueue):
                            * (occupancy - self.min_threshold) / span)
             draw = self._rng.random() if self._rng is not None else 0.0
             if draw < probability:
-                self.stats.dropped += 1
+                self._note_drop(packet)
                 return False
         return super().offer(packet)

@@ -78,6 +78,7 @@ class StreamingClient:
         self._clip_title: Optional[str] = None
         self._connection: Optional[TcpConnection] = None
         self._media_socket = None
+        self._telemetry = None
         self._last_sequence: Optional[int] = None
         self._last_media_time = 0.0
         #: (frame_number, app_time) pairs, classified at finalize time.
@@ -150,7 +151,16 @@ class StreamingClient:
         self.stats = PlayerStats(response.description,
                                  transport=self.transport)
         self.stats.requested_at = self._requested_at
-        self.buffer = DelayBuffer(self.preroll_seconds)
+        telemetry = self.host.sim.telemetry
+        self._telemetry = telemetry
+        self.buffer = DelayBuffer(self.preroll_seconds, telemetry=telemetry,
+                                  label=self.family.name.lower())
+        if telemetry is not None:
+            label = self.family.name.lower()
+            self._ctr_packets = telemetry.counter("player.packets",
+                                                  player=label)
+            self._ctr_bytes = telemetry.counter("player.media_bytes",
+                                                player=label)
         if self.uses_interleaving:
             self.interleaver = BatchingReceiver()
         client_port = None
@@ -218,6 +228,9 @@ class StreamingClient:
             payload_bytes=datagram.payload_bytes,
             fragment_count=datagram.fragment_count,
             first_packet_time=datagram.first_packet_time))
+        if self._telemetry is not None:
+            self._ctr_packets.inc()
+            self._ctr_bytes.inc(datagram.payload_bytes)
         # Media-seconds accounting for the delay buffer.
         media_time = datagram.payload.media_time or 0.0
         delta = max(0.0, media_time - self._last_media_time)
@@ -260,6 +273,13 @@ class StreamingClient:
     def _finish(self) -> None:
         self.done = True
         self._classify_frames()
+        if self._telemetry is not None:
+            label = self.family.name.lower()
+            self._telemetry.counter("player.frames_played",
+                                    player=label).inc(
+                                        len(self.stats.frame_plays))
+            self._telemetry.counter("player.frames_late",
+                                    player=label).inc(self.stats.frames_late)
         if self.buffer is not None:
             self.stats.playout_started_at = self.buffer.playout_started_at
         if self.session_id is not None and self._connection is not None:

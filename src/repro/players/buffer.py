@@ -12,9 +12,17 @@ starts playout sooner.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import MediaError
+from repro.telemetry.events import (
+    PLAYOUT_START,
+    REBUFFER_START,
+    REBUFFER_STOP,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.core import Telemetry
 
 
 class DelayBuffer:
@@ -24,9 +32,18 @@ class DelayBuffer:
         preroll_seconds: media seconds that must be buffered before
             playout starts (both 2002 players defaulted to several
             seconds of preroll).
+        telemetry: optional telemetry facade; when given, the buffer
+            emits ``playout_start`` / ``rebuffer_start`` /
+            ``rebuffer_stop`` events and samples a
+            ``buffer.media_seconds`` gauge, all stamped with the
+            caller-supplied simulated times.
+        label: the ``player`` label on those events/metrics (the
+            family name, e.g. ``"real"``).
     """
 
-    def __init__(self, preroll_seconds: float = 5.0) -> None:
+    def __init__(self, preroll_seconds: float = 5.0,
+                 telemetry: Optional["Telemetry"] = None,
+                 label: str = "") -> None:
         if preroll_seconds < 0:
             raise MediaError("preroll must be nonnegative")
         self.preroll_seconds = preroll_seconds
@@ -36,6 +53,14 @@ class DelayBuffer:
         #: (time, media seconds buffered) after every change.
         self.occupancy_series: List[Tuple[float, float]] = []
         self.underruns = 0
+        self._telemetry = telemetry
+        self._label = label
+        self._rebuffering = False
+        if telemetry is not None:
+            self._occupancy_gauge = telemetry.gauge("buffer.media_seconds",
+                                                    player=label)
+            self._underrun_counter = telemetry.counter("buffer.underruns",
+                                                       player=label)
 
     def _drain_to(self, now: float) -> None:
         if self.playout_started_at is None or self._last_update is None:
@@ -47,6 +72,14 @@ class DelayBuffer:
             self._buffered_media = max(0.0, before - elapsed)
             if before > 0 and self._buffered_media == 0.0:
                 self.underruns += 1
+                if self._telemetry is not None:
+                    self._underrun_counter.inc()
+                    self._rebuffering = True
+                    # The buffer ran dry `before` media-seconds after
+                    # the last update, not at observation time.
+                    self._telemetry.bus.emit(
+                        REBUFFER_START, self._last_update + before,
+                        player=self._label)
         self._last_update = now
 
     def add_media(self, now: float, media_seconds: float) -> None:
@@ -62,6 +95,16 @@ class DelayBuffer:
         if (self.playout_started_at is None
                 and self._buffered_media >= self.preroll_seconds):
             self.playout_started_at = now
+            if self._telemetry is not None:
+                self._telemetry.bus.emit(
+                    PLAYOUT_START, now, player=self._label,
+                    buffered_media=round(self._buffered_media, 9))
+        if self._telemetry is not None:
+            if self._rebuffering and self._buffered_media > 0:
+                self._rebuffering = False
+                self._telemetry.bus.emit(REBUFFER_STOP, now,
+                                         player=self._label)
+            self._occupancy_gauge.set(self._buffered_media, now)
         self.occupancy_series.append((now, self._buffered_media))
 
     def occupancy(self, now: float) -> float:

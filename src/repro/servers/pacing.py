@@ -30,8 +30,14 @@ from repro.netsim.addressing import IPAddress
 from repro.netsim.engine import Simulator
 from repro.netsim.headers import PayloadMeta
 from repro.netsim.udp import UdpSocket
+from repro.telemetry.events import RATE_SWITCH, STREAM_END
 
 FinishedCallback = Callable[[], None]
+
+#: Pacing-gap histogram bounds, seconds: fine around the 100 ms WMS
+#: tick and RealServer's sub-second gamma draws.
+_GAP_BOUNDS = (0.001, 0.005, 0.010, 0.025, 0.050, 0.075, 0.100, 0.125,
+               0.150, 0.200, 0.300, 0.500, 1.0, 2.0)
 
 
 class Pacer:
@@ -71,6 +77,18 @@ class Pacer:
             self._frame_ends.append(total)
         self._total_media_bytes = total
         self._frames_completed = 0
+        self._telemetry = sim.telemetry
+        if self._telemetry is not None:
+            family = clip.family.name.lower()
+            registry = self._telemetry.registry
+            self._ctr_datagrams = registry.counter("pacer.datagrams",
+                                                   family=family)
+            self._ctr_bytes = registry.counter("pacer.bytes", family=family)
+            self._hist_gap = registry.histogram("pacer.send_gap_seconds",
+                                                bounds=_GAP_BOUNDS,
+                                                family=family)
+            self._hist_size = registry.histogram("pacer.datagram_bytes",
+                                                 family=family)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -98,6 +116,11 @@ class Pacer:
         """
         if not 0.0 < scale <= 1.0:
             raise MediaError(f"rate scale must be in (0, 1], got {scale}")
+        if self._telemetry is not None and scale != self.rate_scale:
+            self._telemetry.emit(RATE_SWITCH, family=self.clip.family.name.lower(),
+                                 reason="media_scaling",
+                                 from_scale=round(self.rate_scale, 6),
+                                 to_scale=round(scale, 6))
         self.rate_scale = scale
 
     @property
@@ -135,6 +158,11 @@ class Pacer:
         self._budget_consumed = budget_after
         self.datagrams_sent += 1
         self._sequence += 1
+        if self._telemetry is not None:
+            self._ctr_datagrams.inc()
+            self._ctr_bytes.inc(size)
+            self._hist_size.observe(size)
+            self._hist_gap.observe(delay)
         if self.media_bytes_remaining <= 0:
             self._finish()
             return
@@ -157,6 +185,12 @@ class Pacer:
         if self.finished_at is not None:
             return
         self.finished_at = self.sim.now
+        if self._telemetry is not None:
+            self._telemetry.emit(STREAM_END,
+                                 family=self.clip.family.name.lower(),
+                                 clip=self.clip.title,
+                                 datagrams=self.datagrams_sent,
+                                 bytes=self.bytes_sent)
         # End-of-stream marker so the client can close its session.
         self.socket.send(self.dst, self.dst_port, 16,
                          payload=PayloadMeta(kind="media-eos",
@@ -289,6 +323,7 @@ class BurstThenSteadyPacer(Pacer):
         self.burst_duration = burst_duration
         self._rng = rng or random.Random(0)
         self.mean_packet_bytes = real_mean_packet_bytes(clip.encoded_kbps)
+        self._burst_over = False
 
     def current_rate_bps(self) -> float:
         """The send rate in force right now (burst or steady), after
@@ -315,6 +350,14 @@ class BurstThenSteadyPacer(Pacer):
     def _next_send(self) -> Optional[Tuple[int, float]]:
         if self.media_bytes_remaining <= 0:
             return None
+        if (not self._burst_over and self.started_at is not None
+                and self.sim.now - self.started_at >= self.burst_duration):
+            self._burst_over = True
+            if self._telemetry is not None:
+                self._telemetry.emit(RATE_SWITCH, family="real",
+                                     reason="burst_end",
+                                     from_ratio=round(self.burst_ratio, 6),
+                                     to_ratio=1.0)
         size = self._draw_size()
         rate = self.current_rate_bps()
         mean_gap = size * 8.0 / rate

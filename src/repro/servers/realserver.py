@@ -19,6 +19,7 @@ from repro.media.clip import PlayerFamily
 from repro.servers.base import StreamingServer
 from repro.servers.pacing import BurstThenSteadyPacer, Pacer
 from repro.servers.session import ServerSession
+from repro.telemetry.events import STREAM_START
 
 __all__ = ["RealServer", "buffering_ratio", "burst_duration"]
 
@@ -65,10 +66,18 @@ class RealServer(StreamingServer):
 
     def _make_pacer(self, session: ServerSession) -> Pacer:
         kbps = session.clip.encoded_kbps
-        return BurstThenSteadyPacer(
+        pacer = BurstThenSteadyPacer(
             sim=self.host.sim, socket=session.socket, dst=session.client,
             dst_port=session.client_media_port, clip=session.clip,
             schedule=session.schedule,
             burst_ratio=buffering_ratio(kbps),
             burst_duration=burst_duration(kbps),
             rng=self._session_rng(session))
+        telemetry = self.host.sim.telemetry
+        if telemetry is not None:
+            telemetry.emit(STREAM_START, family="real",
+                           clip=session.clip.title,
+                           session_id=session.session_id,
+                           burst_ratio=round(pacer.burst_ratio, 6),
+                           burst_seconds=round(pacer.burst_duration, 6))
+        return pacer

@@ -18,6 +18,7 @@ from repro.media.clip import PlayerFamily
 from repro.servers.base import StreamingServer
 from repro.servers.pacing import CbrAduPacer, Pacer, wms_packetization
 from repro.servers.session import ServerSession
+from repro.telemetry.events import STREAM_START
 
 __all__ = ["WindowsMediaServer", "wms_packetization"]
 
@@ -28,7 +29,15 @@ class WindowsMediaServer(StreamingServer):
     family = PlayerFamily.WMP
 
     def _make_pacer(self, session: ServerSession) -> Pacer:
-        return CbrAduPacer(
+        pacer = CbrAduPacer(
             sim=self.host.sim, socket=session.socket, dst=session.client,
             dst_port=session.client_media_port, clip=session.clip,
             schedule=session.schedule, rng=self._session_rng(session))
+        telemetry = self.host.sim.telemetry
+        if telemetry is not None:
+            telemetry.emit(STREAM_START, family="wmp",
+                           clip=session.clip.title,
+                           session_id=session.session_id,
+                           adu_bytes=pacer.adu_bytes,
+                           tick_seconds=round(pacer.tick_interval, 6))
+        return pacer

@@ -1,0 +1,94 @@
+"""Simulation-time-aware metrics, tracing, and profiling.
+
+The observability subsystem the measurement pipeline itself runs on:
+
+* :mod:`~repro.telemetry.registry` — counters, gauges, streaming
+  histograms keyed by ``(name, labels)``, stamped in simulated time;
+* :mod:`~repro.telemetry.events` — the typed trace-event bus
+  (``packet_enqueued``, ``queue_drop``, ``rebuffer_start``...);
+* :mod:`~repro.telemetry.sinks` — in-memory ring, JSON-lines, null;
+* :mod:`~repro.telemetry.profiler` — event-loop wall-clock sampling;
+* :mod:`~repro.telemetry.exporters` — deterministic JSON/CSV artifacts;
+* :mod:`~repro.telemetry.core` — the :class:`Telemetry` facade every
+  instrumented layer holds behind a ``None`` check.
+
+Everything is opt-in: construct a :class:`Telemetry`, hand it to
+``Simulator(seed, telemetry=...)`` (or ``run_study(telemetry=...)``),
+and the hot layers light up.  Without it, the instrumented paths cost
+one attribute load and a ``None`` check.
+"""
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.events import (
+    ALL_EVENT_TYPES,
+    FRAGMENT_EMITTED,
+    PACKET_DELIVERED,
+    PACKET_ENQUEUED,
+    PACKET_LOSS,
+    PLAYOUT_START,
+    QUEUE_DROP,
+    RATE_SWITCH,
+    REASSEMBLY_TIMEOUT,
+    REBUFFER_START,
+    REBUFFER_STOP,
+    STREAM_END,
+    STREAM_START,
+    TraceEvent,
+    TraceEventBus,
+)
+from repro.telemetry.exporters import (
+    load_summary,
+    rebuffer_timeline,
+    series_csv,
+    summary_csv,
+    summary_dict,
+    to_json,
+)
+from repro.telemetry.profiler import ProfileReport, SimProfiler
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.sinks import (
+    FilterSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+)
+
+__all__ = [
+    "ALL_EVENT_TYPES",
+    "Counter",
+    "FRAGMENT_EMITTED",
+    "FilterSink",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "PACKET_DELIVERED",
+    "PACKET_ENQUEUED",
+    "PACKET_LOSS",
+    "PLAYOUT_START",
+    "ProfileReport",
+    "QUEUE_DROP",
+    "RATE_SWITCH",
+    "REASSEMBLY_TIMEOUT",
+    "REBUFFER_START",
+    "REBUFFER_STOP",
+    "STREAM_END",
+    "STREAM_START",
+    "SimProfiler",
+    "Telemetry",
+    "TraceEvent",
+    "TraceEventBus",
+    "load_summary",
+    "rebuffer_timeline",
+    "series_csv",
+    "summary_csv",
+    "summary_dict",
+    "to_json",
+]

@@ -1,0 +1,108 @@
+"""The `Telemetry` facade: one handle for registry + bus + profiler.
+
+Instrumented layers never see the parts individually — they hold an
+optional ``Telemetry`` (usually via ``sim.telemetry``) and call
+``tel.emit(...)`` / ``tel.counter(...)`` behind a ``None`` check, so
+the disabled path costs a single attribute load.  The facade carries
+the simulated clock: :class:`~repro.netsim.engine.Simulator` binds
+itself on construction, after which ``tel.now()`` is the simulation
+time and every metric sample and trace event is stamped with it.
+
+One facade may outlive many simulators (the study runner rebinds it to
+each pair run's fresh ``Simulator``), which is what "a shared registry
+across the sweep" means in practice: per-run context labels
+(:meth:`set_context`) keep the runs' instruments distinct inside the
+one registry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.telemetry.events import TraceEventBus
+from repro.telemetry.profiler import SimProfiler
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sinks import MemorySink
+
+
+class Telemetry:
+    """Aggregate handle threaded through the instrumented layers.
+
+    Args:
+        registry: metrics home; a fresh one by default.
+        bus: trace-event bus; defaults to a bus with one
+            :class:`~repro.telemetry.sinks.MemorySink` ring attached.
+        profiler: optional event-loop profiler; when present, every
+            ``Simulator.run`` on a bound simulator is profiled.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 bus: Optional[TraceEventBus] = None,
+                 profiler: Optional[SimProfiler] = None,
+                 sinks: Optional[Iterable[object]] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if bus is None:
+            bus = TraceEventBus(sinks=sinks if sinks is not None
+                                else [MemorySink()])
+        elif sinks:
+            for sink in sinks:
+                bus.attach(sink)
+        self.bus = bus
+        self.profiler = profiler
+        self._clock = lambda: 0.0
+
+    # ------------------------------------------------------------------
+    # Clock binding
+    # ------------------------------------------------------------------
+    def bind(self, sim) -> None:
+        """Adopt ``sim``'s clock; called by ``Simulator.__init__``."""
+        self._clock = lambda: sim.now
+
+    def now(self) -> float:
+        """Current simulated time per the bound simulator."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Run scoping
+    # ------------------------------------------------------------------
+    def set_context(self, **labels: object) -> None:
+        """Scope subsequent metrics and events (e.g. ``run="set1-l"``)."""
+        self.registry.set_context(**labels)
+        self.bus.set_context(**labels)
+
+    def clear_context(self) -> None:
+        self.registry.clear_context()
+        self.bus.clear_context()
+
+    # ------------------------------------------------------------------
+    # Emission shortcuts
+    # ------------------------------------------------------------------
+    def emit(self, event_type: str, **fields: object) -> None:
+        """Publish a trace event stamped with the simulated clock."""
+        self.bus.emit(event_type, self._clock(), **fields)
+
+    def counter(self, name: str, **labels: object):
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object):
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, bounds=None, **labels: object):
+        return self.registry.histogram(name, bounds=bounds, **labels)
+
+    def sample_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Record a gauge sample at the current simulated time."""
+        self.registry.gauge(name, **labels).set(value, self._clock())
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def memory_events(self):
+        """Events retained by the first MemorySink, if one is attached."""
+        for sink in self.bus._sinks:
+            if isinstance(sink, MemorySink):
+                return list(sink.events)
+        return []
+
+    def close(self) -> None:
+        self.bus.close()

@@ -1,0 +1,141 @@
+"""The structured trace-event bus.
+
+Where the registry (:mod:`repro.telemetry.registry`) aggregates,
+the bus *narrates*: each instrumented layer emits typed events —
+``packet_enqueued``, ``queue_drop``, ``fragment_emitted``,
+``rebuffer_start`` — timestamped in simulated seconds and stamped with
+a monotonic sequence number, so a study run can be replayed as a
+totally-ordered timeline.  Events fan out to pluggable sinks (see
+:mod:`repro.telemetry.sinks`); when no sink is live the bus refuses to
+even construct the event object, keeping the hot path allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Event taxonomy.  Constants rather than an Enum: emit sites compare and
+# serialize these millions of times, and a str is both.
+# ----------------------------------------------------------------------
+
+#: A packet was accepted into a link-direction queue.
+PACKET_ENQUEUED = "packet_enqueued"
+#: A queue rejected a packet (drop-tail overflow or RED early drop).
+QUEUE_DROP = "queue_drop"
+#: The loss model discarded a packet in flight.
+PACKET_LOSS = "packet_loss"
+#: A packet finished propagation and reached its sink node.
+PACKET_DELIVERED = "packet_delivered"
+#: The sender's IP layer sliced a datagram into MTU-sized fragments.
+FRAGMENT_EMITTED = "fragment_emitted"
+#: A reassembly buffer gave up waiting for missing fragments.
+REASSEMBLY_TIMEOUT = "reassembly_timeout"
+#: A server began streaming a clip (one per PLAY).
+STREAM_START = "stream_start"
+#: A pacer exhausted its clip and sent the end-of-stream marker.
+STREAM_END = "stream_end"
+#: A pacer changed its send rate (media scaling or burst->steady).
+RATE_SWITCH = "rate_switch"
+#: The client delay buffer reached its preroll target; playout begins.
+PLAYOUT_START = "playout_start"
+#: The delay buffer ran dry while playing.
+REBUFFER_START = "rebuffer_start"
+#: Media arrived again after an underrun; playback resumes.
+REBUFFER_STOP = "rebuffer_stop"
+
+ALL_EVENT_TYPES: Tuple[str, ...] = (
+    PACKET_ENQUEUED, QUEUE_DROP, PACKET_LOSS, PACKET_DELIVERED,
+    FRAGMENT_EMITTED, REASSEMBLY_TIMEOUT, STREAM_START, STREAM_END,
+    RATE_SWITCH, PLAYOUT_START, REBUFFER_START, REBUFFER_STOP,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes:
+        type: one of the taxonomy constants above.
+        time: simulated seconds.
+        sequence: bus-assigned monotonic tiebreaker; two events at the
+            same simulated instant replay in emission order.
+        fields: free-form event payload (queue depth, fragment count,
+            player family...), values restricted to JSON scalars.
+    """
+
+    type: str
+    time: float
+    sequence: int
+    fields: Tuple[Tuple[str, object], ...] = ()
+
+    def field_dict(self) -> Dict[str, object]:
+        return dict(self.fields)
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat dict form used by the JSON-lines sink."""
+        record: Dict[str, object] = {
+            "type": self.type, "time": round(self.time, 9),
+            "seq": self.sequence,
+        }
+        for key, value in self.fields:
+            record[key] = value
+        return record
+
+
+class TraceEventBus:
+    """Bounded fan-out from emit sites to sinks.
+
+    Args:
+        sinks: initial sinks; more may be attached later.  The bus is
+            *inactive* (emit is a no-op that allocates nothing) until at
+            least one attached sink reports ``active``.
+    """
+
+    def __init__(self, sinks: Optional[Iterable[object]] = None) -> None:
+        self._sinks: List[object] = []
+        self._sequence = 0
+        self._active = False
+        self._context: Tuple[Tuple[str, object], ...] = ()
+        for sink in sinks or ():
+            self.attach(sink)
+
+    def attach(self, sink: object) -> None:
+        self._sinks.append(sink)
+        self._refresh_active()
+
+    def _refresh_active(self) -> None:
+        self._active = any(getattr(sink, "active", True)
+                           for sink in self._sinks)
+
+    @property
+    def active(self) -> bool:
+        """Whether emit does any work at all."""
+        return self._active
+
+    def set_context(self, **labels: object) -> None:
+        """Fields stamped onto every event emitted from now on."""
+        self._context = tuple(sorted(labels.items()))
+
+    def clear_context(self) -> None:
+        self._context = ()
+
+    def emit(self, event_type: str, time: float, **fields: object) -> None:
+        """Publish one event; a no-op (no allocation) when inactive."""
+        if not self._active:
+            return
+        event = TraceEvent(type=event_type, time=time,
+                           sequence=self._sequence,
+                           fields=self._context + tuple(sorted(fields.items())))
+        self._sequence += 1
+        for sink in self._sinks:
+            if getattr(sink, "active", True):
+                sink.write(event)
+
+    def close(self) -> None:
+        """Flush and close every sink that supports it."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

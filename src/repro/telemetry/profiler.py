@@ -1,0 +1,123 @@
+"""A lightweight profiler for the discrete-event loop.
+
+When attached (via :class:`repro.telemetry.core.Telemetry`), the
+simulator routes event execution through :meth:`SimProfiler.run_event`,
+which times each callback with the wall clock, aggregates cost by
+callback name, and samples heap depth every ``sample_interval`` events.
+The numbers answer the optimization questions the ROADMAP keeps asking
+— where do the cycles go, how deep does the heap get, how many events
+per wall second does the engine sustain — without touching the
+unprofiled fast path at all (the engine picks its loop once per
+``run`` call, so a disabled profiler costs one ``None`` check).
+
+Profiler output is wall-clock-derived and therefore *not* part of the
+deterministic export contract; exporters keep it out of the seeded
+JSON/CSV artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+
+def _callback_name(callback: Callable[..., object]) -> str:
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        name = getattr(type(callback), "__qualname__", repr(callback))
+    module = getattr(callback, "__module__", "") or ""
+    if module.startswith("repro."):
+        module = module[len("repro."):]
+    return f"{module}.{name}" if module else name
+
+
+@dataclass
+class CallbackCost:
+    """Aggregated wall-clock cost of one callback kind."""
+
+    calls: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def mean_microseconds(self) -> float:
+        if not self.calls:
+            return 0.0
+        return self.wall_seconds / self.calls * 1e6
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled ``Simulator.run`` window measured."""
+
+    events_executed: int = 0
+    wall_seconds: float = 0.0
+    max_heap_depth: int = 0
+    heap_samples: List[Tuple[int, int]] = field(default_factory=list)
+    callbacks: Dict[str, CallbackCost] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_executed / self.wall_seconds
+
+    def hottest(self, limit: int = 10) -> List[Tuple[str, CallbackCost]]:
+        """Callback kinds ordered by total wall cost, costliest first."""
+        ranked = sorted(self.callbacks.items(),
+                        key=lambda item: item[1].wall_seconds, reverse=True)
+        return ranked[:limit]
+
+    def render(self, limit: int = 10) -> str:
+        lines = [
+            f"events executed:  {self.events_executed}",
+            f"wall time:        {self.wall_seconds:.3f}s "
+            f"({self.events_per_second:,.0f} events/s)",
+            f"max heap depth:   {self.max_heap_depth}",
+        ]
+        if self.callbacks:
+            lines.append("hottest callbacks (total wall, mean per call):")
+            for name, cost in self.hottest(limit):
+                lines.append(
+                    f"  {name:<48} {cost.wall_seconds * 1000:8.2f} ms"
+                    f"  {cost.mean_microseconds:8.1f} us x{cost.calls}")
+        return "\n".join(lines)
+
+
+class SimProfiler:
+    """Samples the event loop; one instance accumulates across runs.
+
+    Args:
+        sample_interval: heap depth is recorded every this-many events
+            (depth sampling is cheap but not free; 1024 keeps overhead
+            under a percent on the microbenchmarks).
+    """
+
+    def __init__(self, sample_interval: int = 1024) -> None:
+        if sample_interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sample_interval = sample_interval
+        self.report = ProfileReport()
+        self._since_sample = 0
+
+    def run_event(self, callback: Callable[..., object], args: tuple,
+                  heap_depth: int) -> None:
+        """Execute one event under the stopwatch."""
+        report = self.report
+        if heap_depth > report.max_heap_depth:
+            report.max_heap_depth = heap_depth
+        self._since_sample += 1
+        if self._since_sample >= self.sample_interval:
+            self._since_sample = 0
+            report.heap_samples.append((report.events_executed, heap_depth))
+        started = time.perf_counter()
+        callback(*args)
+        elapsed = time.perf_counter() - started
+        report.events_executed += 1
+        report.wall_seconds += elapsed
+        name = _callback_name(callback)
+        cost = report.callbacks.get(name)
+        if cost is None:
+            cost = report.callbacks[name] = CallbackCost()
+        cost.calls += 1
+        cost.wall_seconds += elapsed

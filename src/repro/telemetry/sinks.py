@@ -1,0 +1,119 @@
+"""Trace-event sinks: where the bus delivers its events.
+
+Three flavors cover the subsystem's contract:
+
+* :class:`MemorySink` — the bounded ring buffer backing interactive
+  queries (`repro telemetry` reads rebuffer timelines out of it);
+* :class:`JsonlSink` — one JSON object per line, sorted keys, fixed
+  float formatting, so identical seeds produce byte-identical files;
+* :class:`NullSink` — reports ``active = False``, which tells the bus
+  to skip event construction entirely (the zero-allocation guarantee
+  the disabled path relies on).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from typing import Callable, Deque, List, Optional, Union
+
+from repro.telemetry.events import TraceEvent
+
+#: Default ring capacity: enough for a full-length pair run's media
+#: events without letting a pathological run grow without bound.
+DEFAULT_RING_CAPACITY = 262144
+
+
+class NullSink:
+    """Discards everything — and tells the bus not to bother emitting."""
+
+    active = False
+
+    def write(self, event: TraceEvent) -> None:  # pragma: no cover - bus
+        pass                                     # never calls an inactive sink
+
+
+class MemorySink:
+    """Bounded in-memory ring of the most recent events."""
+
+    active = True
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def write(self, event: TraceEvent) -> None:
+        if len(self.events) == self.events.maxlen:
+            self.dropped += 1
+        self.events.append(event)
+
+    def of_type(self, event_type: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.type == event_type]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def encode_event(event: TraceEvent) -> str:
+    """The canonical JSON-lines encoding (sorted keys, no whitespace)."""
+    return json.dumps(event.as_record(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+class JsonlSink:
+    """Writes one canonical JSON object per event line.
+
+    Args:
+        target: a path to open (closed by :meth:`close`) or an existing
+            text stream (left open; the caller owns it).
+    """
+
+    active = True
+
+    def __init__(self, target: Union[str, io.TextIOBase]) -> None:
+        if isinstance(target, str):
+            self._stream = open(target, "w")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.lines_written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self._stream.write(encode_event(event))
+        self._stream.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class FilterSink:
+    """Wraps another sink, forwarding only matching event types."""
+
+    def __init__(self, inner: object,
+                 types: Optional[List[str]] = None,
+                 predicate: Optional[Callable[[TraceEvent], bool]] = None,
+                 ) -> None:
+        self._inner = inner
+        self._types = frozenset(types) if types is not None else None
+        self._predicate = predicate
+
+    @property
+    def active(self) -> bool:
+        return getattr(self._inner, "active", True)
+
+    def write(self, event: TraceEvent) -> None:
+        if self._types is not None and event.type not in self._types:
+            return
+        if self._predicate is not None and not self._predicate(event):
+            return
+        self._inner.write(event)
+
+    def close(self) -> None:
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()

@@ -98,3 +98,48 @@ class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTelemetryCommand:
+    def test_full_instrumented_sweep_and_exports(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "summary.json"
+        events_path = tmp_path / "events.jsonl"
+        series_path = tmp_path / "series.csv"
+        code = main(["telemetry", "--seed", "5", "--scale", "0.05",
+                     "--json", str(json_path),
+                     "--events", str(events_path),
+                     "--series-csv", str(series_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pair runs" in out
+        assert "per-hop queue depth" in out
+        assert "rebuffer" in out.lower() or "playout" in out.lower()
+
+        # The JSON export round-trips through its own exporter.
+        text = json_path.read_text()
+        loaded = json.loads(text)
+        assert json.dumps(loaded, sort_keys=True, indent=2) == text
+        assert loaded["counters"]
+        assert any(entry["name"] == "queue.drops" or
+                   entry["name"].startswith("link.")
+                   for entry in loaded["counters"])
+
+        lines = events_path.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        assert {"type", "time", "seq"} <= set(records[0])
+        assert any(record["type"] == "stream_start" for record in records)
+
+        series_lines = series_path.read_text().splitlines()
+        assert series_lines[0] == "name,labels,time,value"
+        assert any(line.startswith("queue.bytes,") for line in series_lines)
+
+    def test_profile_flag_prints_hot_callbacks(self, capsys):
+        code = main(["telemetry", "--seed", "5", "--scale", "0.01",
+                     "--profile", "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events/s" in out
+        assert "_deliver" in out or "callback" in out.lower()

@@ -201,3 +201,46 @@ class TestStudy:
         for run in study:
             assert run.wmp_profile().classify() == "mediaplayer"
             assert run.real_profile().classify() == "realplayer"
+
+
+class TestStudyCache:
+    """The memo cache must key on the library, not just the scalars."""
+
+    @staticmethod
+    def one_set_library(set_number, duration_scale=0.04):
+        from repro.media.library import ClipLibrary
+
+        full = build_table1_library(duration_scale=duration_scale)
+        library = ClipLibrary()
+        library.add_set(full.get_set(set_number))
+        return library
+
+    def test_fingerprint_is_stable_and_content_sensitive(self):
+        a = self.one_set_library(1)
+        b = self.one_set_library(1)
+        c = self.one_set_library(2)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+        # Scale changes clip durations, hence the fingerprint.
+        assert (a.fingerprint()
+                != self.one_set_library(1, duration_scale=0.05).fingerprint())
+
+    def test_custom_library_does_not_alias_cached_study(self):
+        from repro.experiments.cache import clear_cache, get_study
+
+        clear_cache()
+        try:
+            first = get_study(seed=77, duration_scale=0.04,
+                              library=self.one_set_library(1))
+            second = get_study(seed=77, duration_scale=0.04,
+                               library=self.one_set_library(2))
+            # Same scalars, different libraries: distinct studies.
+            assert first is not second
+            assert ({run.set_number for run in first}
+                    != {run.set_number for run in second})
+            # Same library content memoizes.
+            again = get_study(seed=77, duration_scale=0.04,
+                              library=self.one_set_library(1))
+            assert again is first
+        finally:
+            clear_cache()
