@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Validate a ``repro spans --json`` export against its checked-in
+schema (``docs/schemas/spans_summary.schema.json``).
+
+CI runs this after the spans smoke study.  The validator is a small
+stdlib-only implementation of the JSON-Schema subset the schema uses —
+``type``, ``required``, ``properties``, ``additionalProperties``,
+``items``, ``minimum``, ``maximum``, ``enum`` — so the check needs no
+third-party dependency on the CI image.
+
+Usage::
+
+    python scripts/validate_spans_export.py EXPORT.json [SCHEMA.json]
+
+Exits 0 when the document validates, 1 with one error per line when it
+does not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, Dict, List
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    expected = _TYPES[name]
+    if isinstance(value, bool) and name in ("integer", "number"):
+        return False  # bool is an int in Python, not in JSON Schema
+    return isinstance(value, expected)
+
+
+def validate(instance: Any, schema: Dict[str, Any],
+             path: str = "$") -> List[str]:
+    """Validate ``instance`` against the schema subset; returns a list
+    of ``path: problem`` strings (empty = valid)."""
+    errors: List[str] = []
+
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        names = ([expected_type] if isinstance(expected_type, str)
+                 else list(expected_type))
+        if not any(_type_ok(instance, name) for name in names):
+            errors.append(f"{path}: expected type {'/'.join(names)}, "
+                          f"got {type(instance).__name__}")
+            return errors  # structural checks below would just cascade
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']!r}")
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance!r} < minimum "
+                          f"{schema['minimum']!r}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            errors.append(f"{path}: {instance!r} > maximum "
+                          f"{schema['maximum']!r}")
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            child_path = f"{path}.{key}"
+            if key in properties:
+                errors.extend(validate(value, properties[key], child_path))
+            elif isinstance(additional, dict):
+                errors.extend(validate(value, additional, child_path))
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"],
+                                   f"{path}[{index}]"))
+
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    export_path = argv[1]
+    schema_path = (argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(argv[0]))),
+        "docs", "schemas", "spans_summary.schema.json"))
+    with open(export_path) as stream:
+        instance = json.load(stream)
+    with open(schema_path) as stream:
+        schema = json.load(stream)
+    errors = validate(instance, schema)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"{export_path}: INVALID ({len(errors)} error(s))",
+              file=sys.stderr)
+        return 1
+    print(f"{export_path}: valid against {os.path.basename(schema_path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -125,3 +125,71 @@ def group_size_pattern(trace: Trace) -> List[int]:
     "a constant number of packets in each group").
     """
     return [group.packet_count for group in group_datagrams(trace)]
+
+
+def crosscheck_spans(trace: Trace, recorder,
+                     tolerance: float = 1e-9) -> List[str]:
+    """Validate a receiver-side capture against a span forest.
+
+    The sniffer and the :class:`~repro.telemetry.spans.SpanRecorder`
+    observe the same packets through entirely independent code paths,
+    so their views must agree — this is the capture-vs-spans analogue
+    of the paper correlating Ethereal with the tracker logs.  For every
+    ``rx`` record carrying span provenance, the referenced packet span
+    must exist and agree on datagram id, fragment offset, and arrival
+    timestamp; every fragmented datagram group must match its trace's
+    reassembly span on fragment count and first-to-last train span.
+
+    Returns a list of human-readable mismatches; empty means the two
+    views agree.
+    """
+    mismatches: List[str] = []
+    by_id = {span.id: span for span in recorder.spans}
+    received = trace.received()
+    for record in received:
+        if record.span_id is None:
+            continue
+        span = by_id.get(record.span_id)
+        if span is None:
+            mismatches.append(f"packet #{record.number}: span "
+                              f"{record.span_id} not in recorder")
+            continue
+        if span.attrs.get("datagram") != record.datagram_id:
+            mismatches.append(
+                f"packet #{record.number}: datagram id "
+                f"{record.datagram_id} != span's "
+                f"{span.attrs.get('datagram')}")
+        if span.attrs.get("offset") != record.fragment_offset:
+            mismatches.append(
+                f"packet #{record.number}: fragment offset "
+                f"{record.fragment_offset} != span's "
+                f"{span.attrs.get('offset')}")
+        if span.end is None or abs(span.end - record.time) > tolerance:
+            mismatches.append(
+                f"packet #{record.number}: capture time {record.time!r} "
+                f"!= span arrival {span.end!r}")
+    reassembly_by_trace = {
+        span.trace: span for span in recorder.spans
+        if span.kind == "reassembly"}
+    for group in group_datagrams(received):
+        first = group.records[0]
+        if not group.is_fragmented or first.span_trace is None:
+            continue
+        if not group.complete:
+            continue
+        span = reassembly_by_trace.get(first.span_trace)
+        if span is None:
+            mismatches.append(f"datagram {first.datagram_id}: fragmented "
+                              f"train has no reassembly span")
+            continue
+        if span.attrs.get("fragments") != group.packet_count:
+            mismatches.append(
+                f"datagram {first.datagram_id}: captured "
+                f"{group.packet_count} fragments, reassembly span saw "
+                f"{span.attrs.get('fragments')}")
+        if span.end is None or abs(span.duration - group.span) > tolerance:
+            mismatches.append(
+                f"datagram {first.datagram_id}: train span "
+                f"{group.span!r} != reassembly duration "
+                f"{span.duration!r}")
+    return mismatches

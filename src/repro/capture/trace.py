@@ -46,6 +46,11 @@ class PacketRecord:
     adu_sequence: Optional[int] = None
     datagram_id: int = 0
     uid: int = 0
+    #: Span provenance, carried when the capture ran with a
+    #: SpanRecorder installed (None otherwise, and on pcap re-imports,
+    #: where the ids cannot survive the wire format).
+    span_id: Optional[int] = None
+    span_trace: Optional[int] = None
 
     @classmethod
     def from_packet(cls, number: int, time: float, direction: str,
@@ -69,7 +74,10 @@ class PacketRecord:
             src_port=src_port, dst_port=dst_port,
             payload_kind=packet.payload.kind,
             adu_sequence=packet.payload.adu_sequence,
-            datagram_id=packet.datagram_id, uid=packet.uid)
+            datagram_id=packet.datagram_id, uid=packet.uid,
+            span_id=(packet.span.id if packet.span is not None else None),
+            span_trace=(packet.span.trace
+                        if packet.span is not None else None))
 
 
 class Trace:

@@ -11,6 +11,9 @@
 * ``pcap-info``  — summarize any libpcap file (fragmentation, rates).
 * ``telemetry``  — run the sweep fully instrumented; print the metric
   summary and export JSON / JSON-lines / CSV artifacts.
+* ``spans``      — run the sweep with causal span tracing; print the
+  per-hop waterfalls of the slowest ADUs and the WMS-vs-RealServer
+  latency-attribution table; export Chrome-trace / JSONL artifacts.
 """
 
 from __future__ import annotations
@@ -90,6 +93,22 @@ def build_parser() -> argparse.ArgumentParser:
                                 "numbers; excluded from exports)")
     telemetry.add_argument("--top", type=int, default=12,
                            help="rows shown per summary section")
+
+    spans = commands.add_parser(
+        "spans", help="run the sweep with span tracing; print per-hop "
+                      "waterfalls and the latency-attribution table")
+    spans.add_argument("--seed", type=int, default=2002)
+    spans.add_argument("--scale", type=float, default=1.0,
+                       help="clip duration scale (use <1 for a fast run)")
+    spans.add_argument("--top", type=int, default=5,
+                       help="slowest ADUs rendered as waterfalls")
+    spans.add_argument("--json",
+                       help="write the attribution summary as JSON")
+    spans.add_argument("--chrome-trace",
+                       help="write the span forest as Chrome trace-event "
+                            "JSON (load in Perfetto or chrome://tracing)")
+    spans.add_argument("--jsonl",
+                       help="write the span forest as JSON lines")
 
     commands.add_parser("table1", help="print Table 1 (no simulation)")
 
@@ -266,6 +285,10 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     )
     from repro.telemetry.registry import format_labels
 
+    if args.top <= 0:
+        print(f"--top must be a positive integer, got {args.top}",
+              file=sys.stderr)
+        return 2
     sinks = [MemorySink()]
     if args.events:
         sinks.append(JsonlSink(args.events))
@@ -273,10 +296,15 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     telemetry = Telemetry(sinks=sinks, profiler=profiler)
     study = run_study(seed=args.seed, duration_scale=args.scale,
                       telemetry=telemetry)
+    registry = telemetry.registry
+    if not list(registry.counters()) and not telemetry.memory_events():
+        print("error: the run recorded no telemetry (no counters, no "
+              "trace events); nothing to summarize", file=sys.stderr)
+        telemetry.close()
+        return 1
     print(f"# telemetry: {len(study)} pair runs "
           f"(seed {args.seed}, scale {args.scale})\n")
 
-    registry = telemetry.registry
     counters = sorted(registry.counters(), key=lambda item: -item[2].value)
     print("## counters (top by value)\n")
     print(format_table(("Counter", "Labels", "Value"),
@@ -339,9 +367,114 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _seconds(value: float) -> str:
+    return f"{value:.6f}s"
+
+
+def _render_waterfall(latency, width: int = 44) -> str:
+    """One ADU's journey as offset/duration rows with an ASCII bar."""
+    run = f" run={latency.run}" if latency.run else ""
+    lines = [f"adu#{latency.sequence} [{latency.family}]{run}  "
+             f"total {_seconds(latency.total)}, "
+             f"{latency.fragment_count} packet(s)"]
+    stages = []
+    offset = 0.0
+    for hop in latency.hops:
+        for stage, duration in (("queue", hop.queue), ("tx", hop.tx),
+                                ("prop", hop.prop)):
+            stages.append((f"{stage} {hop.link}", offset, duration))
+            offset += duration
+    stages.append(("reassembly wait", offset, latency.reassembly_wait))
+    offset += latency.reassembly_wait
+    stages.append(("buffer wait", offset, latency.buffer_wait))
+    total = latency.total or 1.0
+    name_width = max(len(name) for name, _, _ in stages)
+    for name, start, duration in stages:
+        begin = int(round(width * start / total))
+        bar_width = (max(1, int(round(width * duration / total)))
+                     if duration > 0 else 0)
+        bar = (" " * begin + "#" * bar_width)[:width]
+        lines.append(f"  {name:<{name_width}}  +{_seconds(start)}  "
+                     f"{_seconds(duration)}  |{bar:<{width}}|")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import format_table
+    from repro.experiments.runner import run_study
+    from repro.telemetry import (
+        SpanRecorder,
+        Telemetry,
+        aggregate_attribution,
+        attribute_latency,
+        attribution_dict,
+        slowest,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+    from repro.telemetry.critical_path import COMPONENT_NAMES
+
+    if args.top <= 0:
+        print(f"--top must be a positive integer, got {args.top}",
+              file=sys.stderr)
+        return 2
+    recorder = SpanRecorder()
+    telemetry = Telemetry(spans=recorder)
+    study = run_study(seed=args.seed, duration_scale=args.scale,
+                      telemetry=telemetry)
+    latencies = attribute_latency(recorder)
+    if not latencies:
+        print("error: the run recorded no completed ADU traces; nothing "
+              "to attribute", file=sys.stderr)
+        return 1
+    print(f"# spans: {len(recorder)} spans, {len(recorder.roots())} ADU "
+          f"traces, {len(latencies)} attributed "
+          f"({len(study)} pair runs, seed {args.seed}, "
+          f"scale {args.scale})\n")
+
+    aggregate = aggregate_attribution(latencies)
+    families = sorted(aggregate)
+    rows = [("ADUs attributed",)
+            + tuple(str(int(aggregate[f]["count"])) for f in families),
+            ("mean packets/ADU",)
+            + tuple(f"{aggregate[f]['mean_fragments']:.2f}"
+                    for f in families),
+            ("mean end-to-end",)
+            + tuple(_seconds(aggregate[f]["mean_total"])
+                    for f in families)]
+    for name in COMPONENT_NAMES:
+        rows.append(
+            (name.replace("_", " "),)
+            + tuple(f"{_seconds(aggregate[f]['mean_' + name])} "
+                    f"({aggregate[f]['share_' + name]:.2f}%)"
+                    for f in families))
+    print("## latency attribution (per-family means)\n")
+    print(format_table(("Component",) + tuple(families), rows))
+
+    print(f"\n## slowest ADUs (top {args.top})\n")
+    for latency in slowest(latencies, args.top):
+        print(_render_waterfall(latency))
+
+    if args.json:
+        document = attribution_dict(latencies, top=args.top)
+        with open(args.json, "w") as stream:
+            stream.write(json.dumps(document, sort_keys=True, indent=2))
+        print(f"wrote {args.json}")
+    if args.chrome_trace:
+        write_chrome_trace(recorder, args.chrome_trace)
+        print(f"wrote {args.chrome_trace}")
+    if args.jsonl:
+        write_spans_jsonl(recorder, args.jsonl)
+        print(f"wrote {args.jsonl}")
+    return 0
+
+
 _HANDLERS = {
     "study": _cmd_study,
     "telemetry": _cmd_telemetry,
+    "spans": _cmd_spans,
     "scorecard": _cmd_scorecard,
     "figure": _cmd_figure,
     "table1": _cmd_table1,

@@ -134,3 +134,7 @@ class PayloadMeta:
     frame_numbers: tuple = field(default_factory=tuple)
     media_time: Optional[float] = None
     message: Optional[object] = None
+    #: Root provenance span of the ADU this payload belongs to, set by
+    #: the pacer when span tracing is on; rides the metadata through
+    #: fragmentation and reassembly to the receiving player.
+    span: Optional[object] = None

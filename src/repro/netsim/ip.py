@@ -83,6 +83,8 @@ class ReassemblyBuffer:
         self._have_offsets: set = set()
         self.total_payload: Optional[int] = None
         self._received_payload = 0
+        #: Open reassembly span when span tracing is on.
+        self.span = None
 
     def add(self, packet: Packet, now: float) -> None:
         """Record one fragment.
@@ -130,6 +132,10 @@ class IpLayer:
         self.stats = IpStats()
         self.misrouted = 0
         self._telemetry = host.sim.telemetry
+        # Span recorder handle, cached with the same discipline as the
+        # rest of the facade: one None check per packet when disabled.
+        self._spans = (self._telemetry.spans
+                       if self._telemetry is not None else None)
         if self._telemetry is not None:
             registry = self._telemetry.registry
             self._ctr_fragments = registry.counter("ip.fragments_sent",
@@ -188,6 +194,9 @@ class IpLayer:
                             datagram_id=ident)
             if self._telemetry is not None:
                 self._hist_fragments.observe(1)
+            if self._spans is not None and payload.span is not None:
+                self._spans.packets_emitted(payload.span,
+                                            self.host.sim.now, [packet])
             self._emit([packet])
             return [packet]
 
@@ -220,6 +229,9 @@ class IpLayer:
                                  datagram_id=ident,
                                  fragments=len(packets),
                                  payload_bytes=ip_payload)
+        if self._spans is not None and payload.span is not None:
+            self._spans.packets_emitted(payload.span, self.host.sim.now,
+                                        packets)
         self._emit(packets)
         return packets
 
@@ -235,6 +247,9 @@ class IpLayer:
         """Handle one delivered IP packet (fragment or whole datagram)."""
         self.stats.packets_received += 1
         now = self.host.sim.now
+        traced = self._spans is not None and packet.span is not None
+        if traced:
+            self._spans.packet_arrived(packet, now)
         if not packet.is_fragment:
             self._deliver_single(packet, now)
             return
@@ -245,11 +260,17 @@ class IpLayer:
         buffer = self._buffers.get(key)
         if buffer is None:
             buffer = ReassemblyBuffer(first_seen=now)
+            if traced and packet.payload.span is not None:
+                buffer.span = self._spans.reassembly_started(
+                    packet.payload.span, now, self.host.name)
             self._buffers[key] = buffer
             self.host.sim.schedule_in(REASSEMBLY_TIMEOUT, self._expire, key)
         buffer.add(packet, now)
         if buffer.complete:
             del self._buffers[key]
+            if buffer.span is not None:
+                self._spans.reassembly_finished(buffer.span, now,
+                                                len(buffer.fragments))
             self._deliver_reassembled(buffer, packet)
 
     def _deliver_single(self, packet: Packet, now: float) -> None:
@@ -299,6 +320,9 @@ class IpLayer:
         del self._buffers[key]
         self.stats.reassembly_timeouts += 1
         self.stats.wasted_fragment_bytes += buffer.received_bytes
+        if buffer.span is not None:
+            self._spans.reassembly_timed_out(buffer.span, self.host.sim.now,
+                                             len(buffer.fragments))
         if self._telemetry is not None:
             self._ctr_timeouts.inc()
             self._telemetry.emit(REASSEMBLY_TIMEOUT, host=self.host.name,

@@ -21,6 +21,7 @@ from repro.telemetry.events import (
     PACKET_ENQUEUED,
     PACKET_LOSS,
 )
+from repro.telemetry.spans import STATUS_LOST
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.engine import Simulator
@@ -94,8 +95,10 @@ class _Direction:
         # exists, so caching is safe and keeps the per-packet cost to
         # one None check when disabled.
         self._telemetry = sim.telemetry
+        self._spans = (self._telemetry.spans
+                       if self._telemetry is not None else None)
+        self._label = label
         if self._telemetry is not None:
-            self._label = label
             queue.bind_telemetry(self._telemetry, link=label)
             registry = self._telemetry.registry
             self._ctr_sent = registry.counter("link.packets_sent", link=label)
@@ -112,6 +115,9 @@ class _Direction:
             self._ctr_sent.inc()
         if self._loss.should_drop(packet):
             self.stats.packets_lost += 1
+            if self._spans is not None and packet.span is not None:
+                self._spans.packet_dropped(packet, self._sim.now,
+                                           STATUS_LOST, self._label)
             if telemetry is not None:
                 self._ctr_lost.inc()
                 telemetry.emit(PACKET_LOSS, link=self._label,
@@ -135,6 +141,8 @@ class _Direction:
             self._busy = False
             return
         self._busy = True
+        if self._spans is not None and packet.span is not None:
+            self._spans.tx_started(packet, self._sim.now, self._label)
         tx_delay = units.transmission_delay(packet.wire_bytes,
                                             self._bandwidth_bps)
         self._sim.schedule_in(tx_delay, self._finish_transmit, packet)
@@ -146,6 +154,10 @@ class _Direction:
         # can stretch gaps but never reorder packets within a direction.
         arrival = max(arrival, self._last_delivery)
         self._last_delivery = arrival
+        if self._spans is not None and packet.span is not None:
+            self._spans.tx_finished(packet, self._sim.now)
+            self._spans.propagated(packet, self._sim.now, arrival,
+                                   self._label)
         self._sim.schedule_at(arrival, self._deliver, packet)
         self._transmit_next()
 

@@ -41,6 +41,9 @@ class Packet:
         payload: application metadata describing the carried bytes.
         uid: globally unique packet id (diagnostics and capture joins).
         datagram_id: id shared by all fragments of one IP datagram.
+        span: provenance span context set by the sender's IP layer when
+            a :class:`~repro.telemetry.spans.SpanRecorder` is installed;
+            ``None`` otherwise (and on all non-traced traffic).
     """
 
     ip: IPv4Header
@@ -48,6 +51,7 @@ class Packet:
     payload: PayloadMeta = field(default_factory=PayloadMeta)
     uid: int = field(default_factory=lambda: next(_packet_ids))
     datagram_id: int = 0
+    span: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.ip.total_length < self.ip.header_bytes:
@@ -91,7 +95,8 @@ class Packet:
         if self.ip.ttl <= 0:
             raise PacketError("cannot forward a packet with TTL 0")
         return Packet(ip=self.ip.decremented(), transport=self.transport,
-                      payload=self.payload, datagram_id=self.datagram_id)
+                      payload=self.payload, datagram_id=self.datagram_id,
+                      span=self.span)
 
     def __repr__(self) -> str:
         frag = ""

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.netsim.packet import Packet
 from repro.telemetry.events import QUEUE_DROP
+from repro.telemetry.spans import STATUS_DROPPED
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry.core import Telemetry
@@ -45,6 +46,8 @@ class DropTailQueue:
         self._event_fields: dict = {}
         self._depth_gauge = None
         self._drop_counter = None
+        self._spans = None
+        self._span_link = ""
 
     def bind_telemetry(self, telemetry: Optional["Telemetry"],
                        **labels: object) -> None:
@@ -56,10 +59,15 @@ class DropTailQueue:
         self._event_fields = dict(labels)
         self._depth_gauge = telemetry.gauge("queue.bytes", **labels)
         self._drop_counter = telemetry.counter("queue.drops", **labels)
+        self._spans = telemetry.spans
+        self._span_link = str(labels.get("link", ""))
 
     def _note_drop(self, packet: Packet) -> None:
         self.stats.dropped += 1
         telemetry = self._telemetry
+        if self._spans is not None and packet.span is not None:
+            self._spans.packet_dropped(packet, telemetry.now(),
+                                       STATUS_DROPPED, self._span_link)
         if telemetry is not None:
             self._drop_counter.inc()
             telemetry.emit(QUEUE_DROP, queue_bytes=self._bytes,
@@ -77,6 +85,9 @@ class DropTailQueue:
         self.stats.peak_bytes = max(self.stats.peak_bytes, self._bytes)
         if self._telemetry is not None:
             self._depth_gauge.set(self._bytes, self._telemetry.now())
+            if self._spans is not None and packet.span is not None:
+                self._spans.queue_entered(packet, self._telemetry.now(),
+                                          self._span_link)
         return True
 
     def poll(self) -> Optional[Packet]:
@@ -88,6 +99,8 @@ class DropTailQueue:
         self.stats.dequeued += 1
         if self._telemetry is not None:
             self._depth_gauge.set(self._bytes, self._telemetry.now())
+            if self._spans is not None and packet.span is not None:
+                self._spans.queue_left(packet, self._telemetry.now())
         return packet
 
     def __len__(self) -> int:

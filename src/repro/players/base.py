@@ -79,6 +79,10 @@ class StreamingClient:
         self._connection: Optional[TcpConnection] = None
         self._media_socket = None
         self._telemetry = None
+        self._spans = None
+        #: (buffer span, root ADU span) pairs closed at finish, once
+        #: each media chunk's playout instant is known.
+        self._open_buffer_spans: List[Tuple[object, object]] = []
         self._last_sequence: Optional[int] = None
         self._last_media_time = 0.0
         #: (frame_number, app_time) pairs, classified at finalize time.
@@ -153,6 +157,7 @@ class StreamingClient:
         self.stats.requested_at = self._requested_at
         telemetry = self.host.sim.telemetry
         self._telemetry = telemetry
+        self._spans = telemetry.spans if telemetry is not None else None
         self.buffer = DelayBuffer(self.preroll_seconds, telemetry=telemetry,
                                   label=self.family.name.lower())
         if telemetry is not None:
@@ -234,6 +239,13 @@ class StreamingClient:
         # Media-seconds accounting for the delay buffer.
         media_time = datagram.payload.media_time or 0.0
         delta = max(0.0, media_time - self._last_media_time)
+        if self._spans is not None and datagram.payload.span is not None:
+            # This chunk's media starts at the *previous* media time;
+            # its playout instant is playout_start + that offset.
+            span = self._spans.buffer_admitted(
+                datagram.payload.span, now, self.family.name.lower(),
+                self._last_media_time)
+            self._open_buffer_spans.append((span, datagram.payload.span))
         self._last_media_time = media_time
         self.buffer.add_media(now, delta)
         for frame_number in datagram.payload.frame_numbers:
@@ -282,6 +294,14 @@ class StreamingClient:
                                     player=label).inc(self.stats.frames_late)
         if self.buffer is not None:
             self.stats.playout_started_at = self.buffer.playout_started_at
+        if self._spans is not None and self._open_buffer_spans:
+            playout = (self.buffer.playout_started_at
+                       if self.buffer is not None else None)
+            for span, root in self._open_buffer_spans:
+                playout_time = (None if playout is None
+                                else playout + span.attrs["media_begin"])
+                self._spans.buffer_released(span, root, playout_time)
+            self._open_buffer_spans = []
         if self.session_id is not None and self._connection is not None:
             request = ControlRequest(method="TEARDOWN",
                                      session_id=self.session_id)

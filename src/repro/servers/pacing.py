@@ -78,6 +78,8 @@ class Pacer:
         self._total_media_bytes = total
         self._frames_completed = 0
         self._telemetry = sim.telemetry
+        self._spans = (self._telemetry.spans
+                       if self._telemetry is not None else None)
         if self._telemetry is not None:
             family = clip.family.name.lower()
             registry = self._telemetry.registry
@@ -153,6 +155,12 @@ class Pacer:
             return
         budget_after = self._budget_consumed + size / self.rate_scale
         meta = self._meta_for(budget_after)
+        if self._spans is not None:
+            # Root of the ADU's causal trace: every fragment, hop, and
+            # buffer span downstream hangs off this one.
+            meta.span = self._spans.adu_sent(
+                self.sim.now, self.clip.family.name.lower(),
+                self._sequence, size)
         self.socket.send(self.dst, self.dst_port, size, payload=meta)
         self.bytes_sent += size
         self._budget_consumed = budget_after

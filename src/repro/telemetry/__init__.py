@@ -9,6 +9,12 @@ The observability subsystem the measurement pipeline itself runs on:
 * :mod:`~repro.telemetry.sinks` — in-memory ring, JSON-lines, null;
 * :mod:`~repro.telemetry.profiler` — event-loop wall-clock sampling;
 * :mod:`~repro.telemetry.exporters` — deterministic JSON/CSV artifacts;
+* :mod:`~repro.telemetry.spans` — causal span tracing: one trace per
+  ADU, pacer → fragments → hops → reassembly → playout;
+* :mod:`~repro.telemetry.critical_path` — per-ADU latency attribution
+  (queueing / serialization / propagation / reassembly / buffer);
+* :mod:`~repro.telemetry.trace_export` — Chrome trace-event (Perfetto)
+  and JSONL span exports, byte-identical under a fixed seed;
 * :mod:`~repro.telemetry.core` — the :class:`Telemetry` facade every
   instrumented layer holds behind a ``None`` check.
 
@@ -19,6 +25,14 @@ one attribute load and a ``None`` check.
 """
 
 from repro.telemetry.core import Telemetry
+from repro.telemetry.critical_path import (
+    AduLatency,
+    HopTiming,
+    aggregate_attribution,
+    attribute_latency,
+    attribution_dict,
+    slowest,
+)
 from repro.telemetry.events import (
     ALL_EVENT_TYPES,
     FRAGMENT_EMITTED,
@@ -57,14 +71,36 @@ from repro.telemetry.sinks import (
     MemorySink,
     NullSink,
 )
+from repro.telemetry.spans import (
+    ALL_SPAN_KINDS,
+    SPAN_ADU,
+    SPAN_BUFFER,
+    SPAN_PACKET,
+    SPAN_PROP,
+    SPAN_QUEUE,
+    SPAN_REASSEMBLY,
+    SPAN_TX,
+    Span,
+    SpanRecorder,
+)
+from repro.telemetry.trace_export import (
+    chrome_trace,
+    span_record,
+    spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 
 __all__ = [
     "ALL_EVENT_TYPES",
+    "ALL_SPAN_KINDS",
+    "AduLatency",
     "Counter",
     "FRAGMENT_EMITTED",
     "FilterSink",
     "Gauge",
     "Histogram",
+    "HopTiming",
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
@@ -79,16 +115,34 @@ __all__ = [
     "REASSEMBLY_TIMEOUT",
     "REBUFFER_START",
     "REBUFFER_STOP",
+    "SPAN_ADU",
+    "SPAN_BUFFER",
+    "SPAN_PACKET",
+    "SPAN_PROP",
+    "SPAN_QUEUE",
+    "SPAN_REASSEMBLY",
+    "SPAN_TX",
     "STREAM_END",
     "STREAM_START",
     "SimProfiler",
+    "Span",
+    "SpanRecorder",
     "Telemetry",
     "TraceEvent",
     "TraceEventBus",
+    "aggregate_attribution",
+    "attribute_latency",
+    "attribution_dict",
+    "chrome_trace",
     "load_summary",
     "rebuffer_timeline",
     "series_csv",
+    "slowest",
+    "span_record",
+    "spans_jsonl",
     "summary_csv",
     "summary_dict",
     "to_json",
+    "write_chrome_trace",
+    "write_spans_jsonl",
 ]

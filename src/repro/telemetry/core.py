@@ -23,6 +23,7 @@ from repro.telemetry.events import TraceEventBus
 from repro.telemetry.profiler import SimProfiler
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.sinks import MemorySink
+from repro.telemetry.spans import SpanRecorder
 
 
 class Telemetry:
@@ -34,12 +35,18 @@ class Telemetry:
             :class:`~repro.telemetry.sinks.MemorySink` ring attached.
         profiler: optional event-loop profiler; when present, every
             ``Simulator.run`` on a bound simulator is profiled.
+        spans: optional :class:`~repro.telemetry.spans.SpanRecorder`;
+            when present, pacers/IP/links/queues/players record the
+            per-ADU provenance forest.  Must be installed before any
+            topology is built (layers cache the handle, like the rest
+            of the facade).
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  bus: Optional[TraceEventBus] = None,
                  profiler: Optional[SimProfiler] = None,
-                 sinks: Optional[Iterable[object]] = None) -> None:
+                 sinks: Optional[Iterable[object]] = None,
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         if bus is None:
             bus = TraceEventBus(sinks=sinks if sinks is not None
@@ -49,6 +56,7 @@ class Telemetry:
                 bus.attach(sink)
         self.bus = bus
         self.profiler = profiler
+        self.spans = spans
         self._clock = lambda: 0.0
 
     # ------------------------------------------------------------------
@@ -69,10 +77,14 @@ class Telemetry:
         """Scope subsequent metrics and events (e.g. ``run="set1-l"``)."""
         self.registry.set_context(**labels)
         self.bus.set_context(**labels)
+        if self.spans is not None:
+            self.spans.set_context(**labels)
 
     def clear_context(self) -> None:
         self.registry.clear_context()
         self.bus.clear_context()
+        if self.spans is not None:
+            self.spans.clear_context()
 
     # ------------------------------------------------------------------
     # Emission shortcuts

@@ -143,3 +143,69 @@ class TestTelemetryCommand:
         out = capsys.readouterr().out
         assert "events/s" in out
         assert "_deliver" in out or "callback" in out.lower()
+
+    def test_nonpositive_top_is_a_usage_error(self, capsys):
+        assert main(["telemetry", "--top", "0"]) == 2
+        assert "--top" in capsys.readouterr().err
+
+    def test_run_without_telemetry_exits_nonzero(self, monkeypatch, capsys):
+        import repro.experiments.runner as runner
+
+        # A study that never touches the telemetry facade records no
+        # counters and no events; the CLI must refuse to summarize it.
+        monkeypatch.setattr(runner, "run_study", lambda **kwargs: [])
+        assert main(["telemetry", "--seed", "5", "--scale", "0.01"]) == 1
+        assert "no telemetry" in capsys.readouterr().err
+
+
+class TestSpansCommand:
+    def test_small_study_with_exports(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "summary.json"
+        chrome_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "spans.jsonl"
+        code = main(["spans", "--seed", "2002", "--scale", "0.03",
+                     "--top", "2",
+                     "--json", str(json_path),
+                     "--chrome-trace", str(chrome_path),
+                     "--jsonl", str(jsonl_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency attribution" in out
+        assert "buffer wait" in out
+        assert "slowest ADUs (top 2)" in out
+
+        # The summary export validates against the checked-in schema
+        # exactly as the CI smoke step does.
+        import importlib.util
+        import pathlib
+
+        script = (pathlib.Path(__file__).resolve().parents[1]
+                  / "scripts" / "validate_spans_export.py")
+        spec = importlib.util.spec_from_file_location("validator", script)
+        validator = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(validator)
+        schema_path = (pathlib.Path(__file__).resolve().parents[1]
+                       / "docs" / "schemas" / "spans_summary.schema.json")
+        document = json.loads(json_path.read_text())
+        schema = json.loads(schema_path.read_text())
+        assert validator.validate(document, schema) == []
+        assert document["adu_count"] > 0
+        assert set(document["aggregate"]) == {"real", "wmp"}
+
+        trace = json.loads(chrome_path.read_text())
+        assert {event["ph"] for event in trace["traceEvents"]} == {"M", "X"}
+        assert all(json.loads(line)["kind"]
+                   for line in jsonl_path.read_text().splitlines())
+
+    def test_nonpositive_top_is_a_usage_error(self, capsys):
+        assert main(["spans", "--top", "0"]) == 2
+        assert "--top" in capsys.readouterr().err
+
+    def test_run_without_traces_exits_nonzero(self, monkeypatch, capsys):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner, "run_study", lambda **kwargs: [])
+        assert main(["spans", "--seed", "5", "--scale", "0.01"]) == 1
+        assert "no completed ADU traces" in capsys.readouterr().err
