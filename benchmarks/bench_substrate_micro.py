@@ -2,17 +2,28 @@
 
 Not a paper artifact — these keep the substrate honest: event-loop
 throughput, IP fragmentation cost, end-to-end datagram delivery over a
-17-hop path, Section IV flow generation, and pcap serialization.  A
-regression here makes the full study sweep painful.
+17-hop path, Section IV flow generation, pcap serialization, and the
+full study sweep end to end (sequential and ``jobs=4``).  A regression
+here makes the full study sweep painful; CI diffs the medians against
+the committed ``BENCH_substrate.json`` (see ``scripts/bench_compare.py``).
 """
 
 import io
 
 from repro.capture.pcap import write_pcap
 from repro.core.generator import generate_flow
+from repro.experiments.runner import run_study
 from repro.media.clip import PlayerFamily
 from repro.netsim.engine import Simulator
 from repro.netsim.topology import build_path_topology
+
+#: The end-to-end study benches run the full Table 1 sweep at a short
+#: duration scale — long enough to exercise every layer (topology,
+#: pacing, fragmentation, sniffer, trackers, fitting), short enough to
+#: keep a calibrated run affordable on CI hardware.
+STUDY_BENCH_SEED = 77
+STUDY_BENCH_SCALE = 0.04
+STUDY_BENCH_ROUNDS = 3
 
 
 def test_bench_event_loop(benchmark):
@@ -63,3 +74,30 @@ def test_bench_pcap_write(benchmark):
         return write_pcap(trace, buffer)
 
     assert benchmark(write) == len(trace)
+
+
+def test_bench_study_sequential(benchmark):
+    """End-to-end wall time of the sequential Table 1 sweep."""
+    def sweep():
+        return run_study(seed=STUDY_BENCH_SEED,
+                         duration_scale=STUDY_BENCH_SCALE)
+
+    results = benchmark.pedantic(sweep, rounds=STUDY_BENCH_ROUNDS,
+                                 iterations=1)
+    assert len(results) == 13
+
+
+def test_bench_study_parallel(benchmark):
+    """The same sweep through the process-pool executor (``jobs=4``).
+
+    On a multi-core runner the median should land well under the
+    sequential bench's; on a single-core box the two are at parity
+    (the pool adds no meaningful overhead).
+    """
+    def sweep():
+        return run_study(seed=STUDY_BENCH_SEED,
+                         duration_scale=STUDY_BENCH_SCALE, jobs=4)
+
+    results = benchmark.pedantic(sweep, rounds=STUDY_BENCH_ROUNDS,
+                                 iterations=1)
+    assert len(results) == 13

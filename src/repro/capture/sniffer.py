@@ -10,7 +10,7 @@ cheaper than display-filtering afterwards).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.capture.trace import PacketRecord, Trace
 from repro.errors import CaptureError
@@ -42,6 +42,12 @@ class Sniffer:
         self._running = False
         self._installed = False
         self._counter = 0
+        # Records accumulate in a plain list and land in the trace in
+        # one batch at stop(): the tap fires once per packet per
+        # direction — the busiest callback in a study — and a bare
+        # ``list.append`` is the cheapest thing it can do.
+        self._buffer: List[PacketRecord] = []
+        self._buffer_append = self._buffer.append
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -59,6 +65,7 @@ class Sniffer:
         if not self._running:
             raise CaptureError("sniffer is not running")
         self._running = False
+        self._flush()
         return self.trace
 
     def __enter__(self) -> "Sniffer":
@@ -83,8 +90,14 @@ class Sniffer:
         if self._predicate is not None and not self._predicate(record):
             self._counter -= 1
             return
-        self.trace.append(record)
+        self._buffer_append(record)
+
+    def _flush(self) -> None:
+        """Move buffered records into the trace in one batch."""
+        if self._buffer:
+            self.trace.records.extend(self._buffer)
+            self._buffer.clear()
 
     @property
     def packet_count(self) -> int:
-        return len(self.trace)
+        return len(self.trace) + len(self._buffer)

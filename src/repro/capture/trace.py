@@ -105,6 +105,26 @@ class Trace:
     def append(self, record: PacketRecord) -> None:
         self.records.append(record)
 
+    def rebase_spans(self, offset: int) -> None:
+        """Shift every record's span provenance ids by ``offset``.
+
+        The parallel study executor records each pair run in its own
+        process, where span ids start at 1; after the parent recorder
+        adopts a worker's forest (rebasing the ids past its high-water
+        mark), the run's capture must follow so ``span_id``/
+        ``span_trace`` still join against the merged forest — and so a
+        parallel study's traces match a sequential study's exactly.
+        """
+        if offset == 0:
+            return
+        self.records = [
+            replace(record,
+                    span_id=record.span_id + offset,
+                    span_trace=record.span_trace + offset)
+            if record.span_id is not None else record
+            for record in self.records
+        ]
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------

@@ -14,6 +14,11 @@
 * ``spans``      — run the sweep with causal span tracing; print the
   per-hop waterfalls of the slowest ADUs and the WMS-vs-RealServer
   latency-attribution table; export Chrome-trace / JSONL artifacts.
+* ``cache``      — inspect or clear the persistent study cache.
+
+Studies fan out across worker processes with ``--jobs N`` (0 = one per
+CPU) and, for ``repro study``, persist to the on-disk cache so a second
+invocation in a fresh process skips the simulation entirely.
 """
 
 from __future__ import annotations
@@ -39,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--seed", type=int, default=2002)
     study.add_argument("--scale", type=float, default=1.0,
                        help="clip duration scale (use <1 for a fast run)")
+    study.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep "
+                            "(0 = one per CPU; default 1, sequential)")
+    study.add_argument("--no-cache", action="store_true",
+                       help="always simulate; skip the study caches")
     study.add_argument("--plots", action="store_true",
                        help="include ASCII plots")
     study.add_argument("--html",
@@ -81,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--seed", type=int, default=2002)
     telemetry.add_argument("--scale", type=float, default=1.0,
                            help="clip duration scale (use <1 for a fast run)")
+    telemetry.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the sweep (0 = one "
+                                "per CPU); merged telemetry is identical "
+                                "to a sequential run's")
     telemetry.add_argument("--json",
                            help="write the deterministic JSON summary")
     telemetry.add_argument("--events",
@@ -100,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     spans.add_argument("--seed", type=int, default=2002)
     spans.add_argument("--scale", type=float, default=1.0,
                        help="clip duration scale (use <1 for a fast run)")
+    spans.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (0 = one per "
+                            "CPU); the merged span forest is identical "
+                            "to a sequential run's")
     spans.add_argument("--top", type=int, default=5,
                        help="slowest ADUs rendered as waterfalls")
     spans.add_argument("--json",
@@ -109,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "JSON (load in Perfetto or chrome://tracing)")
     spans.add_argument("--jsonl",
                        help="write the span forest as JSON lines")
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the persistent study cache")
+    cache.add_argument("action", choices=["info", "clear"], nargs="?",
+                       default="info")
 
     commands.add_parser("table1", help="print Table 1 (no simulation)")
 
@@ -129,12 +152,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    import time
+
     from repro.experiments.report import build_report
     from repro.experiments.runner import run_study
 
-    study = run_study(seed=args.seed, duration_scale=args.scale)
-    print(f"# study sweep: {len(study)} pair runs "
-          f"(seed {args.seed}, scale {args.scale})\n")
+    started = time.perf_counter()
+    if args.no_cache:
+        study = run_study(seed=args.seed, duration_scale=args.scale,
+                          jobs=args.jobs)
+        source = "cache off"
+    else:
+        from repro.experiments.cache import load_or_run_study
+
+        study, origin = load_or_run_study(seed=args.seed,
+                                          duration_scale=args.scale,
+                                          jobs=args.jobs)
+        source = ("disk cache hit" if origin == "disk"
+                  else "memory cache hit" if origin == "memory"
+                  else "cache miss")
+    elapsed = time.perf_counter() - started
+    jobs_note = f", jobs {args.jobs}" if args.jobs != 1 else ""
+    print(f"# study sweep: {len(study)} pair runs in {elapsed:.2f}s "
+          f"(seed {args.seed}, scale {args.scale}{jobs_note}, {source})\n")
     print(build_report(study, plots=args.plots))
     if args.html:
         from repro.experiments.html_report import build_html_report
@@ -295,7 +335,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     profiler = SimProfiler() if args.profile else None
     telemetry = Telemetry(sinks=sinks, profiler=profiler)
     study = run_study(seed=args.seed, duration_scale=args.scale,
-                      telemetry=telemetry)
+                      telemetry=telemetry, jobs=args.jobs)
     registry = telemetry.registry
     if not list(registry.counters()) and not telemetry.memory_events():
         print("error: the run recorded no telemetry (no counters, no "
@@ -423,7 +463,7 @@ def _cmd_spans(args: argparse.Namespace) -> int:
     recorder = SpanRecorder()
     telemetry = Telemetry(spans=recorder)
     study = run_study(seed=args.seed, duration_scale=args.scale,
-                      telemetry=telemetry)
+                      telemetry=telemetry, jobs=args.jobs)
     latencies = attribute_latency(recorder)
     if not latencies:
         print("error: the run recorded no completed ADU traces; nothing "
@@ -471,8 +511,36 @@ def _cmd_spans(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import (
+        cache_dir,
+        clear_disk_cache,
+        disk_cache_enabled,
+        disk_cache_entries,
+    )
+
+    if args.action == "clear":
+        removed = clear_disk_cache()
+        print(f"cleared {removed} cached stud"
+              f"{'y' if removed == 1 else 'ies'} from {cache_dir()}")
+        return 0
+    entries = disk_cache_entries()
+    state = "enabled" if disk_cache_enabled() else "disabled (REPRO_STUDY_CACHE=0)"
+    print(f"study cache: {cache_dir()} ({state}, "
+          f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'})")
+    for entry in entries:
+        print(f"  seed {entry.get('seed')}, scale "
+              f"{entry.get('duration_scale')}, loss "
+              f"{entry.get('loss_probability')}, "
+              f"{entry.get('runs')} runs, "
+              f"{entry.get('size_bytes', 0) / 1024:.0f} KiB "
+              f"(code {entry.get('code')})")
+    return 0
+
+
 _HANDLERS = {
     "study": _cmd_study,
+    "cache": _cmd_cache,
     "telemetry": _cmd_telemetry,
     "spans": _cmd_spans,
     "scorecard": _cmd_scorecard,

@@ -1,21 +1,36 @@
-"""Memoized study runs.
+"""Memoized study runs: an in-process layer over a persistent one.
 
 A full Table 1 sweep takes tens of seconds of wall time; every figure
 generator consumes the same :class:`~repro.experiments.runner.StudyResults`.
-This tiny cache lets a benchmark session (17 benches) or a test module
-run the sweep once per parameter set.
+Two layers keep that cost paid once:
 
-The key includes a fingerprint of the clip library driving the sweep
-(see :meth:`~repro.media.library.ClipLibrary.fingerprint`), so a
-custom library can never alias a memoized default Table 1 study —
-previously only ``(seed, duration_scale, loss_probability)`` was
-keyed, and two different libraries with the same scalars collided.
+* **Memory** — a process-local dict, so a benchmark session (17
+  benches) or a test module runs the sweep once per parameter set.
+* **Disk** — pickled sweeps under ``~/.cache/repro-study/`` (override
+  with ``REPRO_STUDY_CACHE_DIR``; ``XDG_CACHE_HOME`` is honored), so a
+  *fresh process* — a new CLI invocation, a new CI step — skips the
+  simulation entirely.  Set ``REPRO_STUDY_CACHE=0`` to bypass the disk
+  layer, or run ``repro cache clear`` to drop it.
+
+Both layers key through :func:`study_key`: the scalar parameters plus a
+fingerprint of the clip library driving the sweep (see
+:meth:`~repro.media.library.ClipLibrary.fingerprint`), so a custom
+library can never alias a memoized default Table 1 study.  The disk
+layer additionally keys on a digest of the ``repro`` package's own
+sources — any code change invalidates every stored sweep, because a
+cached result is only as trustworthy as the code that produced it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
+from repro._version import __version__
 from repro.experiments.runner import StudyResults, run_study
 from repro.media.library import ClipLibrary
 
@@ -24,23 +39,201 @@ from repro.media.library import ClipLibrary
 #: which is already part of the key.
 _DEFAULT_LIBRARY = "table1-default"
 
-_CACHE: Dict[Tuple[int, float, float, str], StudyResults] = {}
+#: Environment escape hatch: ``REPRO_STUDY_CACHE=0`` disables the disk
+#: layer entirely (memory memoization stays on — it is free and has no
+#: staleness to worry about).
+CACHE_ENV = "REPRO_STUDY_CACHE"
+
+#: Overrides the disk cache directory (tests point this at a tmpdir).
+CACHE_DIR_ENV = "REPRO_STUDY_CACHE_DIR"
+
+StudyKey = Tuple[int, float, float, str]
+
+_CACHE: Dict[StudyKey, StudyResults] = {}
+
+_code_fingerprint: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Keying — one helper for both layers
+# ----------------------------------------------------------------------
+
+def study_key(seed: int, duration_scale: float, loss_probability: float,
+              library: Optional[ClipLibrary]) -> StudyKey:
+    """The canonical cache key for one study parameter set.
+
+    Shared by the memory dict and the disk layer so the two can never
+    disagree about what "the same study" means.
+    """
+    library_key = (library.fingerprint() if library is not None
+                   else _DEFAULT_LIBRARY)
+    return (seed, duration_scale, loss_probability, library_key)
+
+
+def code_fingerprint() -> str:
+    """A digest of every ``repro`` source file, computed once.
+
+    Part of the disk key: editing any module silently invalidates all
+    stored sweeps, which is the only safe default for cached
+    simulation output.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()[:16]
+    return _code_fingerprint
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+# ----------------------------------------------------------------------
+
+def disk_cache_enabled() -> bool:
+    return os.environ.get(CACHE_ENV, "1") != "0"
+
+
+def cache_dir() -> Path:
+    """Where stored sweeps live (not created until something is stored)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-study"
+
+
+def _entry_paths(key: StudyKey) -> Tuple[Path, Path]:
+    """(pickle path, key sidecar path) for one study key."""
+    material = json.dumps(
+        {"seed": key[0], "duration_scale": key[1],
+         "loss_probability": key[2], "library": key[3],
+         "code": code_fingerprint()},
+        sort_keys=True)
+    digest = hashlib.sha256(material.encode()).hexdigest()[:32]
+    directory = cache_dir()
+    return directory / f"{digest}.pkl", directory / f"{digest}.json"
+
+
+def _disk_load(key: StudyKey) -> Optional[StudyResults]:
+    """The stored sweep for ``key``, or None (missing/unreadable)."""
+    pickle_path, _ = _entry_paths(key)
+    try:
+        with open(pickle_path, "rb") as stream:
+            runs = pickle.load(stream)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        # A truncated or version-skewed entry is a miss, not an error;
+        # the fresh run below overwrites it.
+        return None
+    return StudyResults(runs=runs)
+
+
+def _disk_store(key: StudyKey, study: StudyResults) -> None:
+    """Persist a sweep (runs only — the telemetry facade holds live
+    clock closures and is never cached), atomically."""
+    pickle_path, key_path = _entry_paths(key)
+    try:
+        pickle_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = pickle_path.with_suffix(".pkl.tmp")
+        with open(tmp, "wb") as stream:
+            pickle.dump(study.runs, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, pickle_path)
+        key_path.write_text(json.dumps(
+            {"seed": key[0], "duration_scale": key[1],
+             "loss_probability": key[2], "library": key[3],
+             "code": code_fingerprint(), "version": __version__,
+             "runs": len(study)},
+            sort_keys=True, indent=2) + "\n")
+    except OSError:
+        # A read-only or full cache directory must never fail a study.
+        return
+
+
+def clear_disk_cache() -> int:
+    """Remove every stored sweep; returns how many entries went."""
+    directory = cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return 0
+    for path in directory.iterdir():
+        if path.suffix in (".pkl", ".json", ".tmp"):
+            try:
+                removed += path.suffix == ".pkl"
+                path.unlink()
+            except OSError:
+                pass
+    return removed
+
+
+def disk_cache_entries() -> List[Dict[str, object]]:
+    """The stored sweeps' key sidecars (for ``repro cache info``)."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        entry["size_bytes"] = (
+            path.with_suffix(".pkl").stat().st_size
+            if path.with_suffix(".pkl").is_file() else 0)
+        entries.append(entry)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# The lookup everything goes through
+# ----------------------------------------------------------------------
+
+def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
+                      loss_probability: float = 0.0,
+                      library: Optional[ClipLibrary] = None,
+                      jobs: int = 1,
+                      ) -> Tuple[StudyResults, str]:
+    """The study for these parameters, plus where it came from.
+
+    Returns:
+        ``(study, source)`` with source one of ``"memory"``, ``"disk"``
+        or ``"run"`` — the CLI surfaces it so cache behavior is visible
+        from the terminal.
+    """
+    key = study_key(seed, duration_scale, loss_probability, library)
+    study = _CACHE.get(key)
+    if study is not None:
+        return study, "memory"
+    if disk_cache_enabled():
+        study = _disk_load(key)
+        if study is not None:
+            _CACHE[key] = study
+            return study, "disk"
+    study = run_study(library=library, seed=seed,
+                      duration_scale=duration_scale,
+                      loss_probability=loss_probability, jobs=jobs)
+    _CACHE[key] = study
+    if disk_cache_enabled():
+        _disk_store(key, study)
+    return study, "run"
 
 
 def get_study(seed: int = 2002, duration_scale: float = 1.0,
               loss_probability: float = 0.0,
-              library: Optional[ClipLibrary] = None) -> StudyResults:
+              library: Optional[ClipLibrary] = None,
+              jobs: int = 1) -> StudyResults:
     """The study for these parameters, running it on first request."""
-    library_key = (library.fingerprint() if library is not None
-                   else _DEFAULT_LIBRARY)
-    key = (seed, duration_scale, loss_probability, library_key)
-    if key not in _CACHE:
-        _CACHE[key] = run_study(library=library, seed=seed,
-                                duration_scale=duration_scale,
-                                loss_probability=loss_probability)
-    return _CACHE[key]
+    study, _ = load_or_run_study(seed=seed, duration_scale=duration_scale,
+                                 loss_probability=loss_probability,
+                                 library=library, jobs=jobs)
+    return study
 
 
 def clear_cache() -> None:
-    """Drop all cached studies (tests that need isolation)."""
+    """Drop all memoized studies in this process (tests that need
+    isolation).  Disk entries survive; see :func:`clear_disk_cache`."""
     _CACHE.clear()

@@ -1,0 +1,157 @@
+"""Process-pool study execution.
+
+Every pair run of a sweep is an independent simulation fully determined
+by ``seed + index``, so the Table 1 corpus parallelizes embarrassingly:
+fan the runs out across worker processes, then merge everything back
+*in library order* so the study is bit-for-bit the sequential one.
+
+Three things make the merge exact rather than approximate:
+
+* **Conditions are derived, not threaded.**  Run ``i`` samples its
+  network conditions from ``RandomStreams(seed + i)`` (see
+  :func:`~repro.experiments.runner.study_conditions`), so a worker
+  needs nothing from the parent but the index.
+* **Telemetry snapshots, not a shared facade.**  The parent's facade
+  binds the simulator clock as a closure and cannot cross a process
+  boundary; each worker instead runs under its own registry / event
+  capture / span recorder (scoped with the same ``run=<label>`` the
+  sequential loop would set) and ships a picklable
+  :class:`~repro.telemetry.core.TelemetrySnapshot` home.  Merging the
+  snapshots in library order reproduces the sequential facade exactly:
+  counters add into disjoint ``run``-labelled keys, events replay
+  through the parent bus and take its sequence numbers, and span ids
+  rebase into the contiguous blocks a shared recorder would have
+  assigned (the runs' capture records are rebased to match).
+* **The profiler stays home.**  Its numbers are wall-clock and
+  per-process; a parallel study simply does not profile workers.
+
+The one deliberate difference from sequential execution: ``Packet.uid``
+is a process-local diagnostic counter (two sequential same-seed studies
+in one process already disagree on it), so uids in a parallel study's
+traces differ from a sequential study's.  Nothing downstream keys on
+them across runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.runner import (
+    PairRunResult,
+    StudyResults,
+    run_pair_experiment,
+    study_conditions,
+)
+from repro.media.library import ClipLibrary
+from repro.telemetry.core import Telemetry, TelemetrySnapshot
+from repro.telemetry.sinks import MemorySink, NullSink
+from repro.telemetry.spans import SpanRecorder
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a worker needs, pickled once per worker at pool init."""
+
+    library: ClipLibrary
+    seed: int
+    loss_probability: float
+    #: Parent facade shape, mirrored per worker: a registry is always
+    #: built when the parent has one; event capture and span recording
+    #: only when the parent would actually consume them.
+    metrics: bool
+    events: bool
+    spans: bool
+    series_limit: int
+
+
+#: Per-worker-process state, installed by :func:`_init_worker`.
+_SPEC: Optional[_WorkerSpec] = None
+
+
+def _init_worker(spec: _WorkerSpec) -> None:
+    global _SPEC
+    _SPEC = spec
+
+
+def _worker_telemetry(spec: _WorkerSpec) -> Optional[Telemetry]:
+    """A fresh facade mirroring the parent's shape (never its profiler).
+
+    Event capture uses one *unbounded* memory sink: the parent replays
+    the stream through its own (possibly bounded) sinks afterwards, so
+    dropping anything here would diverge from a sequential run.
+    """
+    if not spec.metrics:
+        return None
+    from repro.telemetry.registry import MetricsRegistry
+
+    sink = MemorySink(capacity=None) if spec.events else NullSink()
+    return Telemetry(registry=MetricsRegistry(spec.series_limit),
+                     sinks=[sink],
+                     spans=SpanRecorder() if spec.spans else None)
+
+
+def _run_index(index: int
+               ) -> Tuple[PairRunResult, Optional[TelemetrySnapshot]]:
+    """Execute pair run ``index`` of the sweep in this worker."""
+    spec = _SPEC
+    assert spec is not None, "worker used before _init_worker ran"
+    clip_set, pair = spec.library.all_pairs()[index]
+    conditions = study_conditions(spec.seed, index,
+                                  loss_probability=spec.loss_probability)
+    telemetry = _worker_telemetry(spec)
+    if telemetry is not None:
+        telemetry.set_context(run=f"set{clip_set.number}-{pair.band.short}")
+    result = run_pair_experiment(clip_set, pair, seed=spec.seed + index,
+                                 conditions=conditions, telemetry=telemetry)
+    if telemetry is None:
+        return result, None
+    telemetry.clear_context()
+    return result, telemetry.snapshot()
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits sys.path); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_study_parallel(library: ClipLibrary, seed: int,
+                       loss_probability: float,
+                       telemetry: Optional[Telemetry],
+                       jobs: int) -> StudyResults:
+    """Fan a sweep's pair runs across ``jobs`` worker processes.
+
+    Called by :func:`~repro.experiments.runner.run_study` when
+    ``jobs > 1``; produces results identical to the sequential path
+    (same runs in the same order, same merged telemetry).
+    """
+    pairs = library.all_pairs()
+    spec = _WorkerSpec(
+        library=library, seed=seed, loss_probability=loss_probability,
+        metrics=telemetry is not None,
+        events=telemetry is not None and telemetry.bus.active,
+        spans=telemetry is not None and telemetry.spans is not None,
+        series_limit=(telemetry.registry._series_limit
+                      if telemetry is not None else 0))
+    outcomes: List[Tuple[PairRunResult, Optional[TelemetrySnapshot]]]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pairs)),
+                             mp_context=_pool_context(),
+                             initializer=_init_worker,
+                             initargs=(spec,)) as pool:
+        # map() preserves submission order, which *is* library order —
+        # the determinism guarantee needs nothing more than that.
+        outcomes = list(pool.map(_run_index, range(len(pairs)),
+                                 chunksize=1))
+    results = StudyResults(telemetry=telemetry)
+    for result, snapshot in outcomes:
+        if telemetry is not None and snapshot is not None:
+            offset = telemetry.merge(snapshot)
+            if offset:
+                result.trace.rebase_spans(offset)
+        results.runs.append(result)
+    return results

@@ -12,6 +12,7 @@ corpus every figure draws from.
 
 from __future__ import annotations
 
+import os
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -27,6 +28,7 @@ from repro.media.clip import Clip
 from repro.media.library import ClipLibrary, ClipPair, ClipSet, RateBand
 from repro.netsim.addressing import IPAddress
 from repro.netsim.engine import Simulator
+from repro.netsim.rng import RandomStreams
 from repro.netsim.topology import build_path_topology
 from repro.players.mediatracker import MediaTracker
 from repro.players.realtracker import RealTracker
@@ -202,10 +204,37 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
         tracert_after=tracert_after, stability=stability)
 
 
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``jobs`` request: 0 means one worker per CPU.
+
+    Raises:
+        ExperimentError: if ``jobs`` is negative.
+    """
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def study_conditions(seed: int, index: int,
+                     loss_probability: float = 0.0) -> NetworkConditions:
+    """The network conditions run ``index`` of a sweep samples.
+
+    Derived straight from ``RandomStreams(seed + index)`` — the same
+    named stream a run's own simulator would hand out, so the draws are
+    identical to sampling inside the run, and any process (sequential
+    loop, pool worker, a test) can reproduce them independently.
+    """
+    rng = RandomStreams(seed + index).stream("conditions")
+    return sample_conditions(rng, loss_probability=loss_probability)
+
+
 def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
               duration_scale: float = 1.0,
               loss_probability: float = 0.0,
-              telemetry: Optional[Telemetry] = None) -> StudyResults:
+              telemetry: Optional[Telemetry] = None,
+              jobs: int = 1) -> StudyResults:
     """Run the full Table 1 sweep (the corpus behind every figure).
 
     Args:
@@ -217,14 +246,28 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             bus serve every pair run; a ``run=<label>`` context label
             keeps the runs' instruments apart, and the facade comes
             back on ``StudyResults.telemetry``.
+        jobs: worker processes to fan the pair runs across (each run
+            is an independent simulation fully determined by ``seed +
+            index``).  1 (the default) runs in-process; 0 means one
+            worker per CPU.  Results are identical to sequential
+            execution — runs merge back in library order, and worker
+            telemetry folds into the shared facade post-hoc (the
+            facade's profiler, being wall-clock, stays parent-only).
     """
     if library is None:
         library = build_table1_library(duration_scale=duration_scale)
+    jobs = resolve_jobs(jobs)
+    pairs = library.all_pairs()
+    if jobs > 1 and len(pairs) > 1:
+        from repro.experiments.parallel import run_study_parallel
+
+        return run_study_parallel(library, seed=seed,
+                                  loss_probability=loss_probability,
+                                  telemetry=telemetry, jobs=jobs)
     results = StudyResults(telemetry=telemetry)
-    for index, (clip_set, pair) in enumerate(library.all_pairs()):
-        rng = Simulator(seed=seed + index).streams.stream("conditions")
-        conditions = sample_conditions(rng,
-                                       loss_probability=loss_probability)
+    for index, (clip_set, pair) in enumerate(pairs):
+        conditions = study_conditions(seed, index,
+                                      loss_probability=loss_probability)
         if telemetry is not None:
             telemetry.set_context(run=f"set{clip_set.number}-"
                                       f"{pair.band.short}")

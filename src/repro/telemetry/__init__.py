@@ -24,7 +24,7 @@ and the hot layers light up.  Without it, the instrumented paths cost
 one attribute load and a ``None`` check.
 """
 
-from repro.telemetry.core import Telemetry
+from repro.telemetry.core import Telemetry, TelemetrySnapshot
 from repro.telemetry.critical_path import (
     AduLatency,
     HopTiming,
@@ -128,6 +128,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "Telemetry",
+    "TelemetrySnapshot",
     "TraceEvent",
     "TraceEventBus",
     "aggregate_attribution",

@@ -17,13 +17,33 @@ one registry.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
 
 from repro.telemetry.events import TraceEventBus
 from repro.telemetry.profiler import SimProfiler
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.sinks import MemorySink
 from repro.telemetry.spans import SpanRecorder
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Everything one worker's telemetry saw, as plain picklable data.
+
+    The facade itself cannot cross a process boundary (it binds the
+    simulator clock as a closure), so parallel study workers ship one
+    of these back instead: the registry's instruments, the full event
+    stream in emission order as ``(type, time, fields)`` rows, and the
+    span forest as flat rows with worker-local ids.  Rows rather than
+    event/span objects because a study moves hundreds of thousands of
+    them: tuples pickle an order of magnitude faster.
+    :meth:`Telemetry.merge` folds a snapshot into a live facade.
+    """
+
+    registry: MetricsRegistry
+    events: List[Tuple[str, float, Tuple]] = field(default_factory=list)
+    spans: List[Tuple] = field(default_factory=list)
 
 
 class Telemetry:
@@ -105,6 +125,47 @@ class Telemetry:
     def sample_gauge(self, name: str, value: float, **labels: object) -> None:
         """Record a gauge sample at the current simulated time."""
         self.registry.gauge(name, **labels).set(value, self._clock())
+
+    # ------------------------------------------------------------------
+    # Cross-process snapshot / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze this facade's state as plain picklable data.
+
+        Events come from the first attached :class:`MemorySink` (a
+        worker facade uses a single unbounded one, so nothing is
+        missing); spans come from the installed recorder, ids still
+        worker-local.  The profiler is deliberately excluded — its
+        wall-clock numbers are per-process and never exported.
+        """
+        return TelemetrySnapshot(
+            registry=self.registry,
+            events=[(event.type, event.time, event.fields)
+                    for event in self.memory_events()],
+            spans=(self.spans.export_rows()
+                   if self.spans is not None else []))
+
+    def merge(self, snapshot: TelemetrySnapshot) -> int:
+        """Fold a worker snapshot into this facade.
+
+        Metrics merge into the registry, events replay through the bus
+        (renumbered with this bus's sequence, delivered to every
+        attached sink), and spans are adopted with their ids rebased
+        past this recorder's high-water mark.  Merging the per-run
+        snapshots of a parallel study in library order reproduces the
+        sequential sweep's registry, event stream, and span forest
+        exactly.
+
+        Returns:
+            The span-id offset applied (0 when no spans merged), for
+            rebasing trace records that captured worker-local ids.
+        """
+        self.registry.merge(snapshot.registry)
+        if snapshot.events:
+            self.bus.replay(snapshot.events)
+        if snapshot.spans and self.spans is not None:
+            return self.spans.absorb_rows(snapshot.spans)
+        return 0
 
     # ------------------------------------------------------------------
     # Convenience accessors

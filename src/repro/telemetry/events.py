@@ -133,6 +133,35 @@ class TraceEventBus:
             if getattr(sink, "active", True):
                 sink.write(event)
 
+    def replay(self, rows: Iterable[Tuple[str, float, Tuple]]) -> int:
+        """Deliver pre-recorded ``(type, time, fields)`` rows, in order.
+
+        The parallel study executor captures each worker's events in
+        the worker process (see ``Telemetry.snapshot``, which encodes
+        them as these rows — tuples cross the process boundary far
+        cheaper than event objects) and replays them here; every event
+        keeps its simulated timestamp and fields but receives *this*
+        bus's next sequence number, so a parallel study's merged stream
+        is numbered exactly like the sequential one.
+
+        Returns:
+            The number of events delivered (0 when the bus is inactive,
+            mirroring :meth:`emit`).
+        """
+        if not self._active:
+            return 0
+        sinks = [sink for sink in self._sinks
+                 if getattr(sink, "active", True)]
+        delivered = 0
+        for event_type, time, fields in rows:
+            event = TraceEvent(type=event_type, time=time,
+                               sequence=self._sequence, fields=fields)
+            self._sequence += 1
+            delivered += 1
+            for sink in sinks:
+                sink.write(event)
+        return delivered
+
     def close(self) -> None:
         """Flush and close every sink that supports it."""
         for sink in self._sinks:

@@ -215,6 +215,44 @@ class MetricsRegistry:
         return instrument
 
     # ------------------------------------------------------------------
+    # Merging (parallel study workers -> the parent registry)
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters add, histograms merge bucket-wise, and gauges append
+        the other registry's retained series (the other registry is
+        treated as *later in time*: its last value wins).  Instruments
+        absent here are adopted wholesale — the donor registry is a
+        worker snapshot about to be discarded, so sharing the objects
+        is safe.
+
+        The study runner scopes every instrument with a ``run=<label>``
+        context label, so in practice the key sets are disjoint and the
+        merge is a plain union — the collision rules above exist for
+        callers merging unscoped registries.
+        """
+        for key, counter in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                self._counters[key] = counter
+            else:
+                mine.inc(counter.value)
+        for key, gauge in other._gauges.items():
+            mine = self._gauges.get(key)
+            if mine is None:
+                self._gauges[key] = gauge
+            else:
+                mine.series.extend(gauge.series)
+                mine.value = gauge.value
+        for key, histogram in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                self._histograms[key] = histogram
+            else:
+                mine.merge(histogram)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def counters(self) -> Iterator[Tuple[str, LabelSet, Counter]]:

@@ -35,11 +35,17 @@ class NullSink:
 
 
 class MemorySink:
-    """Bounded in-memory ring of the most recent events."""
+    """Bounded in-memory ring of the most recent events.
+
+    ``capacity=None`` makes the ring unbounded — the parallel study
+    executor uses that in worker processes, where dropping an event
+    would silently diverge the merged stream from a sequential run's.
+    """
 
     active = True
 
-    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+    def __init__(self,
+                 capacity: Optional[int] = DEFAULT_RING_CAPACITY) -> None:
         self.events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
 

@@ -168,6 +168,49 @@ class SpanRecorder:
         return len(self.spans)
 
     # ------------------------------------------------------------------
+    # Cross-process transport (parallel studies)
+    # ------------------------------------------------------------------
+    def export_rows(self) -> List[Tuple]:
+        """The forest as flat tuples — the snapshot wire format.
+
+        A study's forest runs to hundreds of thousands of spans; plain
+        tuples pickle an order of magnitude faster than slotted object
+        instances, which is what makes shipping a worker's forest back
+        to the parent cheap.
+        """
+        return [(span.id, span.trace, span.parent, span.kind, span.start,
+                 span.end, span.status, span.attrs)
+                for span in self.spans]
+
+    def absorb_rows(self, rows: Iterable[Tuple]) -> int:
+        """Adopt a worker forest from :meth:`export_rows`, rebasing ids.
+
+        Worker ids start at 1 in every process; rebasing by this
+        recorder's high-water mark reproduces, run by run, the
+        contiguous id blocks a sequential sweep with one shared
+        recorder would have assigned — which is what keeps parallel
+        span exports byte-identical to sequential ones.
+
+        Returns:
+            The id offset applied, so callers can rebase anything else
+            that captured worker-local span ids (e.g. trace records).
+        """
+        offset = self._next_id - 1
+        highest = self._next_id - 1
+        append = self.spans.append
+        for span_id, trace, parent, kind, start, end, status, attrs in rows:
+            span = Span(span_id + offset, trace + offset,
+                        parent + offset if parent is not None else None,
+                        kind, start, attrs)
+            span.end = end
+            span.status = status
+            if span.id > highest:
+                highest = span.id
+            append(span)
+        self._next_id = highest + 1
+        return offset
+
+    # ------------------------------------------------------------------
     # Pacer: the root of every trace
     # ------------------------------------------------------------------
     def adu_sent(self, now: float, family: str, sequence: int,
