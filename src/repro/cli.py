@@ -14,6 +14,8 @@
 * ``spans``      — run the sweep with causal span tracing; print the
   per-hop waterfalls of the slowest ADUs and the WMS-vs-RealServer
   latency-attribution table; export Chrome-trace / JSONL artifacts.
+* ``faults``     — inject a named fault scenario into one pair run and
+  print the recovery report (``--list`` shows the scenarios).
 * ``cache``      — inspect or clear the persistent study cache.
 
 Studies fan out across worker processes with ``--jobs N`` (0 = one per
@@ -127,6 +129,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "JSON (load in Perfetto or chrome://tracing)")
     spans.add_argument("--jsonl",
                        help="write the span forest as JSON lines")
+
+    faults = commands.add_parser(
+        "faults", help="run one pair experiment under a fault scenario "
+                       "and print the recovery report")
+    faults.add_argument("scenario", nargs="?", default="link-flap",
+                        help="scenario name (see --list); "
+                             "default: link-flap")
+    faults.add_argument("--list", action="store_true",
+                        dest="list_scenarios",
+                        help="list the known scenarios and exit")
+    faults.add_argument("--seed", type=int, default=2002)
+    faults.add_argument("--scale", type=float, default=0.25,
+                        help="clip duration scale (default 0.25: the "
+                             "scenario's event times scale with it)")
+    faults.add_argument("--events",
+                        help="write the run's trace-event stream as "
+                             "JSON lines")
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the persistent study cache")
@@ -511,6 +530,62 @@ def _cmd_spans(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.datasets import build_table1_library
+    from repro.experiments.runner import run_pair_experiment, study_conditions
+    from repro.faults import build_scenario, recovery_report, scenario_names
+    from repro.telemetry import JsonlSink, MemorySink, Telemetry
+
+    if args.list_scenarios:
+        from repro.faults.scenario import SCENARIO_BUILDERS
+
+        for name in scenario_names():
+            builder = SCENARIO_BUILDERS[name]
+            description = build_scenario(name, args.seed).description
+            print(f"{name:<18} {description}")
+        return 0
+    try:
+        scenario = build_scenario(args.scenario, args.seed)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.scale <= 0:
+        print(f"--scale must be positive, got {args.scale}",
+              file=sys.stderr)
+        return 2
+
+    library = build_table1_library(duration_scale=args.scale)
+    clip_set, pair = library.all_pairs()[0]
+    conditions = study_conditions(args.seed, 0)
+    sinks = [MemorySink()]
+    if args.events:
+        sinks.append(JsonlSink(args.events))
+    telemetry = Telemetry(sinks=sinks)
+    result = run_pair_experiment(clip_set, pair, seed=args.seed,
+                                 conditions=conditions,
+                                 telemetry=telemetry, scenario=scenario)
+    report = recovery_report(telemetry.memory_events(),
+                             scenario=scenario.name)
+    telemetry.close()
+    print(f"# fault run: set {clip_set.number} {pair.band.value} "
+          f"(seed {args.seed}, scale {args.scale}, "
+          f"{conditions.describe()})\n")
+    print(report.render())
+    def _eos(value):
+        return "never" if value is None else f"{value:.3f}s"
+
+    print(f"\nstream outcomes: real eos_at={_eos(result.real_stats.eos_at)},"
+          f" wmp eos_at={_eos(result.wmp_stats.eos_at)}")
+    if args.events:
+        print(f"wrote {args.events}")
+    if not report.faults:
+        print("error: the scenario injected no faults (nothing "
+              "executed before the run ended)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.cache import (
         cache_dir,
@@ -540,6 +615,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "study": _cmd_study,
+    "faults": _cmd_faults,
     "cache": _cmd_cache,
     "telemetry": _cmd_telemetry,
     "spans": _cmd_spans,

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro._version import __version__
 from repro.experiments.runner import StudyResults, run_study
+from repro.faults.scenario import FaultScenario
 from repro.media.library import ClipLibrary
 
 #: Key slot used when the caller lets ``run_study`` build the default
@@ -47,7 +48,10 @@ CACHE_ENV = "REPRO_STUDY_CACHE"
 #: Overrides the disk cache directory (tests point this at a tmpdir).
 CACHE_DIR_ENV = "REPRO_STUDY_CACHE_DIR"
 
-StudyKey = Tuple[int, float, float, str]
+#: Key slot for studies run without a fault scenario.
+_NO_SCENARIO = "no-faults"
+
+StudyKey = Tuple[int, float, float, str, str]
 
 _CACHE: Dict[StudyKey, StudyResults] = {}
 
@@ -59,15 +63,21 @@ _code_fingerprint: Optional[str] = None
 # ----------------------------------------------------------------------
 
 def study_key(seed: int, duration_scale: float, loss_probability: float,
-              library: Optional[ClipLibrary]) -> StudyKey:
+              library: Optional[ClipLibrary],
+              scenario: Optional[FaultScenario] = None) -> StudyKey:
     """The canonical cache key for one study parameter set.
 
     Shared by the memory dict and the disk layer so the two can never
-    disagree about what "the same study" means.
+    disagree about what "the same study" means.  The fault scenario's
+    fingerprint is part of the key: a cached fault-free sweep must
+    never alias a faulted one (nor two differently-faulted ones).
     """
     library_key = (library.fingerprint() if library is not None
                    else _DEFAULT_LIBRARY)
-    return (seed, duration_scale, loss_probability, library_key)
+    scenario_key = (scenario.fingerprint() if scenario is not None
+                    else _NO_SCENARIO)
+    return (seed, duration_scale, loss_probability, library_key,
+            scenario_key)
 
 
 def code_fingerprint() -> str:
@@ -111,7 +121,7 @@ def _entry_paths(key: StudyKey) -> Tuple[Path, Path]:
     material = json.dumps(
         {"seed": key[0], "duration_scale": key[1],
          "loss_probability": key[2], "library": key[3],
-         "code": code_fingerprint()},
+         "scenario": key[4], "code": code_fingerprint()},
         sort_keys=True)
     digest = hashlib.sha256(material.encode()).hexdigest()[:32]
     directory = cache_dir()
@@ -146,8 +156,8 @@ def _disk_store(key: StudyKey, study: StudyResults) -> None:
         key_path.write_text(json.dumps(
             {"seed": key[0], "duration_scale": key[1],
              "loss_probability": key[2], "library": key[3],
-             "code": code_fingerprint(), "version": __version__,
-             "runs": len(study)},
+             "scenario": key[4], "code": code_fingerprint(),
+             "version": __version__, "runs": len(study)},
             sort_keys=True, indent=2) + "\n")
     except OSError:
         # A read-only or full cache directory must never fail a study.
@@ -196,6 +206,7 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
                       loss_probability: float = 0.0,
                       library: Optional[ClipLibrary] = None,
                       jobs: int = 1,
+                      scenario: Optional[FaultScenario] = None,
                       ) -> Tuple[StudyResults, str]:
     """The study for these parameters, plus where it came from.
 
@@ -204,7 +215,8 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
         or ``"run"`` — the CLI surfaces it so cache behavior is visible
         from the terminal.
     """
-    key = study_key(seed, duration_scale, loss_probability, library)
+    key = study_key(seed, duration_scale, loss_probability, library,
+                    scenario)
     study = _CACHE.get(key)
     if study is not None:
         return study, "memory"
@@ -215,7 +227,8 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
             return study, "disk"
     study = run_study(library=library, seed=seed,
                       duration_scale=duration_scale,
-                      loss_probability=loss_probability, jobs=jobs)
+                      loss_probability=loss_probability, jobs=jobs,
+                      scenario=scenario)
     _CACHE[key] = study
     if disk_cache_enabled():
         _disk_store(key, study)
@@ -225,11 +238,13 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
 def get_study(seed: int = 2002, duration_scale: float = 1.0,
               loss_probability: float = 0.0,
               library: Optional[ClipLibrary] = None,
-              jobs: int = 1) -> StudyResults:
+              jobs: int = 1,
+              scenario: Optional[FaultScenario] = None) -> StudyResults:
     """The study for these parameters, running it on first request."""
     study, _ = load_or_run_study(seed=seed, duration_scale=duration_scale,
                                  loss_probability=loss_probability,
-                                 library=library, jobs=jobs)
+                                 library=library, jobs=jobs,
+                                 scenario=scenario)
     return study
 
 

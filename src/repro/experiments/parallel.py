@@ -45,6 +45,7 @@ from repro.experiments.runner import (
     run_pair_experiment,
     study_conditions,
 )
+from repro.faults.scenario import FaultScenario
 from repro.media.library import ClipLibrary
 from repro.telemetry.core import Telemetry, TelemetrySnapshot
 from repro.telemetry.sinks import MemorySink, NullSink
@@ -65,6 +66,9 @@ class _WorkerSpec:
     events: bool
     spans: bool
     series_limit: int
+    #: Fault schedule applied to every run; pure data, so shipping it
+    #: in the spec reproduces the sequential controller exactly.
+    scenario: Optional[FaultScenario] = None
 
 
 #: Per-worker-process state, installed by :func:`_init_worker`.
@@ -105,7 +109,8 @@ def _run_index(index: int
     if telemetry is not None:
         telemetry.set_context(run=f"set{clip_set.number}-{pair.band.short}")
     result = run_pair_experiment(clip_set, pair, seed=spec.seed + index,
-                                 conditions=conditions, telemetry=telemetry)
+                                 conditions=conditions, telemetry=telemetry,
+                                 scenario=spec.scenario)
     if telemetry is None:
         return result, None
     telemetry.clear_context()
@@ -123,7 +128,9 @@ def _pool_context():
 def run_study_parallel(library: ClipLibrary, seed: int,
                        loss_probability: float,
                        telemetry: Optional[Telemetry],
-                       jobs: int) -> StudyResults:
+                       jobs: int,
+                       scenario: Optional[FaultScenario] = None
+                       ) -> StudyResults:
     """Fan a sweep's pair runs across ``jobs`` worker processes.
 
     Called by :func:`~repro.experiments.runner.run_study` when
@@ -137,7 +144,8 @@ def run_study_parallel(library: ClipLibrary, seed: int,
         events=telemetry is not None and telemetry.bus.active,
         spans=telemetry is not None and telemetry.spans is not None,
         series_limit=(telemetry.registry._series_limit
-                      if telemetry is not None else 0))
+                      if telemetry is not None else 0),
+        scenario=scenario)
     outcomes: List[Tuple[PairRunResult, Optional[TelemetrySnapshot]]]
     with ProcessPoolExecutor(max_workers=min(jobs, len(pairs)),
                              mp_context=_pool_context(),

@@ -24,16 +24,22 @@ from repro.core.turbulence import TurbulenceProfile
 from repro.errors import ExperimentError
 from repro.experiments.conditions import NetworkConditions, sample_conditions
 from repro.experiments.datasets import build_table1_library
+from repro.faults.controller import FaultController
+from repro.faults.scenario import FaultScenario
 from repro.media.clip import Clip
 from repro.media.library import ClipLibrary, ClipPair, ClipSet, RateBand
 from repro.netsim.addressing import IPAddress
 from repro.netsim.engine import Simulator
 from repro.netsim.rng import RandomStreams
-from repro.netsim.topology import build_path_topology
+from repro.netsim.routing import RouteManager
+from repro.netsim.tcp import TcpReliability
+from repro.netsim.topology import PathTopology, build_path_topology
+from repro.players.base import PlayerRobustness
 from repro.players.mediatracker import MediaTracker
 from repro.players.realtracker import RealTracker
 from repro.players.stats import PlayerStats
 from repro.servers.realserver import RealServer
+from repro.servers.scaling import MediaScalingPolicy
 from repro.servers.wms import WindowsMediaServer
 from repro.telemetry.core import Telemetry
 from repro.tools.ping import PingReport, run_ping
@@ -133,10 +139,24 @@ class StudyResults:
         return 100.0 * (sent - received) / sent
 
 
+def _fault_links(topology: PathTopology,
+                 conditions: NetworkConditions) -> Dict[str, object]:
+    """Map symbolic link roles onto the built path.
+
+    ``access`` is the client's first hop; ``middle`` is the same link
+    the topology builder treats as the lossy/jittery mid-path hop.
+    """
+    path_links = len(topology.links) - len(topology.servers)
+    middle_index = min(conditions.hop_count // 2, path_links - 1)
+    return {"access": topology.links[0],
+            "middle": topology.links[middle_index]}
+
+
 def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
                         conditions: Optional[NetworkConditions] = None,
                         preroll_seconds: float = 5.0,
                         telemetry: Optional[Telemetry] = None,
+                        scenario: Optional[FaultScenario] = None,
                         ) -> PairRunResult:
     """Run the simultaneous-stream methodology for one clip pair.
 
@@ -147,10 +167,17 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
         telemetry: optional facade; bound to this run's simulator so
             every instrumented layer (links, IP, pacers, buffers)
             reports into it.
+        scenario: optional fault schedule.  Attaching one also arms the
+            whole robustness stack — failure-aware routing, TCP
+            retransmission, server media scaling, and player graceful
+            degradation — none of which is active (or costs a single
+            scheduled event) on a plain run.
 
     Raises:
         ExperimentError: if a stream never finishes within the safety
             horizon (indicates a modeling bug, not a network condition).
+            Under a fault scenario an unfinished stream is an expected
+            outcome and is finalized deterministically instead.
     """
     sim = Simulator(seed=seed, telemetry=telemetry)
     if conditions is None:
@@ -161,9 +188,18 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
         jitter_std=conditions.jitter_std)
 
     real_host, wmp_host = topology.servers[0], topology.servers[1]
-    real_server = RealServer(real_host)
+    if scenario is not None:
+        # Robustness stack, armed only for fault runs so that plain
+        # runs stay event-for-event identical to the pre-fault code.
+        reliability = TcpReliability()
+        for node in (topology.client, real_host, wmp_host):
+            node.tcp.reliability = reliability
+        RouteManager(sim, [topology.client] + list(topology.routers)
+                     + list(topology.servers)).attach()
+    scaling = MediaScalingPolicy if scenario is not None else None
+    real_server = RealServer(real_host, scaling_policy_factory=scaling)
     real_server.add_clip(pair.real)
-    wms = WindowsMediaServer(wmp_host)
+    wms = WindowsMediaServer(wmp_host, scaling_policy_factory=scaling)
     wms.add_clip(pair.wmp)
 
     # Section II.D: verify the path before the run.
@@ -172,19 +208,39 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
                                  probes_per_hop=1)
 
     sniffer = Sniffer(topology.client).start()
+    robustness = PlayerRobustness() if scenario is not None else None
+    feedback = 1.0 if scenario is not None else None
     real_player = RealTracker(topology.client, real_host.address,
-                              preroll_seconds=preroll_seconds)
+                              preroll_seconds=preroll_seconds,
+                              feedback_interval=feedback,
+                              robustness=robustness)
     wmp_player = MediaTracker(topology.client, wmp_host.address,
-                              preroll_seconds=preroll_seconds)
+                              preroll_seconds=preroll_seconds,
+                              feedback_interval=feedback,
+                              robustness=robustness)
     real_player.play(pair.real.title)
     wmp_player.play(pair.wmp.title)
+
+    if scenario is not None:
+        FaultController(
+            sim, scenario,
+            links=_fault_links(topology, conditions),
+            servers={"real": real_server, "wmp": wms},
+            surge_endpoints=(wmp_host, topology.client),
+            reference_duration=clip_set.duration).arm()
 
     horizon = sim.now + clip_set.duration * 2.0 + 120.0
     sim.run(until=horizon)
     if not (real_player.done and wmp_player.done):
-        raise ExperimentError(
-            f"streams did not finish by t={horizon:.0f}s for "
-            f"set {clip_set.number} {pair.band.value}")
+        if scenario is None:
+            raise ExperimentError(
+                f"streams did not finish by t={horizon:.0f}s for "
+                f"set {clip_set.number} {pair.band.value}")
+        # A fault can legitimately kill a stream; close the books
+        # deterministically (eos_timeout event, stop at last arrival).
+        for player in (real_player, wmp_player):
+            if not player.done:
+                player.finalize()
     trace = sniffer.stop()
 
     # ...and verify it again after (Section II.D).
@@ -234,7 +290,8 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
               duration_scale: float = 1.0,
               loss_probability: float = 0.0,
               telemetry: Optional[Telemetry] = None,
-              jobs: int = 1) -> StudyResults:
+              jobs: int = 1,
+              scenario: Optional[FaultScenario] = None) -> StudyResults:
     """Run the full Table 1 sweep (the corpus behind every figure).
 
     Args:
@@ -253,6 +310,9 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             execution — runs merge back in library order, and worker
             telemetry folds into the shared facade post-hoc (the
             facade's profiler, being wall-clock, stays parent-only).
+        scenario: optional fault schedule applied to *every* pair run
+            of the sweep (the scenario is pure data, so workers rebuild
+            their fault controllers from it independently).
     """
     if library is None:
         library = build_table1_library(duration_scale=duration_scale)
@@ -263,7 +323,8 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
 
         return run_study_parallel(library, seed=seed,
                                   loss_probability=loss_probability,
-                                  telemetry=telemetry, jobs=jobs)
+                                  telemetry=telemetry, jobs=jobs,
+                                  scenario=scenario)
     results = StudyResults(telemetry=telemetry)
     for index, (clip_set, pair) in enumerate(pairs):
         conditions = study_conditions(seed, index,
@@ -273,7 +334,7 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
                                       f"{pair.band.short}")
         results.runs.append(run_pair_experiment(
             clip_set, pair, seed=seed + index, conditions=conditions,
-            telemetry=telemetry))
+            telemetry=telemetry, scenario=scenario))
     if telemetry is not None:
         telemetry.clear_context()
     return results

@@ -1,0 +1,213 @@
+"""The fault controller: executes a scenario against a live topology.
+
+The controller is the only piece of :mod:`repro.faults` that touches
+simulation objects.  It resolves each event's symbolic target
+(``"middle"``, ``"real"``...) against the handles the experiment
+runner gives it, schedules every event at ``at_frac × reference
+duration``, and executes the primitives — link state, degradation,
+loss-model swaps, cross-traffic surges, server pause/crash — emitting
+one ``fault_injected`` trace event per execution so the recovery
+report can line faults up against the stack's responses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import ReproError
+from repro.faults.scenario import (
+    BURST_LOSS_OFF,
+    BURST_LOSS_ON,
+    FaultEvent,
+    FaultScenario,
+    LINK_DOWN_ACTION,
+    LINK_UP_ACTION,
+    SERVER_CRASH,
+    SERVER_PAUSE,
+    SERVER_RESTART,
+    SERVER_RESUME,
+    SET_BANDWIDTH,
+    SET_DELAY,
+    SURGE_OFF,
+    SURGE_ON,
+)
+from repro.netsim.link import GilbertElliottLossModel, Link
+from repro.telemetry.events import FAULT_INJECTED
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.engine import Simulator
+    from repro.netsim.node import Host
+
+
+class FaultController:
+    """Arms one scenario on one simulation.
+
+    Args:
+        sim: the run's simulator.
+        scenario: the declarative schedule to execute.
+        links: symbolic link roles -> :class:`Link` (the runner maps
+            ``"access"``, ``"middle"``, ...).
+        servers: symbolic server roles -> streaming servers (``"real"``,
+            ``"wmp"``).
+        surge_endpoints: ``(sender, receiver)`` hosts for cross-traffic
+            surges (usually a server and the client, so the surge
+            shares the whole path).
+        reference_duration: the clip duration the events' ``at_frac``
+            fractions multiply against.
+    """
+
+    def __init__(self, sim: "Simulator", scenario: FaultScenario,
+                 links: Optional[Dict[str, Link]] = None,
+                 servers: Optional[Dict[str, object]] = None,
+                 surge_endpoints: Optional[tuple] = None,
+                 reference_duration: float = 60.0) -> None:
+        if reference_duration <= 0:
+            raise ReproError("reference duration must be positive")
+        self.sim = sim
+        self.scenario = scenario
+        self.links = links or {}
+        self.servers = servers or {}
+        self.surge_endpoints = surge_endpoints
+        self.reference_duration = reference_duration
+        self.executed = 0
+        self._armed = False
+        self._saved_loss: Dict[str, object] = {}
+        self._saved_bandwidth: Dict[str, float] = {}
+        self._saved_delay: Dict[str, float] = {}
+        self._surge = None
+
+    def arm(self) -> "FaultController":
+        """Schedule every event of the scenario, relative to now."""
+        if self._armed:
+            raise ReproError("fault controller already armed")
+        self._armed = True
+        base = self.sim.now
+        for event in self.scenario.events:
+            self.sim.schedule_at(
+                base + event.at_frac * self.reference_duration,
+                self._execute, event)
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, event: FaultEvent) -> None:
+        handler = {
+            LINK_DOWN_ACTION: self._link_down,
+            LINK_UP_ACTION: self._link_up,
+            SET_BANDWIDTH: self._set_bandwidth,
+            SET_DELAY: self._set_delay,
+            BURST_LOSS_ON: self._burst_loss_on,
+            BURST_LOSS_OFF: self._burst_loss_off,
+            SURGE_ON: self._surge_on,
+            SURGE_OFF: self._surge_off,
+            SERVER_PAUSE: self._server_pause,
+            SERVER_RESUME: self._server_resume,
+            SERVER_CRASH: self._server_crash,
+            SERVER_RESTART: self._server_restart,
+        }[event.action]
+        if self.sim.telemetry is not None:
+            self.sim.telemetry.emit(FAULT_INJECTED,
+                                    scenario=self.scenario.name,
+                                    action=event.action,
+                                    target=event.target)
+        handler(event)
+        self.executed += 1
+
+    def _link(self, event: FaultEvent) -> Link:
+        link = self.links.get(event.target)
+        if link is None:
+            raise ReproError(
+                f"scenario {self.scenario.name!r} targets unknown link "
+                f"role {event.target!r} (have: {sorted(self.links)})")
+        return link
+
+    def _server(self, event: FaultEvent):
+        server = self.servers.get(event.target)
+        if server is None:
+            raise ReproError(
+                f"scenario {self.scenario.name!r} targets unknown server "
+                f"role {event.target!r} (have: {sorted(self.servers)})")
+        return server
+
+    # --- link primitives ----------------------------------------------
+    def _link_down(self, event: FaultEvent) -> None:
+        self._link(event).set_up(False)
+
+    def _link_up(self, event: FaultEvent) -> None:
+        self._link(event).set_up(True)
+
+    def _set_bandwidth(self, event: FaultEvent) -> None:
+        link = self._link(event)
+        params = event.param_dict()
+        if params.get("restore"):
+            original = self._saved_bandwidth.pop(event.target, None)
+            if original is not None:
+                link.set_bandwidth(original)
+            return
+        self._saved_bandwidth.setdefault(event.target, link.bandwidth_bps)
+        link.set_bandwidth(float(params["bandwidth_bps"]))
+
+    def _set_delay(self, event: FaultEvent) -> None:
+        link = self._link(event)
+        params = event.param_dict()
+        if params.get("restore"):
+            original = self._saved_delay.pop(event.target, None)
+            if original is not None:
+                link.set_propagation_delay(original)
+            return
+        self._saved_delay.setdefault(event.target, link.propagation_delay)
+        link.set_propagation_delay(float(params["delay"]))
+
+    def _burst_loss_on(self, event: FaultEvent) -> None:
+        link = self._link(event)
+        params = event.param_dict()
+        self._saved_loss.setdefault(event.target, link._forward._loss)
+        link.set_loss(GilbertElliottLossModel(
+            p_good_bad=float(params.get("p_good_bad", 0.05)),
+            p_bad_good=float(params.get("p_bad_good", 0.4)),
+            loss_good=float(params.get("loss_good", 0.0)),
+            loss_bad=float(params.get("loss_bad", 0.5)),
+            rng=self.sim.streams.stream("fault-burst-loss")))
+
+    def _burst_loss_off(self, event: FaultEvent) -> None:
+        original = self._saved_loss.pop(event.target, None)
+        if original is not None:
+            self._link(event).set_loss(original)
+
+    # --- cross-traffic surge ------------------------------------------
+    def _surge_on(self, event: FaultEvent) -> None:
+        from repro.netsim.crosstraffic import OnOffParetoSource
+
+        if self.surge_endpoints is None:
+            raise ReproError(
+                f"scenario {self.scenario.name!r} needs surge endpoints "
+                "but none were provided")
+        if self._surge is not None:
+            return
+        sender, receiver = self.surge_endpoints
+        params = event.param_dict()
+        self._surge = OnOffParetoSource(
+            self.sim, sender, receiver,
+            rate_bps=float(params.get("rate_bps", 8e6)),
+            mean_on=float(params.get("mean_on", 1.0)),
+            mean_off=float(params.get("mean_off", 1.0)),
+            rng=self.sim.streams.stream("fault-surge")).start()
+
+    def _surge_off(self, event: FaultEvent) -> None:
+        if self._surge is not None:
+            self._surge.stop()
+            self._surge = None
+
+    # --- server primitives --------------------------------------------
+    def _server_pause(self, event: FaultEvent) -> None:
+        self._server(event).pause_all()
+
+    def _server_resume(self, event: FaultEvent) -> None:
+        self._server(event).resume_all()
+
+    def _server_crash(self, event: FaultEvent) -> None:
+        self._server(event).crash()
+
+    def _server_restart(self, event: FaultEvent) -> None:
+        self._server(event).restart()

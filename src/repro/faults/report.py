@@ -1,0 +1,176 @@
+"""Recovery reports: what the stack did about the injected faults.
+
+Distills a run's trace-event stream into the fault-tolerance numbers
+the robustness work is judged by: how long routing took to re-converge
+after each link event, how quickly the players fell into rebuffering
+and how long each episode lasted, what the quality ladder did, and
+which last-resort mechanisms (stall watchdog, keepalive loss, EOS
+timeout, TCP aborts) had to fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.events import (
+    EOS_TIMEOUT,
+    FAULT_INJECTED,
+    KEEPALIVE_MISS,
+    LINK_DOWN,
+    LINK_UP,
+    PLAYER_STALLED,
+    QUALITY_DOWNSHIFT,
+    QUALITY_UPSHIFT,
+    REBUFFER_START,
+    REBUFFER_STOP,
+    ROUTE_RECONVERGED,
+    SESSION_LOST,
+    TCP_ABORT,
+    TCP_RETRANSMIT,
+    TraceEvent,
+)
+
+
+@dataclass(frozen=True)
+class RebufferEpisode:
+    """One playback interruption, per player."""
+
+    player: str
+    started_at: float
+    ended_at: Optional[float]  # None: never recovered before run end
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.ended_at is None:
+            return None
+        return self.ended_at - self.started_at
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """The measured robustness response to one run's faults."""
+
+    scenario: str
+    faults: Tuple[Tuple[float, str, str], ...]  # (time, action, target)
+    reconvergence_times: Tuple[float, ...]  # link event -> tables rebuilt
+    rebuffer_episodes: Tuple[RebufferEpisode, ...]
+    time_to_first_rebuffer: Optional[float]  # first fault -> first stall
+    downshifts: int
+    upshifts: int
+    tcp_retransmits: int
+    tcp_aborts: int
+    keepalive_misses: int
+    sessions_lost: int
+    player_stalls: int
+    eos_timeouts: int
+
+    @property
+    def recovered_episodes(self) -> Tuple[RebufferEpisode, ...]:
+        return tuple(e for e in self.rebuffer_episodes
+                     if e.ended_at is not None)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        lines.append(f"fault scenario: {self.scenario or '(none)'}")
+        lines.append(f"  faults injected: {len(self.faults)}")
+        for time, action, target in self.faults:
+            lines.append(f"    t={time:8.3f}s  {action} -> {target}")
+        if self.reconvergence_times:
+            joined = ", ".join(f"{t:.3f}s"
+                               for t in self.reconvergence_times)
+            lines.append(f"  route re-convergence: {joined}")
+        if self.time_to_first_rebuffer is not None:
+            lines.append(f"  time to first rebuffer: "
+                         f"{self.time_to_first_rebuffer:.3f}s after fault")
+        for episode in self.rebuffer_episodes:
+            if episode.ended_at is None:
+                lines.append(f"  rebuffer [{episode.player}]: "
+                             f"t={episode.started_at:.3f}s, never recovered")
+            else:
+                lines.append(f"  rebuffer [{episode.player}]: "
+                             f"t={episode.started_at:.3f}s, recovered in "
+                             f"{episode.duration:.3f}s")
+        lines.append(f"  quality shifts: {self.downshifts} down, "
+                     f"{self.upshifts} up")
+        lines.append(f"  control plane: {self.tcp_retransmits} TCP "
+                     f"retransmits, {self.tcp_aborts} aborts, "
+                     f"{self.keepalive_misses} keepalive misses")
+        lines.append(f"  last resorts: {self.sessions_lost} sessions lost, "
+                     f"{self.player_stalls} stalls, "
+                     f"{self.eos_timeouts} EOS timeouts")
+        return "\n".join(lines)
+
+
+def recovery_report(events: List[TraceEvent],
+                    scenario: str = "") -> RecoveryReport:
+    """Build a recovery report from a run's trace events (in order)."""
+    faults: List[Tuple[float, str, str]] = []
+    reconvergence: List[float] = []
+    last_link_event: Optional[float] = None
+    open_rebuffers: Dict[str, float] = {}
+    episodes: List[RebufferEpisode] = []
+    first_fault_at: Optional[float] = None
+    first_rebuffer_after_fault: Optional[float] = None
+    downshifts = upshifts = 0
+    retransmits = aborts = misses = lost = stalls = eos_timeouts = 0
+
+    for event in events:
+        fields = event.field_dict()
+        if event.type == FAULT_INJECTED:
+            faults.append((event.time, str(fields.get("action", "?")),
+                           str(fields.get("target", "?"))))
+            if first_fault_at is None:
+                first_fault_at = event.time
+        elif event.type in (LINK_DOWN, LINK_UP):
+            last_link_event = event.time
+        elif event.type == ROUTE_RECONVERGED:
+            if last_link_event is not None:
+                reconvergence.append(event.time - last_link_event)
+                last_link_event = None
+        elif event.type == REBUFFER_START:
+            player = str(fields.get("player", ""))
+            open_rebuffers.setdefault(player, event.time)
+            if (first_fault_at is not None
+                    and first_rebuffer_after_fault is None
+                    and event.time >= first_fault_at):
+                first_rebuffer_after_fault = event.time - first_fault_at
+        elif event.type == REBUFFER_STOP:
+            player = str(fields.get("player", ""))
+            started = open_rebuffers.pop(player, None)
+            if started is not None:
+                episodes.append(RebufferEpisode(player=player,
+                                                started_at=started,
+                                                ended_at=event.time))
+        elif event.type == QUALITY_DOWNSHIFT:
+            downshifts += 1
+        elif event.type == QUALITY_UPSHIFT:
+            upshifts += 1
+        elif event.type == TCP_RETRANSMIT:
+            retransmits += int(fields.get("segments", 1))
+        elif event.type == TCP_ABORT:
+            aborts += 1
+        elif event.type == KEEPALIVE_MISS:
+            misses += 1
+        elif event.type == SESSION_LOST:
+            lost += 1
+        elif event.type == PLAYER_STALLED:
+            stalls += 1
+        elif event.type == EOS_TIMEOUT:
+            eos_timeouts += 1
+
+    for player, started in sorted(open_rebuffers.items()):
+        episodes.append(RebufferEpisode(player=player, started_at=started,
+                                        ended_at=None))
+    episodes.sort(key=lambda e: (e.started_at, e.player))
+
+    return RecoveryReport(
+        scenario=scenario,
+        faults=tuple(faults),
+        reconvergence_times=tuple(reconvergence),
+        rebuffer_episodes=tuple(episodes),
+        time_to_first_rebuffer=first_rebuffer_after_fault,
+        downshifts=downshifts, upshifts=upshifts,
+        tcp_retransmits=retransmits, tcp_aborts=aborts,
+        keepalive_misses=misses, sessions_lost=lost,
+        player_stalls=stalls, eos_timeouts=eos_timeouts)

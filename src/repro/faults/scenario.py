@@ -1,0 +1,267 @@
+"""Declarative fault scenarios: pure data, derived from the seed.
+
+A :class:`FaultScenario` is to turbulence what
+:func:`~repro.experiments.runner.study_conditions` is to conditions: a
+picklable value fully determined by ``(name, seed)``, so any process —
+the sequential loop, a pool worker, a test — can rebuild the exact
+same schedule independently.  Event times are *fractions of the clip
+duration* (``at_frac``), which keeps one scenario meaningful at every
+``duration_scale``; the :class:`~repro.faults.controller.FaultController`
+multiplies them out against the run's reference duration when it arms.
+
+The named builders in :data:`SCENARIO_BUILDERS` cover the turbulence
+families the paper's products must survive: a link flap, mid-run
+bandwidth/latency degradation, Gilbert–Elliott burst loss, a
+queue-pressure surge from cross traffic, and a server pause or
+crash-restart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro import units
+from repro.errors import ReproError
+
+# ----------------------------------------------------------------------
+# Actions the controller knows how to execute
+# ----------------------------------------------------------------------
+
+LINK_DOWN_ACTION = "link_down"
+LINK_UP_ACTION = "link_up"
+SET_BANDWIDTH = "set_bandwidth"
+SET_DELAY = "set_delay"
+BURST_LOSS_ON = "burst_loss_on"
+BURST_LOSS_OFF = "burst_loss_off"
+SURGE_ON = "surge_on"
+SURGE_OFF = "surge_off"
+SERVER_PAUSE = "server_pause"
+SERVER_RESUME = "server_resume"
+SERVER_CRASH = "server_crash"
+SERVER_RESTART = "server_restart"
+
+ALL_ACTIONS: Tuple[str, ...] = (
+    LINK_DOWN_ACTION, LINK_UP_ACTION, SET_BANDWIDTH, SET_DELAY,
+    BURST_LOSS_ON, BURST_LOSS_OFF, SURGE_ON, SURGE_OFF,
+    SERVER_PAUSE, SERVER_RESUME, SERVER_CRASH, SERVER_RESTART,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    Attributes:
+        at_frac: when to fire, as a fraction of the run's reference
+            duration (the clip length), so scenarios scale with
+            ``duration_scale``.
+        action: one of :data:`ALL_ACTIONS`.
+        target: what to hit — a link role (``"middle"``, ``"access"``)
+            or a server role (``"real"``, ``"wmp"``), resolved by the
+            controller.
+        params: action parameters as a sorted tuple of pairs (kept as
+            a tuple, not a dict, so the event hashes and pickles
+            canonically).
+    """
+
+    at_frac: float
+    action: str
+    target: str = "middle"
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.at_frac < 0:
+            raise ReproError(f"at_frac must be nonnegative: {self.at_frac}")
+        if self.action not in ALL_ACTIONS:
+            raise ReproError(f"unknown fault action {self.action!r}")
+
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, ordered schedule of fault events.
+
+    Pure data: picklable, hashable, and fingerprintable, so study
+    cache keys can incorporate it (a cached no-fault sweep must never
+    alias a faulted one).
+    """
+
+    name: str
+    events: Tuple[FaultEvent, ...] = ()
+    description: str = ""
+
+    def fingerprint(self) -> str:
+        """A stable digest of the schedule (cache keying)."""
+        material = json.dumps(
+            [{"at_frac": event.at_frac, "action": event.action,
+              "target": event.target, "params": list(event.params)}
+             for event in self.events],
+            sort_keys=True)
+        digest = hashlib.sha256(
+            (self.name + "\n" + material).encode()).hexdigest()[:16]
+        return f"{self.name}:{digest}"
+
+
+def _params(**kwargs: object) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+# ----------------------------------------------------------------------
+# Seed-derived builders
+# ----------------------------------------------------------------------
+
+def build_link_flap(seed: int) -> FaultScenario:
+    """The canonical scenario: the middle link drops, then recovers.
+
+    The outage lands squarely in steady-state playback (past the
+    preroll burst) and lasts long enough to drain a several-second
+    delay buffer, so route re-convergence, rebuffering, and a quality
+    downshift are all on display.
+    """
+    rng = random.Random(seed * 48271 + 11)
+    down_at = rng.uniform(0.28, 0.38)
+    # Longer than the players' 5 s preroll buffer even on the shortest
+    # (test-scaled, ~30 s) clips, so the outage always reaches playout.
+    outage = rng.uniform(0.22, 0.30)
+    return FaultScenario(
+        name="link-flap",
+        description="middle link down, then up after a drained-buffer "
+                    "outage",
+        events=(
+            FaultEvent(at_frac=down_at, action=LINK_DOWN_ACTION,
+                       target="middle"),
+            FaultEvent(at_frac=down_at + outage, action=LINK_UP_ACTION,
+                       target="middle"),
+        ))
+
+
+def build_degrade(seed: int) -> FaultScenario:
+    """Mid-run path degradation: the middle link loses most of its
+    bandwidth and gains latency, then recovers."""
+    rng = random.Random(seed * 48271 + 23)
+    start = rng.uniform(0.30, 0.40)
+    length = rng.uniform(0.18, 0.28)
+    degraded_bps = units.kbps(rng.uniform(160.0, 260.0))
+    degraded_delay = rng.uniform(0.030, 0.060)
+    return FaultScenario(
+        name="degrade",
+        description="middle-link bandwidth collapse + latency spike, "
+                    "then recovery",
+        events=(
+            FaultEvent(at_frac=start, action=SET_BANDWIDTH, target="middle",
+                       params=_params(bandwidth_bps=degraded_bps)),
+            FaultEvent(at_frac=start, action=SET_DELAY, target="middle",
+                       params=_params(delay=degraded_delay)),
+            FaultEvent(at_frac=start + length, action=SET_BANDWIDTH,
+                       target="middle", params=_params(restore=True)),
+            FaultEvent(at_frac=start + length, action=SET_DELAY,
+                       target="middle", params=_params(restore=True)),
+        ))
+
+
+def build_burst_loss(seed: int) -> FaultScenario:
+    """Gilbert–Elliott burst loss on the middle link for a window."""
+    rng = random.Random(seed * 48271 + 37)
+    start = rng.uniform(0.25, 0.35)
+    length = rng.uniform(0.20, 0.30)
+    p_good_bad = rng.uniform(0.04, 0.08)
+    p_bad_good = rng.uniform(0.30, 0.50)
+    loss_bad = rng.uniform(0.35, 0.55)
+    return FaultScenario(
+        name="burst-loss",
+        description="Gilbert-Elliott burst-loss episode on the middle "
+                    "link",
+        events=(
+            FaultEvent(at_frac=start, action=BURST_LOSS_ON, target="middle",
+                       params=_params(p_good_bad=round(p_good_bad, 6),
+                                      p_bad_good=round(p_bad_good, 6),
+                                      loss_bad=round(loss_bad, 6))),
+            FaultEvent(at_frac=start + length, action=BURST_LOSS_OFF,
+                       target="middle"),
+        ))
+
+
+def build_congestion_surge(seed: int) -> FaultScenario:
+    """Queue pressure: an on/off Pareto source floods the path."""
+    rng = random.Random(seed * 48271 + 53)
+    start = rng.uniform(0.25, 0.35)
+    length = rng.uniform(0.25, 0.35)
+    rate_bps = units.mbps(rng.uniform(6.0, 9.0))
+    return FaultScenario(
+        name="congestion-surge",
+        description="on/off Pareto cross-traffic surge sharing the path",
+        events=(
+            FaultEvent(at_frac=start, action=SURGE_ON, target="path",
+                       params=_params(rate_bps=round(rate_bps, 3),
+                                      mean_on=1.2, mean_off=0.6)),
+            FaultEvent(at_frac=start + length, action=SURGE_OFF,
+                       target="path"),
+        ))
+
+
+def build_server_pause(seed: int) -> FaultScenario:
+    """The RealServer stops pacing mid-clip, then resumes."""
+    rng = random.Random(seed * 48271 + 71)
+    start = rng.uniform(0.30, 0.40)
+    length = rng.uniform(0.10, 0.18)
+    return FaultScenario(
+        name="server-pause",
+        description="RealServer pauses all sessions, then resumes",
+        events=(
+            FaultEvent(at_frac=start, action=SERVER_PAUSE, target="real"),
+            FaultEvent(at_frac=start + length, action=SERVER_RESUME,
+                       target="real"),
+        ))
+
+
+def build_server_crash(seed: int) -> FaultScenario:
+    """The RealServer dies silently; its control plane restarts later
+    but the sessions are gone — keepalives and the stall watchdog are
+    what end the playback."""
+    rng = random.Random(seed * 48271 + 89)
+    crash_at = rng.uniform(0.35, 0.45)
+    restart = rng.uniform(0.15, 0.25)
+    return FaultScenario(
+        name="server-crash",
+        description="RealServer crash (silent session death) and "
+                    "control-plane restart",
+        events=(
+            FaultEvent(at_frac=crash_at, action=SERVER_CRASH, target="real"),
+            FaultEvent(at_frac=crash_at + restart, action=SERVER_RESTART,
+                       target="real"),
+        ))
+
+
+SCENARIO_BUILDERS: Dict[str, Callable[[int], FaultScenario]] = {
+    "link-flap": build_link_flap,
+    "degrade": build_degrade,
+    "burst-loss": build_burst_loss,
+    "congestion-surge": build_congestion_surge,
+    "server-pause": build_server_pause,
+    "server-crash": build_server_crash,
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIO_BUILDERS))
+
+
+def build_scenario(name: str, seed: int) -> FaultScenario:
+    """The scenario ``name`` derives from ``seed``.
+
+    Raises:
+        ReproError: for an unknown scenario name (the CLI surfaces
+            this as a non-zero exit with the list of known names).
+    """
+    builder = SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        known = ", ".join(scenario_names())
+        raise ReproError(
+            f"unknown fault scenario {name!r}; known scenarios: {known}")
+    return builder(seed)

@@ -17,6 +17,8 @@ from repro import units
 from repro.netsim.packet import Packet
 from repro.netsim.queues import DropTailQueue
 from repro.telemetry.events import (
+    LINK_DOWN,
+    LINK_UP,
     PACKET_DELIVERED,
     PACKET_ENQUEUED,
     PACKET_LOSS,
@@ -63,6 +65,52 @@ class LossModel:
         return False
 
 
+class GilbertElliottLossModel(LossModel):
+    """Two-state (good/bad) burst-loss model.
+
+    The classic Gilbert–Elliott chain: each packet first advances the
+    state (good→bad with ``p_good_bad``, bad→good with ``p_bad_good``),
+    then drops with the state's loss probability.  The stationary bad
+    fraction is ``p_gb / (p_gb + p_bg)``; mean burst length is
+    ``1 / p_bad_good`` packets.  Fault scenarios swap one of these onto
+    a link mid-run to model the bursty loss episodes that steady
+    Bernoulli loss cannot (see :mod:`repro.faults`).
+    """
+
+    def __init__(self, p_good_bad: float = 0.05, p_bad_good: float = 0.4,
+                 loss_good: float = 0.0, loss_bad: float = 0.5,
+                 rng: Optional[random.Random] = None,
+                 spare_tcp: bool = True) -> None:
+        super().__init__(0.0, rng=rng, spare_tcp=spare_tcp)
+        for name, value in (("p_good_bad", p_good_bad),
+                            ("p_bad_good", p_bad_good),
+                            ("loss_good", loss_good),
+                            ("loss_bad", loss_bad)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+
+    def should_drop(self, packet: Optional[Packet] = None) -> bool:
+        rng = self._rng
+        if self.bad:
+            if rng.random() < self.p_bad_good:
+                self.bad = False
+        elif rng.random() < self.p_good_bad:
+            self.bad = True
+        if (self.spare_tcp and packet is not None
+                and packet.protocol.name == "TCP"):
+            return False
+        probability = self.loss_bad if self.bad else self.loss_good
+        if probability > 0.0 and rng.random() < probability:
+            self.losses += 1
+            return True
+        return False
+
+
 @dataclass
 class DirectionStats:
     """Per-direction packet/byte counters."""
@@ -88,6 +136,7 @@ class _Direction:
         self._loss = loss
         self._jitter = jitter
         self._busy = False
+        self._up = True
         self._last_delivery = 0.0
         self.stats = DirectionStats()
         # Telemetry handles are resolved once, here: the facade is
@@ -113,6 +162,9 @@ class _Direction:
         telemetry = self._telemetry
         if telemetry is not None:
             self._ctr_sent.inc()
+        if not self._up:
+            self._drop_down(packet)
+            return
         if self._loss.should_drop(packet):
             self.stats.packets_lost += 1
             if self._spans is not None and packet.span is not None:
@@ -135,7 +187,43 @@ class _Direction:
         if not self._busy:
             self._transmit_next()
 
+    def _drop_down(self, packet: Packet) -> None:
+        """Account for a packet lost to an administratively-down link."""
+        self.stats.packets_lost += 1
+        if self._spans is not None and packet.span is not None:
+            self._spans.packet_dropped(packet, self._sim.now,
+                                       STATUS_LOST, self._label)
+        if self._telemetry is not None:
+            self._ctr_lost.inc()
+            self._telemetry.emit(PACKET_LOSS, link=self._label,
+                                 packet_bytes=packet.ip_bytes,
+                                 reason="link_down")
+
+    def set_up(self, up: bool) -> None:
+        """Bring this direction up or down.
+
+        Going down flushes the queue (those packets are lost, like
+        frames sitting in an interface buffer when the carrier drops);
+        the serializer finishes any packet already on the wire.  Coming
+        up restarts the transmitter.
+        """
+        if up == self._up:
+            return
+        self._up = up
+        if not up:
+            while True:
+                packet = self._queue.poll()
+                if packet is None:
+                    break
+                self._drop_down(packet)
+            return
+        if not self._busy:
+            self._transmit_next()
+
     def _transmit_next(self) -> None:
+        if not self._up:
+            self._busy = False
+            return
         packet = self._queue.poll()
         if packet is None:
             self._busy = False
@@ -216,6 +304,64 @@ class Link:
                                    label=f"{b.name}->{a.name}")
         a.attach(self, b)
         b.attach(self, a)
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults drives these mid-run)
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        """Whether the link is administratively up (both directions)."""
+        return self._forward._up and self._reverse._up
+
+    def set_up(self, up: bool) -> None:
+        """Take the whole link down or bring it back up.
+
+        Both directions change together (a cut cable, a bounced
+        interface).  Going down flushes the queues and drops everything
+        sent until the link comes back; packets already serialized onto
+        the wire still arrive, as on a real cut.  Emits ``link_down`` /
+        ``link_up`` trace events when telemetry is attached.
+        """
+        if up == self.up:
+            return
+        self._forward.set_up(up)
+        self._reverse.set_up(up)
+        if self.sim.telemetry is not None:
+            self.sim.telemetry.emit(LINK_UP if up else LINK_DOWN,
+                                    link=self.label)
+        for node in (self.a, self.b):
+            on_change = getattr(node, "on_link_state", None)
+            if on_change is not None:
+                on_change(self, up)
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Degrade (or restore) the serialization rate mid-run.
+
+        Applies to packets whose transmission starts after the call;
+        the packet currently on the wire finishes at the old rate.
+        """
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_bps = bandwidth_bps
+        self._forward._bandwidth_bps = bandwidth_bps
+        self._reverse._bandwidth_bps = bandwidth_bps
+
+    def set_propagation_delay(self, delay: float) -> None:
+        """Change the one-way latency mid-run (path degradation)."""
+        if delay < 0:
+            raise ValueError("propagation delay must be nonnegative")
+        self.propagation_delay = delay
+        self._forward._propagation_delay = delay
+        self._reverse._propagation_delay = delay
+
+    def set_loss(self, loss: LossModel) -> None:
+        """Swap the loss model (e.g. toggle Gilbert–Elliott bursts)."""
+        self._forward._loss = loss
+        self._reverse._loss = loss
+
+    @property
+    def label(self) -> str:
+        return f"{self.a.name}<->{self.b.name}"
 
     def queue_stats(self, sender: "Node"):
         """The queue counters for the direction whose transmitter is

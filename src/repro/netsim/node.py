@@ -21,6 +21,7 @@ from repro.errors import RoutingError
 from repro.netsim.addressing import IPAddress
 from repro.netsim.packet import Packet
 from repro.netsim.routing import RoutingTable
+from repro.telemetry.events import NO_ROUTE_DROP
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.engine import Simulator
@@ -41,6 +42,13 @@ class Node:
         self.neighbors: Dict["Node", "Link"] = {}
         self.routing = RoutingTable()
         self.taps: List[TapCallback] = []
+        #: When True, a routing miss drops the packet (counted, and
+        #: emitted as a ``no_route_drop`` trace event) instead of
+        #: raising.  The fault layer sets this: during re-convergence a
+        #: node legitimately has no path, and a mid-run RoutingError
+        #: would abort the whole simulation from inside the event loop.
+        self.drop_on_no_route = False
+        self.no_route_drops = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -63,13 +71,29 @@ class Node:
     # ------------------------------------------------------------------
     def send_packet(self, packet: Packet) -> None:
         """Route a locally-originated packet out toward its destination."""
-        next_hop = self.routing.lookup(packet.ip.dst)
+        try:
+            next_hop = self.routing.lookup(packet.ip.dst)
+        except RoutingError:
+            if not self.drop_on_no_route:
+                raise
+            self._drop_no_route(packet)
+            return
         link = self.neighbors.get(next_hop)
         if link is None:
+            if self.drop_on_no_route:
+                self._drop_no_route(packet)
+                return
             raise RoutingError(
                 f"{self.name}: next hop {next_hop.name} is not a neighbor")
         self._notify_taps("tx", packet)
         link.send_from(self, packet)
+
+    def _drop_no_route(self, packet: Packet) -> None:
+        self.no_route_drops += 1
+        if self.sim.telemetry is not None:
+            self.sim.telemetry.emit(NO_ROUTE_DROP, node=self.name,
+                                    dst=str(packet.ip.dst),
+                                    packet_bytes=packet.ip_bytes)
 
     def receive(self, packet: Packet) -> None:
         """Entry point for packets delivered by a link."""

@@ -7,9 +7,17 @@ did in the paper's Ethereal traces.
 
 This implementation is deliberately small: a three-way handshake,
 segmentation to the MSS, cumulative acks, and in-order message
-delivery.  There is **no congestion control and no retransmission** —
-the simulated control path is lossless and FIFO, so neither is ever
-exercised.  DESIGN.md documents this simplification.
+delivery.  By default there is **no congestion control and no
+retransmission** — the steady-state control path is lossless and FIFO,
+so neither is ever exercised and captures stay byte-identical to the
+paper's runs.  DESIGN.md documents this simplification.
+
+When the fault layer is active the control path *does* lose packets,
+so the layer can be armed with a :class:`TcpReliability` policy:
+go-back-N retransmission with exponential backoff, immediate pure
+acks, duplicate suppression, SYN retransmission, and a handshake
+deadline that surfaces a clear :class:`~repro.errors.SocketError`
+instead of hanging forever in SYN_SENT.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from repro.errors import SocketError
 from repro.netsim.addressing import IPAddress
 from repro.netsim.headers import IpProtocol, PayloadMeta, TcpHeader
 from repro.netsim.ip import Datagram
+from repro.telemetry.events import TCP_ABORT, TCP_RETRANSMIT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.node import Host
@@ -36,6 +45,32 @@ class TcpState(Enum):
     SYN_SENT = "syn-sent"
     SYN_RECEIVED = "syn-received"
     ESTABLISHED = "established"
+
+
+@dataclass(frozen=True)
+class TcpReliability:
+    """Retransmission policy for a host's TCP layer.
+
+    ``None`` (the default on :class:`TcpLayer`) means the historical
+    fire-and-forget behavior: no timers scheduled, no extra segments,
+    byte-identical captures.  The experiment runner arms this only when
+    a fault scenario is attached.
+
+    Attributes:
+        rto_initial: first retransmission timeout, seconds.
+        rto_max: backoff ceiling, seconds (each timeout doubles the RTO
+            up to this).
+        max_retries: consecutive unacknowledged retransmission rounds
+            before the connection aborts with ``SocketError``.
+        handshake_timeout: hard deadline for reaching ESTABLISHED; a
+            connection still shaking hands past this aborts rather than
+            hanging in SYN_SENT forever.
+    """
+
+    rto_initial: float = 0.5
+    rto_max: float = 2.0
+    max_retries: int = 8
+    handshake_timeout: float = 3.0
 
 
 @dataclass
@@ -63,6 +98,11 @@ class TcpConnection:
         self.state = TcpState.CLOSED
         self.on_message: Optional[MessageCallback] = None
         self.on_established: Optional[ConnectCallback] = None
+        #: With reliability armed: called when the connection aborts
+        #: (handshake deadline or retries exhausted).  Left unset, the
+        #: abort raises — a loud failure instead of a silent hang.
+        self.on_error: Optional[Callable[["TcpConnection", SocketError],
+                                         None]] = None
         self._send_seq = 0
         self._recv_seq = 0
         self._next_message_id = 1
@@ -70,6 +110,18 @@ class TcpConnection:
         self._envelopes: Dict[int, _MessageEnvelope] = {}
         self.messages_sent = 0
         self.messages_received = 0
+        # --- reliability state (inert when the layer has no policy) ---
+        self._reliability = layer.reliability
+        self.retransmits = 0
+        self.aborted = False
+        # In-flight segments as (seq, acked_len, payload_bytes, meta,
+        # syn, ack_flag); go-back-N resends the whole list on timeout.
+        self._unacked: List[Tuple[int, int, int, PayloadMeta, bool, bool]] = []
+        self._rto = (self._reliability.rto_initial
+                     if self._reliability is not None else 0.0)
+        self._retries = 0
+        self._timer_generation = 0
+        self._opened_at = layer.host.sim.now
 
     # ------------------------------------------------------------------
     # Sending
@@ -106,19 +158,112 @@ class TcpConnection:
 
     def _send_segment(self, payload_bytes: int, meta: PayloadMeta,
                       syn: bool = False, ack: bool = True) -> None:
+        seq = self._send_seq
+        acked_len = max(payload_bytes, 1 if syn else 0)
+        self._send_seq += acked_len
+        self._transmit(seq, payload_bytes, meta, syn, ack)
+        if self._reliability is not None and acked_len > 0:
+            self._unacked.append((seq, acked_len, payload_bytes, meta,
+                                  syn, ack))
+            # Arm only when nothing was outstanding: the RTO times the
+            # *oldest* unacked segment.  Restarting it on every send
+            # would let steady keepalive/feedback traffic postpone the
+            # timeout forever and starve retransmission.
+            if len(self._unacked) == 1:
+                self._arm_rto()
+
+    def _transmit(self, seq: int, payload_bytes: int, meta: PayloadMeta,
+                  syn: bool, ack: bool) -> None:
+        """Put one segment on the wire without touching send state —
+        shared by first transmission and retransmission."""
         header = TcpHeader(src_port=self.local_port, dst_port=self.peer_port,
-                           seq=self._send_seq, ack=self._recv_seq,
+                           seq=seq, ack=self._recv_seq,
                            syn=syn, ack_flag=ack)
-        self._send_seq += max(payload_bytes, 1 if syn else 0)
         self._layer.host.ip.send(self.peer, IpProtocol.TCP, header,
                                  units.TCP_HEADER_BYTES, payload_bytes,
                                  payload=meta)
+
+    # ------------------------------------------------------------------
+    # Reliability: timers, retransmission, abort
+    # ------------------------------------------------------------------
+    def _arm_rto(self, timeout: Optional[float] = None) -> None:
+        """(Re)start the retransmission timer; older timers go stale."""
+        self._timer_generation += 1
+        self._layer.host.sim.schedule_in(
+            timeout if timeout is not None else self._rto,
+            self._on_rto, self._timer_generation)
+
+    def _on_rto(self, generation: int) -> None:
+        if (generation != self._timer_generation or self.aborted
+                or not self._unacked):
+            return
+        policy = self._reliability
+        if self.state != TcpState.ESTABLISHED:
+            elapsed = self._layer.host.sim.now - self._opened_at
+            if elapsed >= policy.handshake_timeout:
+                self._abort(
+                    f"control connection {self.peer}:{self.peer_port} "
+                    f"handshake timed out after {elapsed:.2f}s "
+                    f"(state {self.state.value})")
+                return
+        self._retries += 1
+        if self._retries > policy.max_retries:
+            self._abort(
+                f"connection to {self.peer}:{self.peer_port} gave up "
+                f"after {policy.max_retries} retransmission rounds")
+            return
+        for seq, _, payload_bytes, meta, syn, ack in self._unacked:
+            self._transmit(seq, payload_bytes, meta, syn, ack)
+            self.retransmits += 1
+        telemetry = self._layer.host.sim.telemetry
+        if telemetry is not None:
+            telemetry.emit(TCP_RETRANSMIT, host=self._layer.host.name,
+                           peer=str(self.peer), peer_port=self.peer_port,
+                           segments=len(self._unacked), retry=self._retries)
+        self._rto = min(self._rto * 2.0, policy.rto_max)
+        self._arm_rto()
+
+    def _process_ack(self, ack: int) -> None:
+        """Drop every in-flight segment the cumulative ack covers."""
+        if not self._unacked:
+            return
+        before = len(self._unacked)
+        self._unacked = [entry for entry in self._unacked
+                         if entry[0] + entry[1] > ack]
+        if len(self._unacked) < before:
+            # Forward progress: reset the backoff.
+            self._retries = 0
+            self._rto = self._reliability.rto_initial
+            if self._unacked:
+                self._arm_rto()
+            else:
+                self._timer_generation += 1  # cancel
+
+    def _abort(self, reason: str) -> None:
+        self.aborted = True
+        self.state = TcpState.CLOSED
+        self._unacked.clear()
+        self._timer_generation += 1
+        self._layer._drop(self)
+        telemetry = self._layer.host.sim.telemetry
+        if telemetry is not None:
+            telemetry.emit(TCP_ABORT, host=self._layer.host.name,
+                           peer=str(self.peer), peer_port=self.peer_port,
+                           reason=reason)
+        error = SocketError(reason)
+        if self.on_error is not None:
+            self.on_error(self, error)
+            return
+        raise error
 
     # ------------------------------------------------------------------
     # Receiving (driven by TcpLayer)
     # ------------------------------------------------------------------
     def _on_segment(self, header: TcpHeader, payload_bytes: int,
                     meta: PayloadMeta) -> None:
+        reliable = self._reliability is not None
+        if reliable and header.ack_flag:
+            self._process_ack(header.ack)
         if header.syn and self.state == TcpState.SYN_SENT:
             # SYN-ACK: complete our side of the handshake.
             self._recv_seq = header.seq + 1
@@ -126,6 +271,11 @@ class TcpConnection:
             self._send_segment(0, PayloadMeta(kind="tcp-ack"))
             if self.on_established is not None:
                 self.on_established(self)
+            return
+        if header.syn and reliable and self.state == TcpState.ESTABLISHED:
+            # Retransmitted SYN-ACK: our final handshake ACK was lost.
+            # Re-ack so the peer stops resending and clears its timer.
+            self._send_segment(0, PayloadMeta(kind="tcp-ack"))
             return
         if self.state == TcpState.SYN_RECEIVED and header.ack_flag:
             self.state = TcpState.ESTABLISHED
@@ -135,8 +285,19 @@ class TcpConnection:
             # case the peer piggybacked a message.
         if payload_bytes <= 0 or meta.kind != "tcp-data":
             return
+        if reliable and header.seq != self._recv_seq:
+            # Duplicate (our ack was lost) or a gap go-back-N will
+            # refill: either way, a pure ack tells the sender where we
+            # really are and we deliver nothing out of order.
+            self._send_segment(0, PayloadMeta(kind="tcp-ack"))
+            return
         self._recv_seq = header.seq + payload_bytes
         self._accept_data(payload_bytes, meta)
+        if reliable:
+            # Explicit ack: control traffic is sparse request/response,
+            # so waiting to piggyback would leave the peer's timer to
+            # expire on every exchange.
+            self._send_segment(0, PayloadMeta(kind="tcp-ack"))
 
     def _accept_data(self, payload_bytes: int, meta: PayloadMeta) -> None:
         if isinstance(meta.message, _MessageEnvelope):
@@ -181,10 +342,20 @@ class TcpLayer:
 
     def __init__(self, host: "Host") -> None:
         self.host = host
+        #: Retransmission policy inherited by every connection opened
+        #: *after* it is set; ``None`` keeps the historical
+        #: fire-and-forget behavior (no timers, no extra segments).
+        self.reliability: Optional[TcpReliability] = None
         self._listeners: Dict[int, ConnectCallback] = {}
         self._connections: Dict[Tuple[IPAddress, int, int], TcpConnection] = {}
         self._next_ephemeral = 32768
         host.ip.register_handler(IpProtocol.TCP, self._on_datagram)
+
+    def _drop(self, connection: TcpConnection) -> None:
+        """Forget an aborted connection so its ports can be reused."""
+        for key, value in list(self._connections.items()):
+            if value is connection:
+                del self._connections[key]
 
     def listen(self, port: int, on_connection: ConnectCallback) -> None:
         """Accept connections on ``port``; callback fires per accept."""

@@ -11,9 +11,10 @@ interleaving batcher; RealTracker cannot observe them at all.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, SocketError
 from repro.media.clip import PlayerFamily
 from repro.netsim.addressing import IPAddress
 from repro.netsim.node import Host
@@ -21,11 +22,18 @@ from repro.netsim.tcp import TcpConnection
 from repro.netsim.udp import UdpDatagram
 from repro.players.buffer import DelayBuffer
 from repro.players.interleave import BatchingReceiver
+from repro.players.quality import QualityController
 from repro.players.stats import PacketReceipt, PlayerStats
 from repro.servers.control import (
     ControlRequest,
     ControlResponse,
     RTSP_PORT,
+)
+from repro.telemetry.events import (
+    EOS_TIMEOUT,
+    KEEPALIVE_MISS,
+    PLAYER_STALLED,
+    SESSION_LOST,
 )
 
 DoneCallback = Callable[[PlayerStats], None]
@@ -33,6 +41,37 @@ DoneCallback = Callable[[PlayerStats], None]
 #: A frame whose data arrives after its playout deadline plus this
 #: slack is counted late (quality degradation), not played.
 LATE_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class PlayerRobustness:
+    """Graceful-degradation policy for a client under faults.
+
+    ``None`` on :class:`StreamingClient` (the default) keeps the
+    historical behavior exactly: no keepalives, no watchdog, no extra
+    scheduled events — byte-identical no-fault runs.  The experiment
+    runner passes a policy only when a fault scenario is attached.
+
+    Attributes:
+        keepalive_interval: seconds between KEEPALIVE probes once the
+            stream is playing.
+        request_timeout: seconds a KEEPALIVE may go unanswered before
+            it counts as a miss.
+        max_retries: consecutive misses tolerated before the session is
+            declared lost and playback closes deterministically.
+        stall_timeout: seconds without any media arrival after which
+            the stall watchdog ends playback (instead of hanging until
+            the experiment horizon).
+        resume_threshold_seconds: rebuffer re-entry — media seconds
+            that must accumulate after an underrun before playback
+            resumes (see :class:`~repro.players.buffer.DelayBuffer`).
+    """
+
+    keepalive_interval: float = 2.0
+    request_timeout: float = 4.0
+    max_retries: int = 5
+    stall_timeout: float = 15.0
+    resume_threshold_seconds: float = 2.0
 
 
 class StreamingClient:
@@ -54,7 +93,8 @@ class StreamingClient:
                  control_port: int = RTSP_PORT,
                  preroll_seconds: float = 5.0,
                  feedback_interval: Optional[float] = None,
-                 transport: str = "UDP") -> None:
+                 transport: str = "UDP",
+                 robustness: Optional[PlayerRobustness] = None) -> None:
         if transport not in ("UDP", "TCP"):
             raise ProtocolError(f"unknown media transport {transport!r}")
         self.host = host
@@ -87,6 +127,14 @@ class StreamingClient:
         self._last_media_time = 0.0
         #: (frame_number, app_time) pairs, classified at finalize time.
         self._frame_arrivals: List[Tuple[int, float]] = []
+        # --- graceful degradation (inert when robustness is None) ---
+        self.robustness = robustness
+        self.quality_controller: Optional[QualityController] = None
+        self.session_lost = False
+        self.stalled = False
+        self._last_media_at: Optional[float] = None
+        self._keepalive_acked_at: Optional[float] = None
+        self._keepalive_misses = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -114,7 +162,12 @@ class StreamingClient:
         """Force end-of-playback accounting (normally done at EOS).
 
         Safe to call on a finished client; used by experiment runners
-        as a timeout fallback when loss eats the EOS datagram.
+        as a timeout fallback when loss eats the EOS datagram.  That
+        fallback is no longer silent: it emits an ``eos_timeout`` trace
+        event and records a *deterministic* stop time — the last media
+        arrival, a simulation quantity — rather than leaving the end of
+        the stream undefined by whenever the runner got around to
+        calling this.
 
         Raises:
             ProtocolError: if playback never got far enough to have
@@ -123,6 +176,13 @@ class StreamingClient:
         if self.stats is None:
             raise ProtocolError("no statistics: playback never started")
         if not self.done:
+            if self.stats.eos_at is None and self._last_media_at is not None:
+                self.stats.eos_at = self._last_media_at
+            if self._telemetry is not None:
+                self._telemetry.emit(
+                    EOS_TIMEOUT, player=self.family.name.lower(),
+                    stop_time=(None if self.stats.eos_at is None
+                               else round(self.stats.eos_at, 9)))
             self._finish()
         return self.stats
 
@@ -138,6 +198,15 @@ class StreamingClient:
                      message: object) -> None:
         if not isinstance(message, ControlResponse):
             return
+        if message.method == "KEEPALIVE":
+            if message.ok:
+                self._keepalive_acked_at = self.host.sim.now
+                self._keepalive_misses = 0
+            else:
+                # The server forgot us (crash-restart): the session is
+                # gone for good, no point probing further.
+                self._session_lost()
+            return
         if not message.ok:
             raise ProtocolError(
                 f"{message.method} failed: {message.status} {message.reason}")
@@ -147,6 +216,7 @@ class StreamingClient:
             self._handle_setup_ok(message)
         elif message.method == "PLAY":
             self._start_feedback()
+            self._start_robustness()
         # TEARDOWN acks need no client action.
 
     def _handle_described(self, response: ControlResponse) -> None:
@@ -158,8 +228,14 @@ class StreamingClient:
         telemetry = self.host.sim.telemetry
         self._telemetry = telemetry
         self._spans = telemetry.spans if telemetry is not None else None
+        resume_threshold = (self.robustness.resume_threshold_seconds
+                            if self.robustness is not None else None)
         self.buffer = DelayBuffer(self.preroll_seconds, telemetry=telemetry,
-                                  label=self.family.name.lower())
+                                  label=self.family.name.lower(),
+                                  resume_threshold_seconds=resume_threshold)
+        if self.robustness is not None:
+            self.quality_controller = QualityController(
+                telemetry=telemetry, label=self.family.name.lower())
         if telemetry is not None:
             label = self.family.name.lower()
             self._ctr_packets = telemetry.counter("player.packets",
@@ -219,6 +295,7 @@ class StreamingClient:
         if datagram.payload.kind != "media":
             return
         now = datagram.arrival_time
+        self._last_media_at = now
         app_time = now
         if self.interleaver is not None:
             app_time = self.interleaver.receive(now)
@@ -275,9 +352,112 @@ class StreamingClient:
             interval_lost=lost - self._reported_lost)
         self._reported_received = received
         self._reported_lost = lost
-        self._connection.send_message(report, report.wire_bytes)
+        if self.quality_controller is not None:
+            interval_total = report.interval_received + report.interval_lost
+            loss_fraction = (report.interval_lost / interval_total
+                             if interval_total > 0 else 0.0)
+            rebuffering = (self.buffer.rebuffering
+                           if self.buffer is not None else False)
+            self.quality_controller.observe(self.host.sim.now, loss_fraction,
+                                            rebuffering=rebuffering)
+        self._safe_send(report, report.wire_bytes)
         self.host.sim.schedule_in(self.feedback_interval,
                                   self._send_feedback)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (robustness != None only)
+    # ------------------------------------------------------------------
+    def _safe_send(self, message: object, wire_bytes: int) -> bool:
+        """Send on the control connection, tolerating a dead one.
+
+        With no robustness policy the historical behavior stands: a
+        send on a closed connection raises.  With one, it returns False
+        and the keepalive machinery is what notices the dead session.
+        """
+        try:
+            self._connection.send_message(message, wire_bytes)
+            return True
+        except SocketError:
+            if self.robustness is None:
+                raise
+            return False
+
+    def _start_robustness(self) -> None:
+        if self.robustness is None:
+            return
+        self.host.sim.schedule_in(self.robustness.keepalive_interval,
+                                  self._keepalive_tick)
+        self.host.sim.schedule_in(self.robustness.stall_timeout,
+                                  self._watchdog_tick)
+
+    def _keepalive_tick(self) -> None:
+        if self.done:
+            return
+        request = ControlRequest(method="KEEPALIVE",
+                                 session_id=self.session_id)
+        sent_at = self.host.sim.now
+        if not self._safe_send(request, request.wire_bytes):
+            # Control connection is dead; the check below counts it
+            # like an unanswered probe.
+            pass
+        self.host.sim.schedule_in(self.robustness.request_timeout,
+                                  self._keepalive_check, sent_at)
+        self.host.sim.schedule_in(self.robustness.keepalive_interval,
+                                  self._keepalive_tick)
+
+    def _keepalive_check(self, sent_at: float) -> None:
+        if self.done:
+            return
+        if (self._keepalive_acked_at is not None
+                and self._keepalive_acked_at >= sent_at):
+            return
+        self._keepalive_misses += 1
+        if self._telemetry is not None:
+            self._telemetry.emit(KEEPALIVE_MISS,
+                                 player=self.family.name.lower(),
+                                 misses=self._keepalive_misses)
+        if self._keepalive_misses > self.robustness.max_retries:
+            self._session_lost()
+
+    def _session_lost(self) -> None:
+        """Bounded retries exhausted: close playback deterministically."""
+        if self.done or self.session_lost:
+            return
+        self.session_lost = True
+        if self._telemetry is not None:
+            self._telemetry.emit(SESSION_LOST,
+                                 player=self.family.name.lower(),
+                                 misses=self._keepalive_misses)
+        if self.stats is not None:
+            if self.stats.eos_at is None and self._last_media_at is not None:
+                self.stats.eos_at = self._last_media_at
+            self._finish()
+        else:
+            self.done = True
+
+    def _watchdog_tick(self) -> None:
+        if self.done:
+            return
+        last = (self._last_media_at if self._last_media_at is not None
+                else self._requested_at)
+        idle = self.host.sim.now - last
+        timeout = self.robustness.stall_timeout
+        if idle < timeout:
+            self.host.sim.schedule_in(timeout - idle, self._watchdog_tick)
+            return
+        self.stalled = True
+        if self._telemetry is not None:
+            self._telemetry.emit(PLAYER_STALLED,
+                                 player=self.family.name.lower(),
+                                 idle_seconds=round(idle, 9))
+        if self.stats is not None:
+            # Deterministic stop: the stream died at its last arrival,
+            # not at whatever instant the watchdog happened to fire.
+            if self.stats.eos_at is None and self._last_media_at is not None:
+                self.stats.eos_at = self._last_media_at
+            self._finish()
+        else:
+            self.done = True
 
     # ------------------------------------------------------------------
     # Finalization
@@ -305,7 +485,7 @@ class StreamingClient:
         if self.session_id is not None and self._connection is not None:
             request = ControlRequest(method="TEARDOWN",
                                      session_id=self.session_id)
-            self._connection.send_message(request, request.wire_bytes)
+            self._safe_send(request, request.wire_bytes)
         if self._on_done is not None:
             self._on_done(self.stats)
 

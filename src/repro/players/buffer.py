@@ -43,10 +43,19 @@ class DelayBuffer:
 
     def __init__(self, preroll_seconds: float = 5.0,
                  telemetry: Optional["Telemetry"] = None,
-                 label: str = "") -> None:
+                 label: str = "",
+                 resume_threshold_seconds: Optional[float] = None) -> None:
         if preroll_seconds < 0:
             raise MediaError("preroll must be nonnegative")
+        if (resume_threshold_seconds is not None
+                and resume_threshold_seconds < 0):
+            raise MediaError("resume threshold must be nonnegative")
         self.preroll_seconds = preroll_seconds
+        #: Rebuffer re-entry (fault robustness): after an underrun,
+        #: playback stays paused — the buffer does not drain — until
+        #: this many media seconds are buffered again.  ``None`` keeps
+        #: the historical behavior: any arrival ends the rebuffer.
+        self.resume_threshold_seconds = resume_threshold_seconds
         self.playout_started_at: Optional[float] = None
         self._buffered_media = 0.0  # media seconds currently held
         self._last_update: Optional[float] = None
@@ -66,15 +75,22 @@ class DelayBuffer:
         if self.playout_started_at is None or self._last_update is None:
             self._last_update = now
             return
+        if self._rebuffering:
+            # Playback is paused waiting to refill; nothing drains.
+            # (Without a resume threshold the flag clears on the very
+            # next arrival, before any draining could have happened —
+            # the buffer is empty — so this changes nothing.)
+            self._last_update = now
+            return
         elapsed = now - self._last_update
         if elapsed > 0:
             before = self._buffered_media
             self._buffered_media = max(0.0, before - elapsed)
             if before > 0 and self._buffered_media == 0.0:
                 self.underruns += 1
+                self._rebuffering = True
                 if self._telemetry is not None:
                     self._underrun_counter.inc()
-                    self._rebuffering = True
                     # The buffer ran dry `before` media-seconds after
                     # the last update, not at observation time.
                     self._telemetry.bus.emit(
@@ -99,11 +115,14 @@ class DelayBuffer:
                 self._telemetry.bus.emit(
                     PLAYOUT_START, now, player=self._label,
                     buffered_media=round(self._buffered_media, 9))
-        if self._telemetry is not None:
-            if self._rebuffering and self._buffered_media > 0:
+        if self._rebuffering and self._buffered_media > 0:
+            threshold = self.resume_threshold_seconds
+            if threshold is None or self._buffered_media >= threshold:
                 self._rebuffering = False
-                self._telemetry.bus.emit(REBUFFER_STOP, now,
-                                         player=self._label)
+                if self._telemetry is not None:
+                    self._telemetry.bus.emit(REBUFFER_STOP, now,
+                                             player=self._label)
+        if self._telemetry is not None:
             self._occupancy_gauge.set(self._buffered_media, now)
         self.occupancy_series.append((now, self._buffered_media))
 
@@ -115,6 +134,11 @@ class DelayBuffer:
     @property
     def playing(self) -> bool:
         return self.playout_started_at is not None
+
+    @property
+    def rebuffering(self) -> bool:
+        """Whether playback is currently paused refilling the buffer."""
+        return self._rebuffering
 
     def startup_delay(self, stream_start: float) -> Optional[float]:
         """Seconds from stream start to playout start, once playing."""

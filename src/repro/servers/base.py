@@ -26,6 +26,11 @@ from repro.servers.control import (
 from repro.servers.feedback import ReceiverReport
 from repro.servers.pacing import Pacer
 from repro.servers.session import ServerSession, SessionState
+from repro.telemetry.events import (
+    SERVER_CRASHED,
+    SERVER_PAUSED,
+    SERVER_RESUMED,
+)
 
 
 class StreamingServer:
@@ -60,6 +65,9 @@ class StreamingServer:
         self._next_media_port = control_port + 1000
         self.scaling_policy_factory = scaling_policy_factory
         self.scaling_controllers: Dict[int, object] = {}
+        #: Fault state: a crashed server drops every request unanswered
+        #: until :meth:`restart`.
+        self.crashed = False
         host.tcp.listen(control_port, self._on_connection)
 
     # ------------------------------------------------------------------
@@ -92,6 +100,10 @@ class StreamingServer:
 
     def _on_request(self, connection: TcpConnection,
                     message: object) -> None:
+        if self.crashed:
+            # A crashed server answers nothing: requests and keepalives
+            # time out on the client side, which is the whole point.
+            return
         if isinstance(message, ReceiverReport):
             controller = self.scaling_controllers.get(message.session_id)
             if controller is not None:
@@ -104,6 +116,7 @@ class StreamingServer:
             "SETUP": self._handle_setup,
             "PLAY": self._handle_play,
             "TEARDOWN": self._handle_teardown,
+            "KEEPALIVE": self._handle_keepalive,
         }.get(message.method)
         if handler is None:
             response = ControlResponse(status=501, method=message.method,
@@ -204,6 +217,52 @@ class StreamingServer:
         session.teardown()
         return ControlResponse(status=200, method="TEARDOWN",
                                session_id=session.session_id)
+
+    def _handle_keepalive(self, connection: TcpConnection,
+                          request: ControlRequest) -> ControlResponse:
+        session = self.sessions.get(request.session_id or -1)
+        if session is None or session.state == SessionState.TORN_DOWN:
+            return ControlResponse(status=454, method="KEEPALIVE",
+                                   reason="session not found")
+        return ControlResponse(status=200, method="KEEPALIVE",
+                               session_id=session.session_id)
+
+    # ------------------------------------------------------------------
+    # Fault injection (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def pause_all(self) -> None:
+        """Park every playing session's pacer (overload stand-in)."""
+        for session in self.sessions.values():
+            session.pause()
+        telemetry = self.host.sim.telemetry
+        if telemetry is not None:
+            telemetry.emit(SERVER_PAUSED, server=self.host.name)
+
+    def resume_all(self) -> None:
+        """Continue every paused session."""
+        for session in self.sessions.values():
+            session.resume()
+        telemetry = self.host.sim.telemetry
+        if telemetry is not None:
+            telemetry.emit(SERVER_RESUMED, server=self.host.name)
+
+    def crash(self) -> None:
+        """Die abruptly: sessions stop silently, requests go unanswered.
+
+        No EOS markers, no TEARDOWN acks — the clients' keepalives and
+        stall watchdogs are what detect it.  :meth:`restart` brings the
+        control plane back (sessions stay dead, as after a real crash).
+        """
+        self.crashed = True
+        for session in self.sessions.values():
+            session.crash()
+        telemetry = self.host.sim.telemetry
+        if telemetry is not None:
+            telemetry.emit(SERVER_CRASHED, server=self.host.name)
+
+    def restart(self) -> None:
+        """Bring a crashed server's control plane back up."""
+        self.crashed = False
 
     # ------------------------------------------------------------------
     # Subclass hook

@@ -8,6 +8,7 @@ analysis never depends on control-plane differences.  The exchange:
     DESCRIBE <clip>   -> 200 with ClipDescription
     SETUP <clip>      -> 200 with session id (client announces its UDP port)
     PLAY <session>    -> 200; media starts flowing over UDP
+    KEEPALIVE <session>-> 200 while the session lives (fault detection)
     TEARDOWN <session>-> 200; media stops
 
 Messages travel as structured objects over :mod:`repro.netsim.tcp`
@@ -46,7 +47,7 @@ class ClipDescription:
 class ControlRequest:
     """A client-to-server control message."""
 
-    method: str  # DESCRIBE | SETUP | PLAY | TEARDOWN
+    method: str  # DESCRIBE | SETUP | PLAY | KEEPALIVE | TEARDOWN
     clip_title: Optional[str] = None
     session_id: Optional[int] = None
     client_media_port: Optional[int] = None

@@ -63,6 +63,8 @@ class Pacer:
         self.datagrams_sent = 0
         self._sequence = 0
         self._stopped = False
+        self._paused = False
+        self._resume_pending = False
         #: Media scaling (paper §VI): 1.0 = full rate.  When scaled,
         #: the pacer sends fewer wire bytes per media second, so the
         #: budget ledger below counts *full-rate-equivalent* bytes.
@@ -106,6 +108,24 @@ class Pacer:
         """Abort streaming (TEARDOWN while playing)."""
         self._stopped = True
 
+    def pause(self) -> None:
+        """Park the send loop (fault injection: server pause).
+
+        The in-flight tick event still fires but sends nothing; it
+        marks itself parked so :meth:`resume` can restart exactly one
+        tick chain.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Continue a paused stream from where it left off."""
+        if not self._paused:
+            return
+        self._paused = False
+        if self._resume_pending:
+            self._resume_pending = False
+            self.sim.schedule_in(0.0, self._tick)
+
     def set_rate_scale(self, scale: float) -> None:
         """Apply media scaling: stream at ``scale ×`` the encoding rate.
 
@@ -140,6 +160,9 @@ class Pacer:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         if self._stopped:
+            return
+        if self._paused:
+            self._resume_pending = True
             return
         step = self._next_send()
         if step is None:

@@ -21,6 +21,7 @@ from repro.servers.pacing import Pacer
 class SessionState(Enum):
     READY = "ready"        # SETUP done, awaiting PLAY
     PLAYING = "playing"    # pacer running
+    PAUSED = "paused"      # fault injection: pacer parked mid-clip
     DONE = "done"          # clip fully streamed
     TORN_DOWN = "torn-down"
 
@@ -71,11 +72,40 @@ class ServerSession:
         if self.state == SessionState.PLAYING:
             self.state = SessionState.DONE
 
+    def pause(self) -> None:
+        """Park the pacer mid-clip (fault injection: server pause)."""
+        if self.state != SessionState.PLAYING or self.pacer is None:
+            return
+        self.pacer.pause()
+        self.state = SessionState.PAUSED
+
+    def resume(self) -> None:
+        """Continue a paused stream."""
+        if self.state != SessionState.PAUSED or self.pacer is None:
+            return
+        self.state = SessionState.PLAYING
+        self.pacer.resume()
+
+    def crash(self) -> None:
+        """Die silently: no EOS marker, no TEARDOWN response.
+
+        Unlike :meth:`teardown`, the client learns nothing — its
+        keepalives and the stall watchdog are what notice.
+        """
+        if self.state == SessionState.TORN_DOWN:
+            return
+        if self.pacer is not None:
+            self.pacer.stop()
+        if self.socket is not None:
+            self.socket.close()
+        self.state = SessionState.TORN_DOWN
+
     def teardown(self) -> None:
         """Stop streaming (if active) and release the media socket."""
         if self.state == SessionState.TORN_DOWN:
             return
-        if self.pacer is not None and self.state == SessionState.PLAYING:
+        if self.pacer is not None and self.state in (SessionState.PLAYING,
+                                                     SessionState.PAUSED):
             self.pacer.stop()
         if self.socket is not None:
             self.socket.close()

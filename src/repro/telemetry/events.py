@@ -45,10 +45,52 @@ REBUFFER_START = "rebuffer_start"
 #: Media arrived again after an underrun; playback resumes.
 REBUFFER_STOP = "rebuffer_stop"
 
+# ----------------------------------------------------------------------
+# Fault injection and recovery (repro.faults).
+# ----------------------------------------------------------------------
+
+#: The fault controller executed one scheduled fault event.
+FAULT_INJECTED = "fault_injected"
+#: A link direction went administratively down (packets now dropped).
+LINK_DOWN = "link_down"
+#: A down link came back up.
+LINK_UP = "link_up"
+#: A node dropped a packet because no route survived re-convergence.
+NO_ROUTE_DROP = "no_route_drop"
+#: The route manager finished recomputing tables after a link event.
+ROUTE_RECONVERGED = "route_reconverged"
+#: A reliable TCP connection retransmitted unacknowledged segments.
+TCP_RETRANSMIT = "tcp_retransmit"
+#: A reliable TCP connection gave up (retries exhausted / handshake).
+TCP_ABORT = "tcp_abort"
+#: A client keepalive went unanswered within its timeout.
+KEEPALIVE_MISS = "keepalive_miss"
+#: A client exhausted its keepalive retries; the session is dead.
+SESSION_LOST = "session_lost"
+#: The player's quality controller stepped down a level.
+QUALITY_DOWNSHIFT = "quality_downshift"
+#: The player's quality controller stepped back up a level.
+QUALITY_UPSHIFT = "quality_upshift"
+#: The stall watchdog ended a playback that stopped receiving media.
+PLAYER_STALLED = "player_stalled"
+#: End-of-stream never arrived; playback was closed by the timeout
+#: fallback with a deterministic stop time.
+EOS_TIMEOUT = "eos_timeout"
+#: A server paused all live sessions (fault injection).
+SERVER_PAUSED = "server_paused"
+#: A paused server resumed its sessions.
+SERVER_RESUMED = "server_resumed"
+#: A server crashed: sessions dropped silently, no EOS, no TEARDOWN ack.
+SERVER_CRASHED = "server_crashed"
+
 ALL_EVENT_TYPES: Tuple[str, ...] = (
     PACKET_ENQUEUED, QUEUE_DROP, PACKET_LOSS, PACKET_DELIVERED,
     FRAGMENT_EMITTED, REASSEMBLY_TIMEOUT, STREAM_START, STREAM_END,
     RATE_SWITCH, PLAYOUT_START, REBUFFER_START, REBUFFER_STOP,
+    FAULT_INJECTED, LINK_DOWN, LINK_UP, NO_ROUTE_DROP, ROUTE_RECONVERGED,
+    TCP_RETRANSMIT, TCP_ABORT, KEEPALIVE_MISS, SESSION_LOST,
+    QUALITY_DOWNSHIFT, QUALITY_UPSHIFT, PLAYER_STALLED, EOS_TIMEOUT,
+    SERVER_PAUSED, SERVER_RESUMED, SERVER_CRASHED,
 )
 
 

@@ -99,3 +99,91 @@ class TestMessaging:
         host_pair.sim.run()
         assert client.messages_sent == 2
         assert server.messages_received == 2
+
+
+class TestReliability:
+    """Retransmission policy: armed only for fault runs, inert otherwise."""
+
+    @staticmethod
+    def arm(host_pair, **overrides):
+        from repro.netsim.tcp import TcpReliability
+
+        policy = TcpReliability(**overrides)
+        host_pair.left.tcp.reliability = policy
+        host_pair.right.tcp.reliability = policy
+        return policy
+
+    def test_handshake_timeout_raises_instead_of_hanging(self, host_pair):
+        self.arm(host_pair, handshake_timeout=2.0)
+        client = host_pair.left.tcp.connect(host_pair.right.address, 9999)
+        with pytest.raises(SocketError, match="handshake timed out"):
+            host_pair.sim.run()
+        assert client.aborted
+        assert client.state == TcpState.CLOSED
+
+    def test_handshake_timeout_invokes_on_error(self, host_pair):
+        self.arm(host_pair, handshake_timeout=2.0)
+        client = host_pair.left.tcp.connect(host_pair.right.address, 9999)
+        errors = []
+        client.on_error = lambda conn, exc: errors.append((conn, exc))
+        host_pair.sim.run()
+        assert len(errors) == 1
+        assert errors[0][0] is client
+        assert "handshake timed out" in str(errors[0][1])
+        assert client.aborted
+
+    def test_retransmission_recovers_message_across_outage(self, host_pair):
+        self.arm(host_pair)
+        client, server = establish(host_pair)
+        inbox = []
+        server.on_message = lambda conn, msg: inbox.append(msg)
+        host_pair.link.set_up(False)
+        client.send_message({"method": "KEEPALIVE"}, 120)
+        host_pair.sim.run(until=host_pair.sim.now + 1.2)
+        assert inbox == []
+        host_pair.link.set_up(True)
+        host_pair.sim.run()
+        assert inbox == [{"method": "KEEPALIVE"}]
+        assert client.retransmits > 0
+        assert not client.aborted
+
+    def test_new_sends_do_not_postpone_the_timer(self, host_pair):
+        # The RTO times the *oldest* unacked segment; steady keepalive
+        # traffic must not keep resetting it (that starves recovery).
+        self.arm(host_pair)
+        client, server = establish(host_pair)
+        inbox = []
+        server.on_message = lambda conn, msg: inbox.append(msg)
+        host_pair.link.set_up(False)
+        start = host_pair.sim.now
+
+        def send_periodically():
+            if host_pair.sim.now - start < 4.0:
+                client.send_message("ka", 50)
+                host_pair.sim.schedule_in(0.4, send_periodically)
+
+        send_periodically()
+        host_pair.sim.run(until=start + 4.5)
+        assert client.retransmits > 0
+        host_pair.link.set_up(True)
+        host_pair.sim.run()
+        assert len(inbox) == client.messages_sent
+        assert not client.aborted
+
+    def test_retries_exhausted_aborts_loudly(self, host_pair):
+        self.arm(host_pair, max_retries=2)
+        client, _server = establish(host_pair)
+        host_pair.link.set_up(False)
+        client.send_message("doomed", 100)
+        with pytest.raises(SocketError, match="gave up"):
+            host_pair.sim.run()
+        assert client.aborted
+        assert client.state == TcpState.CLOSED
+
+    def test_without_policy_no_timers_no_retransmits(self, host_pair):
+        client, server = establish(host_pair)
+        server.on_message = lambda conn, msg: None
+        client.send_message("plain", 100)
+        host_pair.sim.run()
+        assert client.retransmits == 0
+        assert client._unacked == []
