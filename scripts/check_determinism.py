@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Determinism double-run: the same seed must survive hash randomization.
+
+Python randomizes ``str``/``bytes`` hashing per process unless
+``PYTHONHASHSEED`` pins it, so any code path that lets set/dict *hash*
+order reach an observable surface (iteration over a set of labels, a
+dict built from hashes) produces different bytes under different hash
+seeds — a determinism bug the usual same-process double-run can never
+catch.  This script runs one tiny seeded study in two fresh
+interpreters with *different* ``PYTHONHASHSEED`` values and compares
+the full digest surface; any mismatch exits 1.
+
+Usage:
+    python scripts/check_determinism.py [--seed N] [--scale F] [--set N]
+
+CI runs this on every push.  The ``--worker`` mode is internal (the
+parent invokes itself with it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+HASH_SEEDS = ("0", "1")
+
+
+def worker(seed: int, scale: float, set_number: int) -> int:
+    """Run the study in *this* process and print its surface digests."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.experiments.datasets import build_table1_library
+    from repro.experiments.runner import run_study
+    from repro.media.library import ClipLibrary
+    from repro.validate.differential import _fresh_telemetry, study_surface
+
+    full = build_table1_library(duration_scale=scale)
+    library = ClipLibrary()
+    library.add_set(full.get_set(set_number))
+    telemetry = _fresh_telemetry()
+    study = run_study(library=library, seed=seed, telemetry=telemetry,
+                      jobs=1)
+    print(json.dumps(study_surface(study, telemetry), sort_keys=True))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=424)
+    parser.add_argument("--scale", type=float, default=0.04)
+    parser.add_argument("--set", type=int, default=3, dest="set_number")
+    parser.add_argument("--worker", action="store_true",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.worker:
+        return worker(args.seed, args.scale, args.set_number)
+
+    surfaces = {}
+    for hash_seed in HASH_SEEDS:
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env.pop("PYTHONPATH", None)  # the worker bootstraps src itself
+        result = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--worker",
+             "--seed", str(args.seed), "--scale", str(args.scale),
+             "--set", str(args.set_number)],
+            capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
+        if result.returncode != 0:
+            print(f"worker (PYTHONHASHSEED={hash_seed}) failed:\n"
+                  f"{result.stderr}", file=sys.stderr)
+            return 1
+        surfaces[hash_seed] = json.loads(result.stdout)
+
+    first, second = (surfaces[seed] for seed in HASH_SEEDS)
+    mismatched = sorted(key for key in set(first) | set(second)
+                        if first.get(key) != second.get(key))
+    if mismatched:
+        print(f"DETERMINISM FAILURE: {len(mismatched)} surface(s) differ "
+              f"between PYTHONHASHSEED={HASH_SEEDS[0]} and "
+              f"{HASH_SEEDS[1]}:", file=sys.stderr)
+        for key in mismatched:
+            print(f"  {key}: {str(first.get(key))[:12]} != "
+                  f"{str(second.get(key))[:12]}", file=sys.stderr)
+        return 1
+    print(f"determinism ok: {len(first)} surfaces identical under "
+          f"PYTHONHASHSEED={HASH_SEEDS[0]} and {HASH_SEEDS[1]} "
+          f"(seed {args.seed}, set {args.set_number}, "
+          f"scale {args.scale})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@
   latency-attribution table; export Chrome-trace / JSONL artifacts.
 * ``faults``     — inject a named fault scenario into one pair run and
   print the recovery report (``--list`` shows the scenarios).
+* ``validate``   — run a seeded study with every runtime invariant
+  checked (``repro.validate``); ``--study`` runs the differential
+  oracle (sequential vs parallel vs cache), ``--golden`` re-checks the
+  pinned golden traces.  Non-zero exit on any violation or divergence.
 * ``cache``      — inspect or clear the persistent study cache.
 
 Studies fan out across worker processes with ``--jobs N`` (0 = one per
@@ -147,6 +151,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the run's trace-event stream as "
                              "JSON lines")
 
+    validate = commands.add_parser(
+        "validate", help="check a seeded study against the runtime "
+                         "invariant catalog; nonzero on any violation")
+    validate.add_argument("--seed", type=int, default=2002)
+    validate.add_argument("--scale", type=float, default=0.25,
+                          help="clip duration scale (default 0.25: the "
+                               "invariants hold at any scale)")
+    validate.add_argument("--set", type=int, default=None, dest="set_number",
+                          help="restrict to one Table 1 clip set "
+                               "(default: the full sweep)")
+    validate.add_argument("--faults", default=None, dest="fault_scenario",
+                          help="also arm a named fault scenario "
+                               "(see `repro faults --list`)")
+    validate.add_argument("--study", action="store_true",
+                          dest="differential",
+                          help="differential oracle: run the study "
+                               "sequentially, in parallel, and through "
+                               "the disk cache, and diff every surface")
+    validate.add_argument("--jobs", type=int, default=2,
+                          help="worker processes for the parallel leg "
+                               "of --study (default 2)")
+    validate.add_argument("--golden", action="store_true",
+                          help="re-run the pinned golden scenarios and "
+                               "diff their digests")
+
     cache = commands.add_parser(
         "cache", help="inspect or clear the persistent study cache")
     cache.add_argument("action", choices=["info", "clear"], nargs="?",
@@ -170,12 +199,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _usage_error(message: str) -> int:
+    """Report a bad argument on stderr; exit status 2, like argparse."""
+    print(message, file=sys.stderr)
+    return 2
+
+
+def _check_sweep_args(args: argparse.Namespace) -> Optional[int]:
+    """Shared ``--scale`` / ``--jobs`` sanity for the sweep commands."""
+    if args.scale <= 0:
+        return _usage_error(f"--scale must be positive, got {args.scale}")
+    if getattr(args, "jobs", 0) < 0:
+        return _usage_error(f"--jobs must be >= 0, got {args.jobs}")
+    return None
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     import time
 
     from repro.experiments.report import build_report
     from repro.experiments.runner import run_study
 
+    bad = _check_sweep_args(args)
+    if bad is not None:
+        return bad
     started = time.perf_counter()
     if args.no_cache:
         study = run_study(seed=args.seed, duration_scale=args.scale,
@@ -213,6 +260,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.figure_id!r}; choose from: "
               f"{', '.join(sorted(ALL_FIGURES))}", file=sys.stderr)
         return 2
+    if args.scale <= 0:
+        return _usage_error(f"--scale must be positive, got {args.scale}")
     study = run_study(seed=args.seed, duration_scale=args.scale)
     result = generator(study)
     print(result.render(plot=args.plots))
@@ -227,6 +276,16 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     from repro.experiments.tcp_friendly import run_probe
     from repro.media.clip import PlayerFamily
 
+    if args.kbps <= 0:
+        return _usage_error(f"kbps must be positive, got {args.kbps}")
+    if not 0.0 <= args.loss <= 1.0:
+        return _usage_error(
+            f"loss must be a fraction in [0, 1], got {args.loss}")
+    if args.rtt <= 0:
+        return _usage_error(f"--rtt must be positive, got {args.rtt}")
+    if args.duration <= 0:
+        return _usage_error(
+            f"--duration must be positive, got {args.duration}")
     family = (PlayerFamily.REAL if args.family == "real"
               else PlayerFamily.WMP)
     result = run_probe(family, args.kbps, loss_probability=args.loss,
@@ -252,6 +311,13 @@ def _cmd_boundary(args: argparse.Namespace) -> int:
     from repro.core.turbulence import TurbulenceProfile
     from repro.experiments.aggregate import run_boundary_study
 
+    if args.clients <= 0:
+        return _usage_error(f"--clients must be positive, got {args.clients}")
+    if args.duration <= 0:
+        return _usage_error(
+            f"--duration must be positive, got {args.duration}")
+    if args.kbps <= 0:
+        return _usage_error(f"--kbps must be positive, got {args.kbps}")
     result = run_boundary_study(client_count=args.clients,
                                 duration=args.duration,
                                 encoded_kbps=args.kbps, seed=args.seed)
@@ -283,6 +349,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
     from repro.media.clip import PlayerFamily
 
+    if args.kbps <= 0:
+        return _usage_error(f"kbps must be positive, got {args.kbps}")
+    if args.duration <= 0:
+        return _usage_error(
+            f"duration must be positive, got {args.duration}")
     family = (PlayerFamily.REAL if args.family == "real"
               else PlayerFamily.WMP)
     flow = generate_flow(family, args.kbps, args.duration, seed=args.seed)
@@ -306,8 +377,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_pcap_info(args: argparse.Namespace) -> int:
     from repro.capture.pcap import read_pcap
     from repro.capture.reassembly import fragmentation_percent
+    from repro.errors import ReproError
 
-    trace = read_pcap(args.path)
+    try:
+        trace = read_pcap(args.path)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"{args.path}: {len(trace)} packets, "
           f"{trace.total_wire_bytes / 1024:.0f} KiB, "
           f"{trace.duration:.1f}s")
@@ -324,6 +400,8 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_study
     from repro.experiments.scorecard import render_scorecard, run_scorecard
 
+    if args.scale <= 0:
+        return _usage_error(f"--scale must be positive, got {args.scale}")
     study = run_study(seed=args.seed, duration_scale=args.scale)
     results = run_scorecard(study)
     print(render_scorecard(results))
@@ -348,6 +426,9 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         print(f"--top must be a positive integer, got {args.top}",
               file=sys.stderr)
         return 2
+    bad = _check_sweep_args(args)
+    if bad is not None:
+        return bad
     sinks = [MemorySink()]
     if args.events:
         sinks.append(JsonlSink(args.events))
@@ -479,6 +560,9 @@ def _cmd_spans(args: argparse.Namespace) -> int:
         print(f"--top must be a positive integer, got {args.top}",
               file=sys.stderr)
         return 2
+    bad = _check_sweep_args(args)
+    if bad is not None:
+        return bad
     recorder = SpanRecorder()
     telemetry = Telemetry(spans=recorder)
     study = run_study(seed=args.seed, duration_scale=args.scale,
@@ -586,6 +670,81 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.datasets import build_table1_library
+    from repro.experiments.runner import run_study
+    from repro.faults import build_scenario
+    from repro.media.library import ClipLibrary
+    from repro.validate import (
+        GOLDEN_SCENARIOS,
+        RunValidator,
+        check_golden,
+        run_differential,
+    )
+
+    if args.scale <= 0:
+        return _usage_error(f"--scale must be positive, got {args.scale}")
+    if args.jobs < 0:
+        return _usage_error(f"--jobs must be >= 0, got {args.jobs}")
+
+    if args.golden:
+        failures = 0
+        for name in sorted(GOLDEN_SCENARIOS):
+            mismatches = check_golden(GOLDEN_SCENARIOS[name])
+            if mismatches:
+                failures += 1
+                print(f"golden {name}: {len(mismatches)} mismatch"
+                      f"{'es' if len(mismatches) != 1 else ''}")
+                for entry in mismatches:
+                    print(f"  ! {entry}")
+            else:
+                print(f"golden {name}: ok")
+        return 1 if failures else 0
+
+    library = None
+    if args.set_number is not None:
+        full = build_table1_library(duration_scale=args.scale)
+        try:
+            clip_set = full.get_set(args.set_number)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        library = ClipLibrary()
+        library.add_set(clip_set)
+
+    scenario = None
+    if args.fault_scenario is not None:
+        try:
+            scenario = build_scenario(args.fault_scenario, args.seed)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.differential:
+        report = run_differential(seed=args.seed,
+                                  duration_scale=args.scale,
+                                  jobs=args.jobs, library=library,
+                                  scenario=scenario)
+        print(f"# differential oracle (seed {args.seed}, "
+              f"scale {args.scale})\n")
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    validator = RunValidator(raise_on_violation=False)
+    # build_table1_library already applied the scale when --set was
+    # given; run_study applies it itself for the full sweep.
+    study = run_study(library=library, seed=args.seed,
+                      duration_scale=args.scale, jobs=1,
+                      scenario=scenario, validate=validator)
+    print(f"# invariant check: {len(study)} pair runs "
+          f"(seed {args.seed}, scale {args.scale}"
+          + (f", faults {args.fault_scenario}"
+             if args.fault_scenario else "") + ")\n")
+    print(validator.report())
+    return 1 if validator.violations else 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.cache import (
         cache_dir,
@@ -616,6 +775,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "study": _cmd_study,
     "faults": _cmd_faults,
+    "validate": _cmd_validate,
     "cache": _cmd_cache,
     "telemetry": _cmd_telemetry,
     "spans": _cmd_spans,

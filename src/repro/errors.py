@@ -62,3 +62,21 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment run was misconfigured or produced no data."""
+
+
+class ValidationError(ReproError):
+    """A run violated a conservation-law or sanity invariant.
+
+    Raised by :class:`repro.validate.RunValidator` when
+    ``raise_on_violation`` is set; carries the full list of
+    :class:`~repro.validate.checker.Violation` records so callers can
+    inspect every failed invariant, not just the first.
+    """
+
+    def __init__(self, violations) -> None:
+        self.violations = list(violations)
+        count = len(self.violations)
+        head = "; ".join(str(v) for v in self.violations[:3])
+        more = f" (+{count - 3} more)" if count > 3 else ""
+        super().__init__(f"{count} invariant violation"
+                         f"{'s' if count != 1 else ''}: {head}{more}")

@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.capture.sniffer import Sniffer
 from repro.capture.trace import Trace
@@ -45,6 +45,9 @@ from repro.telemetry.core import Telemetry
 from repro.tools.ping import PingReport, run_ping
 from repro.tools.stability import StabilityVerdict, verify_stability
 from repro.tools.tracert import TracerouteReport, run_tracert
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.validate.checker import RunValidator
 
 
 @dataclass
@@ -157,6 +160,7 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
                         preroll_seconds: float = 5.0,
                         telemetry: Optional[Telemetry] = None,
                         scenario: Optional[FaultScenario] = None,
+                        validate: Optional["RunValidator"] = None,
                         ) -> PairRunResult:
     """Run the simultaneous-stream methodology for one clip pair.
 
@@ -172,14 +176,21 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
             retransmission, server media scaling, and player graceful
             degradation — none of which is active (or costs a single
             scheduled event) on a plain run.
+        validate: optional :class:`~repro.validate.checker.RunValidator`;
+            its invariant sweep runs once the streams are done (after
+            the post-run stability check, before results assemble).
+            Validation schedules nothing, so the run itself is
+            byte-identical with or without it.
 
     Raises:
         ExperimentError: if a stream never finishes within the safety
             horizon (indicates a modeling bug, not a network condition).
             Under a fault scenario an unfinished stream is an expected
             outcome and is finalized deterministically instead.
+        ValidationError: if ``validate`` finds violations and is
+            configured to raise.
     """
-    sim = Simulator(seed=seed, telemetry=telemetry)
+    sim = Simulator(seed=seed, telemetry=telemetry, validate=validate)
     if conditions is None:
         conditions = sample_conditions(sim.streams.stream("conditions"))
     topology = build_path_topology(
@@ -250,6 +261,10 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
     stability = verify_stability(ping_before, ping_after,
                                  tracert_report, tracert_after)
 
+    if validate is not None:
+        validate.check_run(run=f"set{clip_set.number}-{pair.band.short}",
+                           seed=seed)
+
     return PairRunResult(
         set_number=clip_set.number, genre=clip_set.genre, band=pair.band,
         conditions=conditions, real_clip=pair.real, wmp_clip=pair.wmp,
@@ -291,7 +306,8 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
               loss_probability: float = 0.0,
               telemetry: Optional[Telemetry] = None,
               jobs: int = 1,
-              scenario: Optional[FaultScenario] = None) -> StudyResults:
+              scenario: Optional[FaultScenario] = None,
+              validate: Optional["RunValidator"] = None) -> StudyResults:
     """Run the full Table 1 sweep (the corpus behind every figure).
 
     Args:
@@ -313,11 +329,24 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
         scenario: optional fault schedule applied to *every* pair run
             of the sweep (the scenario is pure data, so workers rebuild
             their fault controllers from it independently).
+        validate: optional :class:`~repro.validate.checker.RunValidator`
+            shared by every pair run of the sweep; each run gets an
+            invariant sweep at its end.  Sequential execution only —
+            the validator holds live object references and cannot
+            cross a process boundary.
+
+    Raises:
+        ExperimentError: for ``validate`` combined with ``jobs > 1``.
     """
     if library is None:
         library = build_table1_library(duration_scale=duration_scale)
     jobs = resolve_jobs(jobs)
     pairs = library.all_pairs()
+    if validate is not None and jobs > 1:
+        raise ExperimentError(
+            "validation requires sequential execution (jobs=1): the "
+            "validator inspects live simulation objects and cannot "
+            "cross a worker-process boundary")
     if jobs > 1 and len(pairs) > 1:
         from repro.experiments.parallel import run_study_parallel
 
@@ -334,7 +363,7 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
                                       f"{pair.band.short}")
         results.runs.append(run_pair_experiment(
             clip_set, pair, seed=seed + index, conditions=conditions,
-            telemetry=telemetry, scenario=scenario))
+            telemetry=telemetry, scenario=scenario, validate=validate))
     if telemetry is not None:
         telemetry.clear_context()
     return results

@@ -23,6 +23,7 @@ _heappop = heapq.heappop
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry.core import Telemetry
+    from repro.validate.checker import RunValidator
 
 
 class Event:
@@ -81,16 +82,23 @@ class Simulator:
             and instrumented layers (links, IP, pacers, buffers) will
             find it via ``sim.telemetry``; its profiler, if any,
             samples every :meth:`run`.
+        validate: optional :class:`~repro.validate.checker.RunValidator`.
+            When given, instrumented layers self-register via
+            ``sim.validator`` at construction so the validator can
+            sweep their conservation laws at run end.  Attaching a
+            validator schedules no events and perturbs nothing.
 
     Attributes:
         now: current simulated time in seconds.
         streams: named, independently-seeded random streams.
         telemetry: the attached facade, or None (the default — every
             instrumented path is a no-op then).
+        validator: the attached validator, or None (the default).
     """
 
     def __init__(self, seed: int = 0,
-                 telemetry: Optional["Telemetry"] = None) -> None:
+                 telemetry: Optional["Telemetry"] = None,
+                 validate: Optional["RunValidator"] = None) -> None:
         self.now: float = 0.0
         self.streams = RandomStreams(seed)
         self._heap: List[Event] = []
@@ -99,8 +107,11 @@ class Simulator:
         self._event_count = 0
         self._pending = 0
         self.telemetry = telemetry
+        self.validator = validate
         if telemetry is not None:
             telemetry.bind(self)
+        if validate is not None:
+            validate.bind(self)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -150,6 +150,8 @@ class IpLayer:
         self._handlers: Dict[IpProtocol, Callable[[Datagram], None]] = {}
         self._buffers: Dict[Tuple[IPAddress, IPAddress, int, IpProtocol],
                             ReassemblyBuffer] = {}
+        if host.sim.validator is not None:
+            host.sim.validator.register_ip(self)
 
     # ------------------------------------------------------------------
     # Upward interface

@@ -138,6 +138,10 @@ class _Direction:
         self._busy = False
         self._up = True
         self._last_delivery = 0.0
+        #: Packets polled off the queue but not yet handed to the sink
+        #: (serializing or propagating).  The validator's conservation
+        #: law counts these; a plain int, maintained unconditionally.
+        self._in_flight = 0
         self.stats = DirectionStats()
         # Telemetry handles are resolved once, here: the facade is
         # attached at Simulator construction, before any topology
@@ -229,6 +233,7 @@ class _Direction:
             self._busy = False
             return
         self._busy = True
+        self._in_flight += 1
         if self._spans is not None and packet.span is not None:
             self._spans.tx_started(packet, self._sim.now, self._label)
         tx_delay = units.transmission_delay(packet.wire_bytes,
@@ -250,6 +255,7 @@ class _Direction:
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:
+        self._in_flight -= 1
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.ip_bytes
         if self._telemetry is not None:
@@ -304,6 +310,8 @@ class Link:
                                    label=f"{b.name}->{a.name}")
         a.attach(self, b)
         b.attach(self, a)
+        if sim.validator is not None:
+            sim.validator.register_link(self)
 
     # ------------------------------------------------------------------
     # Fault injection (repro.faults drives these mid-run)

@@ -122,6 +122,8 @@ class TcpConnection:
         self._retries = 0
         self._timer_generation = 0
         self._opened_at = layer.host.sim.now
+        if layer.host.sim.validator is not None:
+            layer.host.sim.validator.register_connection(self)
 
     # ------------------------------------------------------------------
     # Sending

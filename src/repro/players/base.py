@@ -135,6 +135,8 @@ class StreamingClient:
         self._last_media_at: Optional[float] = None
         self._keepalive_acked_at: Optional[float] = None
         self._keepalive_misses = 0
+        if host.sim.validator is not None:
+            host.sim.validator.register_player(self)
 
     # ------------------------------------------------------------------
     # Public API

@@ -69,6 +69,10 @@ class Pacer:
         #: the pacer sends fewer wire bytes per media second, so the
         #: budget ledger below counts *full-rate-equivalent* bytes.
         self.rate_scale = 1.0
+        #: Whether media scaling was ever engaged; on a never-scaled
+        #: stream the validator holds ``bytes_sent`` to the budget
+        #: ledger exactly.
+        self._rate_scaled = False
         self._budget_consumed = 0.0
         # Frame bookkeeping: cumulative byte offsets of frame ends let
         # each datagram name the frames it completes.
@@ -93,6 +97,8 @@ class Pacer:
                                                 family=family)
             self._hist_size = registry.histogram("pacer.datagram_bytes",
                                                  family=family)
+        if sim.validator is not None:
+            sim.validator.register_pacer(self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -143,6 +149,8 @@ class Pacer:
                                  reason="media_scaling",
                                  from_scale=round(self.rate_scale, 6),
                                  to_scale=round(scale, 6))
+        if scale != 1.0:
+            self._rate_scaled = True
         self.rate_scale = scale
 
     @property

@@ -1,0 +1,46 @@
+"""repro.validate — runtime invariant checking and differential oracles.
+
+Three layers of self-validation for the testbed (see ARCHITECTURE.md
+for the catalog and diagram):
+
+* :class:`RunValidator` — opt-in conservation-law checking over live
+  simulation objects, hooked via ``Simulator(validate=...)`` and swept
+  at run end.
+* :func:`run_differential` — the same seeded study executed
+  sequentially, in parallel, and through the disk cache, with every
+  observable surface digest-diffed.
+* :mod:`repro.validate.golden` — canonical seeded runs pinned to
+  checked-in digests under ``tests/golden/``.
+"""
+
+from repro.errors import ValidationError
+from repro.validate.checker import (
+    INVARIANT_NAMES,
+    RunValidator,
+    Violation,
+)
+from repro.validate.differential import (
+    DifferentialReport,
+    run_differential,
+    study_surface,
+)
+from repro.validate.golden import (
+    GOLDEN_SCENARIOS,
+    GoldenScenario,
+    check_golden,
+    compute_golden,
+)
+
+__all__ = [
+    "INVARIANT_NAMES",
+    "RunValidator",
+    "Violation",
+    "ValidationError",
+    "DifferentialReport",
+    "run_differential",
+    "study_surface",
+    "GOLDEN_SCENARIOS",
+    "GoldenScenario",
+    "check_golden",
+    "compute_golden",
+]

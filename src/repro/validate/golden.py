@@ -1,0 +1,161 @@
+"""Golden-trace regression suite: canonical runs with pinned digests.
+
+The differential oracle (:mod:`repro.validate.differential`) proves the
+execution paths agree with *each other*; the goldens pin them to
+*history*.  Each golden scenario is a small, fully-seeded study — one
+clip set, short clips — whose complete observable surface (trace CSV,
+tracker logs, run metadata, telemetry summary, event stream, span
+forest) is digested and checked into ``tests/golden/``.  Any commit
+that shifts a single packet, event, or span in these runs fails the
+regression test and must either fix the regression or consciously
+re-pin via ``python scripts/update_goldens.py``.
+
+Two scenarios cover the two regimes the simulator runs in: a plain
+baseline pair study, and the same study under a fault scenario (the
+robustness stack armed, mid-run link flaps) — the path PR 4 added and
+the one most likely to perturb event ordering.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro._version import __version__
+from repro.experiments.datasets import build_table1_library
+from repro.experiments.runner import run_study
+from repro.faults.scenario import build_scenario
+from repro.media.library import ClipLibrary
+from repro.validate.differential import _fresh_telemetry, study_surface
+
+#: Schema marker inside every golden file; bump on format changes so a
+#: stale checkout fails loudly instead of diffing apples to oranges.
+GOLDEN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One pinned canonical run."""
+
+    name: str
+    description: str
+    seed: int
+    set_number: int
+    duration_scale: float
+    fault: Optional[str] = None  # fault-scenario name, or None
+
+
+GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
+    scenario.name: scenario for scenario in (
+        GoldenScenario(
+            name="baseline_pair",
+            description="One clip set, both servers, clean network — "
+                        "the paper's base methodology in miniature",
+            seed=424, set_number=3, duration_scale=0.04),
+        GoldenScenario(
+            name="fault_linkflap",
+            description="The same set with the robustness stack armed "
+                        "and the access link flapping mid-run",
+            seed=424, set_number=3, duration_scale=0.12,
+            fault="link-flap"),
+    )
+}
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden/`` of this checkout (repo-layout resolution)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_path(name: str, directory: Optional[Path] = None) -> Path:
+    directory = directory if directory is not None else default_golden_dir()
+    return directory / f"{name}.json"
+
+
+def _scenario_library(scenario: GoldenScenario) -> ClipLibrary:
+    full = build_table1_library(duration_scale=scenario.duration_scale)
+    library = ClipLibrary()
+    library.add_set(full.get_set(scenario.set_number))
+    return library
+
+
+def compute_golden(scenario: GoldenScenario) -> Dict[str, object]:
+    """Run the scenario and return its golden document.
+
+    The document carries the parameters alongside the digests so a
+    drifted definition (changed seed, different set) is distinguishable
+    from a behavioral regression.
+    """
+    fault = (build_scenario(scenario.fault, scenario.seed)
+             if scenario.fault is not None else None)
+    telemetry = _fresh_telemetry()
+    study = run_study(library=_scenario_library(scenario),
+                      seed=scenario.seed, telemetry=telemetry,
+                      jobs=1, scenario=fault)
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "seed": scenario.seed,
+        "set_number": scenario.set_number,
+        "duration_scale": scenario.duration_scale,
+        "fault": scenario.fault,
+        "digests": study_surface(study, telemetry),
+    }
+
+
+def write_golden(document: Dict[str, object], path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+
+
+def load_golden(path: Path) -> Dict[str, object]:
+    return json.loads(path.read_text())
+
+
+def compare_golden(expected: Dict[str, object],
+                   actual: Dict[str, object]) -> List[str]:
+    """Every way ``actual`` disagrees with the checked-in ``expected``.
+
+    Returns an empty list when the run still matches its golden.  A
+    non-empty result means either a regression or an intentional
+    behavior change; the refresher workflow is::
+
+        python scripts/update_goldens.py   # inspect the diff, commit
+    """
+    mismatches: List[str] = []
+    for field in ("schema", "scenario", "seed", "set_number",
+                  "duration_scale", "fault"):
+        if expected.get(field) != actual.get(field):
+            mismatches.append(
+                f"{field}: golden has {expected.get(field)!r}, "
+                f"run produced {actual.get(field)!r}")
+    expected_digests = expected.get("digests", {})
+    actual_digests = actual.get("digests", {})
+    for key in sorted(expected_digests):
+        if key not in actual_digests:
+            mismatches.append(f"surface {key} missing from the run")
+        elif actual_digests[key] != expected_digests[key]:
+            mismatches.append(
+                f"{key}: digest {actual_digests[key][:12]} != golden "
+                f"{expected_digests[key][:12]}")
+    for key in sorted(actual_digests):
+        if key not in expected_digests:
+            mismatches.append(f"surface {key} not pinned in the golden")
+    return mismatches
+
+
+def check_golden(scenario: GoldenScenario,
+                 directory: Optional[Path] = None) -> List[str]:
+    """Recompute one scenario and diff it against its checked-in file.
+
+    Returns the mismatch list; a missing golden file is reported as a
+    single mismatch pointing at the refresher script.
+    """
+    path = golden_path(scenario.name, directory)
+    if not path.is_file():
+        return [f"golden file {path} missing — run "
+                "`python scripts/update_goldens.py` and commit it"]
+    return compare_golden(load_golden(path), compute_golden(scenario))

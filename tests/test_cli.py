@@ -209,3 +209,52 @@ class TestSpansCommand:
         monkeypatch.setattr(runner, "run_study", lambda **kwargs: [])
         assert main(["spans", "--seed", "5", "--scale", "0.01"]) == 1
         assert "no completed ADU traces" in capsys.readouterr().err
+
+
+class TestBadArgumentExitCodes:
+    """Every subcommand's bad-argument paths: stderr message, status 2."""
+
+    @pytest.mark.parametrize("argv,needle", [
+        (["study", "--scale", "0"], "--scale"),
+        (["study", "--scale", "-1"], "--scale"),
+        (["study", "--jobs", "-1"], "--jobs"),
+        (["telemetry", "--scale", "0"], "--scale"),
+        (["telemetry", "--jobs", "-2"], "--jobs"),
+        (["spans", "--scale", "-0.5"], "--scale"),
+        (["spans", "--jobs", "-1"], "--jobs"),
+        (["figure", "fig02", "--scale", "0"], "--scale"),
+        (["scorecard", "--scale", "0"], "--scale"),
+        (["generate", "wmp", "0", "10"], "kbps"),
+        (["generate", "wmp", "-5", "10"], "kbps"),
+        (["generate", "wmp", "100", "0"], "duration"),
+        (["probe", "wmp", "0", "0.1"], "kbps"),
+        (["probe", "wmp", "100", "1.5"], "loss"),
+        (["probe", "wmp", "100", "-0.1"], "loss"),
+        (["probe", "wmp", "100", "0.1", "--rtt", "0"], "--rtt"),
+        (["probe", "wmp", "100", "0.1", "--duration", "0"], "--duration"),
+        (["boundary", "--clients", "0"], "--clients"),
+        (["boundary", "--duration", "0"], "--duration"),
+        (["boundary", "--kbps", "0"], "--kbps"),
+        (["faults", "no-such-scenario"], "unknown fault scenario"),
+        (["faults", "link-flap", "--scale", "0"], "--scale"),
+        (["validate", "--scale", "0"], "--scale"),
+        (["validate", "--jobs", "-1"], "--jobs"),
+    ])
+    def test_bad_argument_exits_two(self, argv, needle, capsys):
+        assert main(argv) == 2
+        assert needle in capsys.readouterr().err
+
+    def test_pcap_info_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["pcap-info", str(tmp_path / "nope.pcap")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_pcap_info_garbage_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "garbage.pcap"
+        path.write_bytes(b"this is not a capture file at all")
+        assert main(["pcap-info", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_subcommand_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no-such-command"])
+        assert excinfo.value.code == 2

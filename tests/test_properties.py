@@ -145,6 +145,155 @@ class TestPcapRoundTripProperty:
             assert after.time == pytest.approx(before.time, abs=1e-6)
 
 
+class TestIpFragmentationProperty:
+    @given(mtu=st.integers(min_value=96, max_value=1500),
+           sizes=st.lists(st.integers(min_value=1, max_value=10_000),
+                          min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trips_for_arbitrary_sizes_and_mtus(self, mtu, sizes):
+        from repro import units
+
+        sim = Simulator(seed=1)
+        pair = HostPair(sim, mtu=mtu)
+        received = []
+        sink = pair.right.udp.bind(7000)
+        sink.on_receive = received.append
+        source = pair.left.udp.bind_ephemeral()
+        for index, size in enumerate(sizes):
+            # Space the sends out so even a worst-case fragment train
+            # never overflows the link's drop-tail queue.
+            sim.schedule_at(index * 0.1, source.send,
+                            pair.right.address, 7000, size)
+        sim.run()
+        assert sorted(d.payload_bytes for d in received) == sorted(sizes)
+        max_unfragmented = (mtu - units.IPV4_HEADER_BYTES
+                            - units.UDP_HEADER_BYTES)
+        for datagram in received:
+            fragmented = datagram.payload_bytes > max_unfragmented
+            assert (datagram.fragment_count >= 2) == fragmented
+        # Reassembly left nothing behind on either host.
+        assert pair.right.ip.pending_reassemblies == 0
+        assert pair.left.ip.pending_reassemblies == 0
+
+
+class TestTcpLossRecoveryProperty:
+    @given(probability=st.floats(min_value=0.0, max_value=0.25),
+           loss_seed=st.integers(min_value=0, max_value=1000),
+           count=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_reliable_tcp_delivers_in_order_under_loss(
+            self, probability, loss_seed, count):
+        from repro import units
+        from repro.netsim.addressing import IPAddress
+        from repro.netsim.link import Link, LossModel
+        from repro.netsim.node import Host
+        from repro.netsim.tcp import MSS_BYTES, TcpReliability
+
+        sim = Simulator(seed=1)
+        left = Host(sim, "left", IPAddress.parse("10.0.0.1"))
+        right = Host(sim, "right", IPAddress.parse("10.0.0.2"))
+        Link(sim, left, right, bandwidth_bps=units.mbps(100),
+             propagation_delay=0.001,
+             loss=LossModel(probability, random.Random(loss_seed),
+                            spare_tcp=False))
+        left.routing.set_default(right)
+        right.routing.set_default(left)
+        policy = TcpReliability(rto_initial=0.2, rto_max=1.0,
+                                max_retries=30, handshake_timeout=60.0)
+        left.tcp.reliability = policy
+        right.tcp.reliability = policy
+
+        inbox = []
+        accepted = []
+
+        def on_accept(conn):
+            accepted.append(conn)
+            conn.on_message = lambda c, msg: inbox.append(msg)
+
+        right.tcp.listen(554, on_accept)
+        client = left.tcp.connect(right.address, 554)
+        client.on_established = lambda conn: [
+            conn.send_message(i, MSS_BYTES + 17) for i in range(count)]
+        sim.run()
+        assert len(accepted) == 1
+        assert inbox == list(range(count))
+        assert accepted[0].messages_received == count
+        if probability == 0.0:
+            assert client.retransmits == 0
+
+
+class TestTelemetryMergeProperty:
+    INCREMENTS = st.lists(
+        st.tuples(st.sampled_from(["pkts", "drops", "bytes"]),
+                  st.sampled_from(["a", "b", "c"]),
+                  st.integers(min_value=1, max_value=100)),
+        min_size=0, max_size=12)
+
+    @staticmethod
+    def _snapshot(increments, tag):
+        from repro.telemetry import MemorySink, Telemetry
+
+        worker = Telemetry(sinks=[MemorySink(capacity=None)])
+        for name, label, amount in increments:
+            worker.counter(name, link=label).inc(amount)
+        worker.emit("worker.done", worker_tag=tag,
+                    increments=len(increments))
+        return worker.snapshot()
+
+    @staticmethod
+    def _counter_totals(telemetry):
+        return {(name, str(labels)): counter.value
+                for name, labels, counter
+                in telemetry.registry.counters()}
+
+    @given(first=INCREMENTS, second=INCREMENTS, third=INCREMENTS)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_associative(self, first, second, third):
+        from repro.telemetry import MemorySink, Telemetry
+
+        # A snapshot is consumed by merging (the facade adopts its
+        # instrument objects), so each fold rebuilds fresh ones from
+        # the same increment lists — exactly one merge per snapshot,
+        # as the parallel study runner does.
+        workers = (first, second, third)
+
+        flat = Telemetry(sinks=[MemorySink(capacity=None)])
+        for tag, increments in enumerate(workers):
+            flat.merge(self._snapshot(increments, tag))
+
+        # (second + third) pre-merged into an intermediate facade, its
+        # snapshot then folded after first: same totals, same stream.
+        intermediate = Telemetry(sinks=[MemorySink(capacity=None)])
+        intermediate.merge(self._snapshot(second, 1))
+        intermediate.merge(self._snapshot(third, 2))
+        grouped = Telemetry(sinks=[MemorySink(capacity=None)])
+        grouped.merge(self._snapshot(first, 0))
+        grouped.merge(intermediate.snapshot())
+
+        assert self._counter_totals(flat) == self._counter_totals(grouped)
+        assert ([(e.type, e.time, e.fields) for e in flat.memory_events()]
+                == [(e.type, e.time, e.fields)
+                    for e in grouped.memory_events()])
+
+    @given(increments=st.lists(INCREMENTS, min_size=2, max_size=4),
+           order_seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_counter_totals_are_order_independent(self, increments,
+                                                  order_seed):
+        from repro.telemetry import MemorySink, Telemetry
+
+        ordered = Telemetry(sinks=[MemorySink(capacity=None)])
+        for tag, part in enumerate(increments):
+            ordered.merge(self._snapshot(part, tag))
+        shuffled_parts = list(enumerate(increments))
+        random.Random(order_seed).shuffle(shuffled_parts)
+        shuffled = Telemetry(sinks=[MemorySink(capacity=None)])
+        for tag, part in shuffled_parts:
+            shuffled.merge(self._snapshot(part, tag))
+        assert (self._counter_totals(ordered)
+                == self._counter_totals(shuffled))
+
+
 class TestFilterAlgebraProperty:
     FIELD_EXPRESSIONS = st.sampled_from([
         "udp", "tcp", "icmp", "ip.frag", "ip.frag.trailing",
