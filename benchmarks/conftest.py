@@ -40,7 +40,8 @@ def pytest_sessionfinish(session, exitstatus):
     if bench_session is None:
         return
     substrate = [bench for bench in bench_session.benchmarks
-                 if "bench_substrate_micro" in bench.fullname]
+                 if "bench_substrate_micro" in bench.fullname
+                 or "bench_cc_abr" in bench.fullname]
     path = os.environ.get(
         "BENCH_SUBSTRATE_JSON",
         os.path.join(str(session.config.rootdir), "BENCH_substrate.json"))

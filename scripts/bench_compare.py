@@ -30,6 +30,8 @@ GUARDED = frozenset({
     "test_bench_event_loop",
     "test_bench_study_sequential",
     "test_bench_study_parallel",
+    "test_bench_study_aimd",
+    "test_bench_study_abr",
 })
 
 DEFAULT_THRESHOLD = 0.25

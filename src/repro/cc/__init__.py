@@ -1,0 +1,39 @@
+"""Pluggable congestion control for the streaming servers.
+
+The 2002 transports are fixed-rate by construction: WMS paces CBR and
+RealServer front-loads a buffering burst.  This package adds the
+"modern" axis — a :class:`CongestionControl` interface driven by
+receiver reports, with deterministic AIMD (Reno-style) and
+delay-gradient (GCC-style) implementations plus a null controller that
+reproduces the 2002 behavior byte-identically by never arming any of
+the feedback machinery.
+"""
+
+from repro.cc.base import (
+    CC_MAX_RATE_BPS,
+    CC_MIN_RATE_BPS,
+    CcConfig,
+    CongestionControl,
+    cc_descriptions,
+    cc_names,
+)
+from repro.cc.abr import AbrConfig, choose_rung
+from repro.cc.aimd import AimdCongestionControl
+from repro.cc.controller import CcSessionController
+from repro.cc.gcc import DelayGradientCongestionControl
+from repro.cc.null import NullCongestionControl
+
+__all__ = [
+    "CC_MAX_RATE_BPS",
+    "CC_MIN_RATE_BPS",
+    "AbrConfig",
+    "AimdCongestionControl",
+    "CcConfig",
+    "CcSessionController",
+    "CongestionControl",
+    "DelayGradientCongestionControl",
+    "NullCongestionControl",
+    "cc_descriptions",
+    "cc_names",
+    "choose_rung",
+]

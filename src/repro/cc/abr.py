@@ -1,0 +1,91 @@
+"""Adaptive-bitrate configuration and rung selection.
+
+The ladder is expressed as fractions of a clip's native encoded rate,
+so the same config serves every Table 1 clip set: rung ``1.0`` is the
+2002 encode, lower rungs are the quality levels a DASH-era encoder
+would have offered.  Selection is the textbook hybrid: throughput
+picks the sustainable rung (with a safety margin), the playout buffer
+gates upshifts and forces emergency downshifts, and a hold timer adds
+hysteresis so a steady degraded link settles on one rung instead of
+oscillating.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+DEFAULT_RUNGS = (0.3, 0.45, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class AbrConfig:
+    """Picklable ladder + policy knobs with a cache-key fingerprint."""
+
+    segment_seconds: float = 2.0
+    rungs: Tuple[float, ...] = DEFAULT_RUNGS
+    download_factor: float = 2.5   # segment download rate vs rung rate
+    safety: float = 0.85           # throughput headroom for selection
+    low_water: float = 1.5         # buffer (s): emergency downshift
+    high_water: float = 4.0        # buffer (s): required for upshift
+    hold_seconds: float = 3.0      # min dwell time between upshifts
+
+    def __post_init__(self) -> None:
+        if self.segment_seconds <= 0:
+            raise ReproError("segment_seconds must be positive")
+        if not self.rungs:
+            raise ReproError("the rung ladder cannot be empty")
+        if any(r <= 0 or r > 1.0 for r in self.rungs):
+            raise ReproError("rungs must be fractions in (0, 1]")
+        if tuple(sorted(self.rungs)) != self.rungs:
+            raise ReproError("rungs must be sorted ascending")
+        if self.download_factor <= 1.0:
+            raise ReproError("download_factor must exceed 1.0")
+        if not 0 < self.safety <= 1.0:
+            raise ReproError("safety must be in (0, 1]")
+        if self.low_water >= self.high_water:
+            raise ReproError("low_water must sit below high_water")
+
+    def fingerprint(self) -> str:
+        material = json.dumps(
+            {"segment_seconds": self.segment_seconds,
+             "rungs": list(self.rungs),
+             "download_factor": self.download_factor,
+             "safety": self.safety,
+             "low_water": self.low_water,
+             "high_water": self.high_water,
+             "hold_seconds": self.hold_seconds},
+            sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(f"abr\n{material}".encode()).hexdigest()[:16]
+        return f"abr:{digest}"
+
+
+def choose_rung(config: AbrConfig, current: int,
+                throughput_bps: Optional[float], native_bps: float,
+                buffer_seconds: float, held_seconds: float) -> int:
+    """The next rung index given the measured state.
+
+    Downshifts act immediately (throughput-unsustainable rungs are
+    abandoned, and a buffer under ``low_water`` drops one rung even if
+    throughput looks fine).  Upshifts climb one rung at a time and only
+    when the buffer is above ``high_water`` AND the current rung has
+    been held for ``hold_seconds`` — the hysteresis that prevents
+    oscillation on a steady degraded link.
+    """
+    if throughput_bps is None:
+        return current
+    budget = config.safety * throughput_bps
+    safe = 0
+    for index, fraction in enumerate(config.rungs):
+        if fraction * native_bps <= budget:
+            safe = index
+    if safe < current:
+        return safe
+    if buffer_seconds < config.low_water:
+        return max(0, current - 1)
+    if (safe > current and buffer_seconds >= config.high_water
+            and held_seconds >= config.hold_seconds):
+        return current + 1
+    return current

@@ -1,0 +1,58 @@
+"""Loss-based AIMD congestion control (Reno-style).
+
+Slow start doubles the window per feedback round until the first loss;
+thereafter additive increase of one segment per window, multiplicative
+halving on loss.  The pacing rate is the classic ``cwnd / srtt``
+conversion, so the controller stays silent (``None``) until the first
+delay sample arrives.
+"""
+
+from typing import Optional
+
+from repro.cc.base import CongestionControl
+
+MSS_BYTES = 1200.0
+INITIAL_CWND_BYTES = 4 * MSS_BYTES
+MIN_CWND_BYTES = 2 * MSS_BYTES
+SRTT_GAIN = 0.125  # RFC 6298 smoothing
+
+
+class AimdCongestionControl(CongestionControl):
+    name = "aimd"
+
+    def __init__(self, initial_cwnd: float = INITIAL_CWND_BYTES,
+                 ssthresh: float = 64 * MSS_BYTES) -> None:
+        self._cwnd = float(initial_cwnd)
+        self._ssthresh = float(ssthresh)
+        self._srtt: Optional[float] = None
+
+    def on_ack(self, now: float, acked_bytes: int) -> None:
+        if acked_bytes <= 0:
+            return
+        if self._cwnd < self._ssthresh:
+            self._cwnd = min(self._ssthresh, self._cwnd + acked_bytes)
+        else:
+            self._cwnd += MSS_BYTES * acked_bytes / self._cwnd
+
+    def on_loss(self, now: float, lost_packets: int) -> None:
+        if lost_packets <= 0:
+            return
+        self._ssthresh = max(MIN_CWND_BYTES, self._cwnd / 2.0)
+        self._cwnd = self._ssthresh
+
+    def on_rtt_sample(self, now: float, rtt_seconds: float) -> None:
+        if rtt_seconds <= 0:
+            return
+        if self._srtt is None:
+            self._srtt = rtt_seconds
+        else:
+            self._srtt += SRTT_GAIN * (rtt_seconds - self._srtt)
+
+    def pacing_rate_bps(self, now: float) -> Optional[float]:
+        if self._srtt is None:
+            return None
+        return self.clamp_rate(self._cwnd * 8.0 / self._srtt)
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return self._cwnd

@@ -1,0 +1,126 @@
+"""The congestion-control interface and its picklable configuration.
+
+A controller is pure state-machine arithmetic: the session controller
+feeds it receiver-report signals (acked bytes, loss counts, delay
+samples) and reads back a pacing rate and congestion window.  Nothing
+in here touches the simulator, draws randomness, or looks at wall
+clocks — same inputs, same outputs, always — which is what lets cc
+runs participate in the differential oracle and the golden traces.
+"""
+
+import hashlib
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+# Bounds enforced by the ``cc-bounds`` invariant: every rate a
+# controller hands to a pacer must land inside this envelope.
+CC_MIN_RATE_BPS = 8_000.0
+CC_MAX_RATE_BPS = 1_000_000_000.0
+
+
+class CongestionControl(ABC):
+    """Rate control driven by receiver-report feedback.
+
+    Subclasses implement the three signal hooks and the two outputs.
+    ``pacing_rate_bps`` may return ``None`` before the controller has
+    seen enough signal to commit to a rate (the pacer then keeps its
+    native schedule).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def on_ack(self, now: float, acked_bytes: int) -> None:
+        """``acked_bytes`` arrived safely during the last interval."""
+
+    @abstractmethod
+    def on_loss(self, now: float, lost_packets: int) -> None:
+        """The receiver reported ``lost_packets`` missing datagrams."""
+
+    @abstractmethod
+    def on_rtt_sample(self, now: float, rtt_seconds: float) -> None:
+        """A fresh path-delay sample (one-way delay proxy)."""
+
+    @abstractmethod
+    def pacing_rate_bps(self, now: float) -> Optional[float]:
+        """Target send rate, or ``None`` to keep the native schedule."""
+
+    @property
+    @abstractmethod
+    def cwnd_bytes(self) -> float:
+        """The congestion window backing the rate computation."""
+
+    @staticmethod
+    def clamp_rate(rate_bps: float) -> float:
+        return min(CC_MAX_RATE_BPS, max(CC_MIN_RATE_BPS, rate_bps))
+
+
+def _registry() -> Dict[str, Tuple[object, str]]:
+    # Lazy imports: the implementations import this module for the
+    # ABC, so the registry cannot be built at import time.
+    from repro.cc.aimd import AimdCongestionControl
+    from repro.cc.gcc import DelayGradientCongestionControl
+    from repro.cc.null import NullCongestionControl
+
+    return {
+        "null": (NullCongestionControl,
+                 "fixed-rate 2002 behavior (arms nothing)"),
+        "aimd": (AimdCongestionControl,
+                 "loss-based additive-increase/multiplicative-decrease"),
+        "gcc": (DelayGradientCongestionControl,
+                "delay-gradient bandwidth estimation"),
+    }
+
+
+def cc_names() -> Tuple[str, ...]:
+    return tuple(sorted(_registry()))
+
+
+def cc_descriptions() -> Dict[str, str]:
+    return {name: blurb for name, (_, blurb) in _registry().items()}
+
+
+@dataclass(frozen=True)
+class CcConfig:
+    """Picklable controller selection + tuning, with a stable digest.
+
+    ``params`` is a tuple of ``(key, value)`` pairs (not a dict) so the
+    config hashes and pickles canonically.  The fingerprint feeds the
+    study cache key, mirroring ``FaultScenario.fingerprint()``.
+    """
+
+    kind: str = "aimd"
+    feedback_interval: float = 0.5
+    params: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _registry():
+            known = ", ".join(cc_names())
+            raise ReproError(
+                f"unknown congestion controller {self.kind!r}; "
+                f"known controllers: {known}")
+        if self.feedback_interval <= 0:
+            raise ReproError("feedback_interval must be positive")
+
+    @property
+    def is_null(self) -> bool:
+        return self.kind == "null"
+
+    def fingerprint(self) -> str:
+        material = json.dumps(
+            {"kind": self.kind,
+             "feedback_interval": self.feedback_interval,
+             "params": list(self.params)},
+            sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(
+            f"cc\n{material}".encode()).hexdigest()[:16]
+        return f"cc-{self.kind}:{digest}"
+
+    def build(self) -> CongestionControl:
+        """A fresh controller instance (one per streaming session)."""
+        factory, _ = _registry()[self.kind]
+        return factory(**dict(self.params))

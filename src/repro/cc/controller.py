@@ -1,0 +1,48 @@
+"""Per-session glue between receiver reports and the pacer.
+
+Shaped like ``servers.scaling.ScalingController``: the server creates
+one per PLAY, and ``StreamingServer._on_request`` routes each
+``ReceiverReport`` here.  The controller translates report fields into
+controller signals, then applies the resulting pacing rate to the
+pacer as a delay floor — it never rewrites the pacer's budget ledger,
+so the pacer-budget invariant holds unchanged under cc.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.cc.base import CongestionControl
+
+
+class CcSessionController:
+    def __init__(self, cc: CongestionControl, pacer, sim, family: str) -> None:
+        self.cc = cc
+        self.pacer = pacer
+        self.sim = sim
+        self.family = family
+        self.state_log: List[Tuple[float, Optional[float], float]] = []
+        pacer.enable_cc_stamping()
+        validator = getattr(sim, "validator", None)
+        if validator is not None:
+            validator.register_cc(self)
+
+    def on_report(self, report, now: float) -> None:
+        if report.delay_sample is not None:
+            self.cc.on_rtt_sample(now, report.delay_sample)
+        if report.interval_lost > 0:
+            self.cc.on_loss(now, report.interval_lost)
+        if report.interval_bytes > 0:
+            self.cc.on_ack(now, report.interval_bytes)
+        rate = self.cc.pacing_rate_bps(now)
+        if rate is not None:
+            self.pacer.set_cc_rate(rate)
+        self.state_log.append((now, rate, self.cc.cwnd_bytes))
+        if self.sim.telemetry is not None:
+            from repro.telemetry.events import CC_STATE
+
+            self.sim.telemetry.emit(
+                CC_STATE, controller=self.cc.name,
+                family=self.family,
+                rate_bps=round(rate, 6) if rate is not None else -1.0,
+                cwnd_bytes=round(self.cc.cwnd_bytes, 6),
+                jitter=(round(report.jitter_sample, 9)
+                        if report.jitter_sample is not None else -1.0))

@@ -1,0 +1,75 @@
+"""Delay-gradient bandwidth estimation (GCC-style).
+
+Instead of waiting for loss, the controller watches the *trend* of the
+path delay: a sustained positive gradient means queues are filling, so
+it backs off to a fraction of the measured delivery rate; a flat or
+falling gradient lets it probe multiplicatively upward.  All state is
+EWMA arithmetic over the receiver-report signals — deterministic by
+construction.
+"""
+
+from typing import Optional
+
+from repro.cc.base import CongestionControl
+
+GRADIENT_GAIN = 0.3          # smoothing for the delay gradient
+RATE_GAIN = 0.25             # smoothing for the measured delivery rate
+OVERUSE_THRESHOLD = 0.002    # seconds of smoothed one-way-delay growth
+DECREASE_FACTOR = 0.85       # back off to 85% of measured throughput
+INCREASE_FACTOR = 1.05       # multiplicative probe when underusing
+START_RATE_BPS = 300_000.0
+
+
+class DelayGradientCongestionControl(CongestionControl):
+    name = "gcc"
+
+    def __init__(self, start_rate_bps: float = START_RATE_BPS) -> None:
+        self._rate = float(start_rate_bps)
+        self._measured_bps: Optional[float] = None
+        self._gradient = 0.0
+        self._last_delay: Optional[float] = None
+        self._last_ack_at: Optional[float] = None
+        self._committed = False
+
+    def on_ack(self, now: float, acked_bytes: int) -> None:
+        if acked_bytes <= 0:
+            return
+        if self._last_ack_at is not None and now > self._last_ack_at:
+            sample = acked_bytes * 8.0 / (now - self._last_ack_at)
+            if self._measured_bps is None:
+                self._measured_bps = sample
+            else:
+                self._measured_bps += RATE_GAIN * (sample
+                                                   - self._measured_bps)
+        self._last_ack_at = now
+
+    def on_loss(self, now: float, lost_packets: int) -> None:
+        if lost_packets <= 0:
+            return
+        floor = self._measured_bps or self._rate
+        self._rate = self.clamp_rate(DECREASE_FACTOR * floor)
+        self._committed = True
+
+    def on_rtt_sample(self, now: float, rtt_seconds: float) -> None:
+        if self._last_delay is not None:
+            raw = rtt_seconds - self._last_delay
+            self._gradient += GRADIENT_GAIN * (raw - self._gradient)
+            if self._gradient > OVERUSE_THRESHOLD:
+                floor = self._measured_bps or self._rate
+                self._rate = self.clamp_rate(DECREASE_FACTOR * floor)
+            else:
+                self._rate = self.clamp_rate(self._rate * INCREASE_FACTOR)
+            self._committed = True
+        self._last_delay = rtt_seconds
+
+    def pacing_rate_bps(self, now: float) -> Optional[float]:
+        if not self._committed:
+            return None
+        return self.clamp_rate(self._rate)
+
+    @property
+    def cwnd_bytes(self) -> float:
+        # Delay-based control is rate-native; expose the byte budget of
+        # one smoothed feedback round so the bounds invariant has a
+        # window to check.
+        return self._rate / 8.0

@@ -1,0 +1,32 @@
+"""The fixed-rate null controller.
+
+This class exists so the interface has a no-op implementation to test
+against; the runner never arms it.  A ``CcConfig(kind="null")`` study
+takes the exact code path of a no-cc study — no feedback stamping, no
+session controllers, no extra events — which is what makes null runs
+byte-identical to pre-cc runs rather than merely equivalent.
+"""
+
+from typing import Optional
+
+from repro.cc.base import CongestionControl
+
+
+class NullCongestionControl(CongestionControl):
+    name = "null"
+
+    def on_ack(self, now: float, acked_bytes: int) -> None:
+        pass
+
+    def on_loss(self, now: float, lost_packets: int) -> None:
+        pass
+
+    def on_rtt_sample(self, now: float, rtt_seconds: float) -> None:
+        pass
+
+    def pacing_rate_bps(self, now: float) -> Optional[float]:
+        return None
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return 0.0

@@ -16,11 +16,19 @@
   latency-attribution table; export Chrome-trace / JSONL artifacts.
 * ``faults``     — inject a named fault scenario into one pair run and
   print the recovery report (``--list`` shows the scenarios).
+* ``cc``         — run one clip set under a named congestion
+  controller (``repro.cc``) and print the controller's state summary
+  (``--list`` shows the controllers).
 * ``validate``   — run a seeded study with every runtime invariant
   checked (``repro.validate``); ``--study`` runs the differential
   oracle (sequential vs parallel vs cache), ``--golden`` re-checks the
-  pinned golden traces.  Non-zero exit on any violation or divergence.
+  pinned golden traces, ``--cc``/``--abr`` pick a transport.
+  Non-zero exit on any violation or divergence.
 * ``cache``      — inspect or clear the persistent study cache.
+
+``scorecard --modern`` re-runs the sweep under each transport (2002
+push, AIMD, delay-gradient, ABR ladder) and prints the figure-for-
+figure then-vs-now table (optionally an SVG chart).
 
 Studies fan out across worker processes with ``--jobs N`` (0 = one per
 CPU) and, for ``repro study``, persist to the on-disk cache so a second
@@ -87,9 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
     boundary.add_argument("--seed", type=int, default=2002)
 
     scorecard = commands.add_parser(
-        "scorecard", help="check every paper claim; nonzero on failure")
+        "scorecard", help="check every paper claim; nonzero on failure "
+                          "(--modern: then-vs-now transport comparison)")
     scorecard.add_argument("--seed", type=int, default=2002)
     scorecard.add_argument("--scale", type=float, default=1.0)
+    scorecard.add_argument("--modern", action="store_true",
+                           help="compare the 2002 transports against "
+                                "AIMD / delay-gradient congestion "
+                                "control and the ABR ladder")
+    scorecard.add_argument("--jobs", type=int, default=1,
+                           help="worker processes per transport study "
+                                "(--modern only; 0 = one per CPU)")
+    scorecard.add_argument("--transports", default=None,
+                           help="comma-separated transport subset for "
+                                "--modern (default: 2002,aimd,gcc,abr)")
+    scorecard.add_argument("--svg", default=None,
+                           help="write the --modern per-set delivered-"
+                                "rate chart as SVG")
 
     telemetry = commands.add_parser(
         "telemetry", help="run the Table 1 sweep with telemetry enabled "
@@ -151,6 +173,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the run's trace-event stream as "
                              "JSON lines")
 
+    cc = commands.add_parser(
+        "cc", help="run one clip set under a congestion controller and "
+                   "print its state summary")
+    cc.add_argument("controller", nargs="?", default=None,
+                    help="controller name (see --list)")
+    cc.add_argument("--list", action="store_true",
+                    dest="list_controllers",
+                    help="list the known controllers and exit")
+    cc.add_argument("--seed", type=int, default=2002)
+    cc.add_argument("--scale", type=float, default=0.12,
+                    help="clip duration scale (default 0.12: one short "
+                         "set is enough to watch a controller move)")
+    cc.add_argument("--set", type=int, default=3, dest="set_number",
+                    help="Table 1 clip set to stream (default 3)")
+
     validate = commands.add_parser(
         "validate", help="check a seeded study against the runtime "
                          "invariant catalog; nonzero on any violation")
@@ -175,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--golden", action="store_true",
                           help="re-run the pinned golden scenarios and "
                                "diff their digests")
+    validate.add_argument("--cc", default=None, dest="cc_kind",
+                          help="arm a congestion controller "
+                               "(see `repro cc --list`)")
+    validate.add_argument("--abr", action="store_true",
+                          help="run on the ABR segment-ladder transport")
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the persistent study cache")
@@ -239,8 +281,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
                   else "cache miss")
     elapsed = time.perf_counter() - started
     jobs_note = f", jobs {args.jobs}" if args.jobs != 1 else ""
+    # Cached studies were not executed now; only a fresh simulation's
+    # sequential/parallel/auto-downgrade decision is worth reporting.
+    ran_now = source in ("cache off", "cache miss")
+    exec_note = f", {study.execution}" if ran_now else ""
     print(f"# study sweep: {len(study)} pair runs in {elapsed:.2f}s "
-          f"(seed {args.seed}, scale {args.scale}{jobs_note}, {source})\n")
+          f"(seed {args.seed}, scale {args.scale}{jobs_note}{exec_note}, "
+          f"{source})\n")
     print(build_report(study, plots=args.plots))
     if args.html:
         from repro.experiments.html_report import build_html_report
@@ -400,12 +447,104 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_study
     from repro.experiments.scorecard import render_scorecard, run_scorecard
 
-    if args.scale <= 0:
-        return _usage_error(f"--scale must be positive, got {args.scale}")
+    bad = _check_sweep_args(args)
+    if bad is not None:
+        return bad
+    if args.modern:
+        from repro.errors import ExperimentError
+        from repro.experiments.modern import (
+            render_modern_scorecard,
+            run_modern_scorecard,
+            scorecard_svg,
+        )
+
+        transports = (tuple(name.strip()
+                            for name in args.transports.split(",")
+                            if name.strip())
+                      if args.transports else None)
+        try:
+            card = run_modern_scorecard(seed=args.seed,
+                                        duration_scale=args.scale,
+                                        jobs=args.jobs,
+                                        transports=transports)
+        except ExperimentError as exc:
+            return _usage_error(f"error: {exc}")
+        print(render_modern_scorecard(card))
+        if args.svg:
+            with open(args.svg, "w") as stream:
+                stream.write(scorecard_svg(card))
+            print(f"wrote {args.svg}")
+        return 0
     study = run_study(seed=args.seed, duration_scale=args.scale)
     results = run_scorecard(study)
     print(render_scorecard(results))
     return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_cc(args: argparse.Namespace) -> int:
+    from repro.cc.base import CcConfig, cc_descriptions
+    from repro.errors import ReproError
+    from repro.experiments.datasets import build_table1_library
+    from repro.experiments.runner import run_study
+    from repro.media.library import ClipLibrary
+    from repro.telemetry import MemorySink, Telemetry
+    from repro.telemetry.events import CC_STATE
+
+    if args.list_controllers:
+        for name, description in sorted(cc_descriptions().items()):
+            print(f"{name:<8} {description}")
+        return 0
+    if args.controller is None:
+        return _usage_error(
+            "a controller name is required (or --list to see them)")
+    try:
+        config = CcConfig(kind=args.controller)
+    except ReproError as exc:
+        return _usage_error(f"error: {exc}")
+    if args.scale <= 0:
+        return _usage_error(f"--scale must be positive, got {args.scale}")
+
+    full = build_table1_library(duration_scale=args.scale)
+    try:
+        clip_set = full.get_set(args.set_number)
+    except ReproError as exc:
+        return _usage_error(f"error: {exc}")
+    library = ClipLibrary()
+    library.add_set(clip_set)
+    telemetry = Telemetry(sinks=[MemorySink()])
+    study = run_study(library=library, seed=args.seed,
+                      telemetry=telemetry, cc=config)
+    samples = [event for event in telemetry.memory_events()
+               if event.type == CC_STATE]
+    telemetry.close()
+    if not samples:
+        print(f"error: controller {config.kind!r} recorded no cc_state "
+              "samples (the null controller arms nothing); nothing to "
+              "summarize", file=sys.stderr)
+        return 1
+    print(f"# cc {config.kind}: {len(study)} pair runs, "
+          f"{len(samples)} state samples (seed {args.seed}, "
+          f"scale {args.scale}, set {args.set_number}, "
+          f"fingerprint {config.fingerprint()})\n")
+    by_flow = {}
+    for event in samples:
+        record = event.field_dict()
+        key = f"{record['controller']}/{record['family']}"
+        by_flow.setdefault(key, []).append(record)
+    for name in sorted(by_flow):
+        records = by_flow[name]
+        rates = [record["rate_bps"] for record in records
+                 if record["rate_bps"] >= 0]
+        last = records[-1]
+        line = f"  {name}: {len(records)} samples"
+        if rates:
+            line += (f", rate {min(rates) / 1000:.0f}-"
+                     f"{max(rates) / 1000:.0f} Kbps "
+                     f"(last {last['rate_bps'] / 1000:.0f})")
+        if last["cwnd_bytes"] >= 0:
+            line += f", cwnd {last['cwnd_bytes']:.0f} B"
+        print(line)
+    return 0
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
@@ -671,6 +810,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.cc.abr import AbrConfig
+    from repro.cc.base import CcConfig
     from repro.errors import ReproError
     from repro.experiments.datasets import build_table1_library
     from repro.experiments.runner import run_study
@@ -721,11 +862,20 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    cc = None
+    if args.cc_kind is not None:
+        try:
+            cc = CcConfig(kind=args.cc_kind)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    abr = AbrConfig() if args.abr else None
+
     if args.differential:
         report = run_differential(seed=args.seed,
                                   duration_scale=args.scale,
                                   jobs=args.jobs, library=library,
-                                  scenario=scenario)
+                                  scenario=scenario, cc=cc, abr=abr)
         print(f"# differential oracle (seed {args.seed}, "
               f"scale {args.scale})\n")
         print(report.summary())
@@ -736,11 +886,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     # given; run_study applies it itself for the full sweep.
     study = run_study(library=library, seed=args.seed,
                       duration_scale=args.scale, jobs=1,
-                      scenario=scenario, validate=validator)
+                      scenario=scenario, validate=validator,
+                      cc=cc, abr=abr)
+    transport_note = ((f", cc {args.cc_kind}" if cc is not None else "")
+                      + (", abr" if abr is not None else ""))
     print(f"# invariant check: {len(study)} pair runs "
           f"(seed {args.seed}, scale {args.scale}"
           + (f", faults {args.fault_scenario}"
-             if args.fault_scenario else "") + ")\n")
+             if args.fault_scenario else "")
+          + transport_note + ")\n")
     print(validator.report())
     return 1 if validator.violations else 0
 
@@ -775,6 +929,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "study": _cmd_study,
     "faults": _cmd_faults,
+    "cc": _cmd_cc,
     "validate": _cmd_validate,
     "cache": _cmd_cache,
     "telemetry": _cmd_telemetry,

@@ -31,6 +31,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro._version import __version__
+from repro.cc.abr import AbrConfig
+from repro.cc.base import CcConfig
 from repro.experiments.runner import StudyResults, run_study
 from repro.faults.scenario import FaultScenario
 from repro.media.library import ClipLibrary
@@ -51,7 +53,11 @@ CACHE_DIR_ENV = "REPRO_STUDY_CACHE_DIR"
 #: Key slot for studies run without a fault scenario.
 _NO_SCENARIO = "no-faults"
 
-StudyKey = Tuple[int, float, float, str, str]
+#: Key slots for studies run on the default (2002) transport.
+_NO_CC = "no-cc"
+_NO_ABR = "no-abr"
+
+StudyKey = Tuple[int, float, float, str, str, str, str]
 
 _CACHE: Dict[StudyKey, StudyResults] = {}
 
@@ -64,20 +70,28 @@ _code_fingerprint: Optional[str] = None
 
 def study_key(seed: int, duration_scale: float, loss_probability: float,
               library: Optional[ClipLibrary],
-              scenario: Optional[FaultScenario] = None) -> StudyKey:
+              scenario: Optional[FaultScenario] = None,
+              cc: Optional[CcConfig] = None,
+              abr: Optional[AbrConfig] = None) -> StudyKey:
     """The canonical cache key for one study parameter set.
 
     Shared by the memory dict and the disk layer so the two can never
     disagree about what "the same study" means.  The fault scenario's
     fingerprint is part of the key: a cached fault-free sweep must
-    never alias a faulted one (nor two differently-faulted ones).
+    never alias a faulted one (nor two differently-faulted ones).  The
+    transport configs key the same way: a study run under a congestion
+    controller or on the ABR ladder is a different study, keyed by the
+    config fingerprints (see :meth:`~repro.cc.base.CcConfig.fingerprint`
+    and :meth:`~repro.cc.abr.AbrConfig.fingerprint`).
     """
     library_key = (library.fingerprint() if library is not None
                    else _DEFAULT_LIBRARY)
     scenario_key = (scenario.fingerprint() if scenario is not None
                     else _NO_SCENARIO)
+    cc_key = cc.fingerprint() if cc is not None else _NO_CC
+    abr_key = abr.fingerprint() if abr is not None else _NO_ABR
     return (seed, duration_scale, loss_probability, library_key,
-            scenario_key)
+            scenario_key, cc_key, abr_key)
 
 
 def code_fingerprint() -> str:
@@ -121,7 +135,8 @@ def _entry_paths(key: StudyKey) -> Tuple[Path, Path]:
     material = json.dumps(
         {"seed": key[0], "duration_scale": key[1],
          "loss_probability": key[2], "library": key[3],
-         "scenario": key[4], "code": code_fingerprint()},
+         "scenario": key[4], "cc": key[5], "abr": key[6],
+         "code": code_fingerprint()},
         sort_keys=True)
     digest = hashlib.sha256(material.encode()).hexdigest()[:32]
     directory = cache_dir()
@@ -156,7 +171,8 @@ def _disk_store(key: StudyKey, study: StudyResults) -> None:
         key_path.write_text(json.dumps(
             {"seed": key[0], "duration_scale": key[1],
              "loss_probability": key[2], "library": key[3],
-             "scenario": key[4], "code": code_fingerprint(),
+             "scenario": key[4], "cc": key[5], "abr": key[6],
+             "code": code_fingerprint(),
              "version": __version__, "runs": len(study)},
             sort_keys=True, indent=2) + "\n")
     except OSError:
@@ -207,6 +223,8 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
                       library: Optional[ClipLibrary] = None,
                       jobs: int = 1,
                       scenario: Optional[FaultScenario] = None,
+                      cc: Optional[CcConfig] = None,
+                      abr: Optional[AbrConfig] = None,
                       ) -> Tuple[StudyResults, str]:
     """The study for these parameters, plus where it came from.
 
@@ -216,7 +234,7 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
         from the terminal.
     """
     key = study_key(seed, duration_scale, loss_probability, library,
-                    scenario)
+                    scenario, cc, abr)
     study = _CACHE.get(key)
     if study is not None:
         return study, "memory"
@@ -228,7 +246,7 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
     study = run_study(library=library, seed=seed,
                       duration_scale=duration_scale,
                       loss_probability=loss_probability, jobs=jobs,
-                      scenario=scenario)
+                      scenario=scenario, cc=cc, abr=abr)
     _CACHE[key] = study
     if disk_cache_enabled():
         _disk_store(key, study)
@@ -239,12 +257,14 @@ def get_study(seed: int = 2002, duration_scale: float = 1.0,
               loss_probability: float = 0.0,
               library: Optional[ClipLibrary] = None,
               jobs: int = 1,
-              scenario: Optional[FaultScenario] = None) -> StudyResults:
+              scenario: Optional[FaultScenario] = None,
+              cc: Optional[CcConfig] = None,
+              abr: Optional[AbrConfig] = None) -> StudyResults:
     """The study for these parameters, running it on first request."""
     study, _ = load_or_run_study(seed=seed, duration_scale=duration_scale,
                                  loss_probability=loss_probability,
                                  library=library, jobs=jobs,
-                                 scenario=scenario)
+                                 scenario=scenario, cc=cc, abr=abr)
     return study
 
 

@@ -39,6 +39,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.cc.abr import AbrConfig
+from repro.cc.base import CcConfig
 from repro.experiments.runner import (
     PairRunResult,
     StudyResults,
@@ -69,6 +71,9 @@ class _WorkerSpec:
     #: Fault schedule applied to every run; pure data, so shipping it
     #: in the spec reproduces the sequential controller exactly.
     scenario: Optional[FaultScenario] = None
+    #: Transport configs (repro.cc); frozen dataclasses, pure data.
+    cc: Optional[CcConfig] = None
+    abr: Optional[AbrConfig] = None
 
 
 #: Per-worker-process state, installed by :func:`_init_worker`.
@@ -110,7 +115,8 @@ def _run_index(index: int
         telemetry.set_context(run=f"set{clip_set.number}-{pair.band.short}")
     result = run_pair_experiment(clip_set, pair, seed=spec.seed + index,
                                  conditions=conditions, telemetry=telemetry,
-                                 scenario=spec.scenario)
+                                 scenario=spec.scenario, cc=spec.cc,
+                                 abr=spec.abr)
     if telemetry is None:
         return result, None
     telemetry.clear_context()
@@ -129,7 +135,9 @@ def run_study_parallel(library: ClipLibrary, seed: int,
                        loss_probability: float,
                        telemetry: Optional[Telemetry],
                        jobs: int,
-                       scenario: Optional[FaultScenario] = None
+                       scenario: Optional[FaultScenario] = None,
+                       cc: Optional[CcConfig] = None,
+                       abr: Optional[AbrConfig] = None
                        ) -> StudyResults:
     """Fan a sweep's pair runs across ``jobs`` worker processes.
 
@@ -145,7 +153,7 @@ def run_study_parallel(library: ClipLibrary, seed: int,
         spans=telemetry is not None and telemetry.spans is not None,
         series_limit=(telemetry.registry._series_limit
                       if telemetry is not None else 0),
-        scenario=scenario)
+        scenario=scenario, cc=cc, abr=abr)
     outcomes: List[Tuple[PairRunResult, Optional[TelemetrySnapshot]]]
     with ProcessPoolExecutor(max_workers=min(jobs, len(pairs)),
                              mp_context=_pool_context(),

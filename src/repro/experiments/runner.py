@@ -47,7 +47,15 @@ from repro.tools.stability import StabilityVerdict, verify_stability
 from repro.tools.tracert import TracerouteReport, run_tracert
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cc.abr import AbrConfig
+    from repro.cc.base import CcConfig
     from repro.validate.checker import RunValidator
+
+#: Below this many pair runs a parallel request silently downgrades to
+#: sequential execution: the pool's fork/merge overhead exceeds the
+#: win on small sweeps (BENCH_substrate.json: the 13-run study at
+#: default size gains from workers, a 2-run one-set sweep does not).
+PARALLEL_MIN_RUNS = 6
 
 
 @dataclass
@@ -110,6 +118,10 @@ class StudyResults:
     #: requested — its registry holds every run's metrics, scoped by a
     #: ``run=<label>`` context label.
     telemetry: Optional[Telemetry] = None
+    #: How the sweep actually executed: "sequential", "parallel
+    #: jobs=N", or the auto-downgrade note when a parallel request fell
+    #: back to sequential on a small sweep.
+    execution: str = "sequential"
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -161,6 +173,8 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
                         telemetry: Optional[Telemetry] = None,
                         scenario: Optional[FaultScenario] = None,
                         validate: Optional["RunValidator"] = None,
+                        cc: Optional["CcConfig"] = None,
+                        abr: Optional["AbrConfig"] = None,
                         ) -> PairRunResult:
     """Run the simultaneous-stream methodology for one clip pair.
 
@@ -181,15 +195,30 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
             the post-run stability check, before results assemble).
             Validation schedules nothing, so the run itself is
             byte-identical with or without it.
+        cc: optional :class:`~repro.cc.CcConfig`.  A non-null config
+            arms the congestion-control stack: receiver reports flow at
+            the config's feedback interval, payloads carry send stamps,
+            and a per-session controller throttles each pacer.  ``None``
+            — or the null controller — arms *nothing*, keeping the run
+            byte-identical to the 2002 code path.
+        abr: optional :class:`~repro.cc.AbrConfig`.  Replaces both
+            2002 server/player pairs with the segment-ladder ABR
+            transport (same stats schema, same REAL/WMP labels).
+            Mutually exclusive with ``cc``.
 
     Raises:
         ExperimentError: if a stream never finishes within the safety
             horizon (indicates a modeling bug, not a network condition).
-            Under a fault scenario an unfinished stream is an expected
-            outcome and is finalized deterministically instead.
+            Under a fault scenario, congestion control, or ABR an
+            unfinished stream is an expected outcome and is finalized
+            deterministically instead.
         ValidationError: if ``validate`` finds violations and is
             configured to raise.
     """
+    if cc is not None and abr is not None:
+        raise ExperimentError(
+            "cc and abr are mutually exclusive transports; pick one")
+    cc_armed = cc is not None and not cc.is_null
     sim = Simulator(seed=seed, telemetry=telemetry, validate=validate)
     if conditions is None:
         conditions = sample_conditions(sim.streams.stream("conditions"))
@@ -207,10 +236,23 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
             node.tcp.reliability = reliability
         RouteManager(sim, [topology.client] + list(topology.routers)
                      + list(topology.servers)).attach()
-    scaling = MediaScalingPolicy if scenario is not None else None
-    real_server = RealServer(real_host, scaling_policy_factory=scaling)
+    if abr is not None:
+        from repro.media.clip import PlayerFamily
+        from repro.servers.abr import AbrServer
+
+        # The ABR ladder *is* the adaptation mechanism; the 2002
+        # media-scaling policy never rides along.
+        real_server = AbrServer(real_host, family=PlayerFamily.REAL,
+                                config=abr)
+        wms = AbrServer(wmp_host, family=PlayerFamily.WMP, config=abr)
+    else:
+        scaling = MediaScalingPolicy if scenario is not None else None
+        cc_factory = cc.build if cc_armed else None
+        real_server = RealServer(real_host, scaling_policy_factory=scaling,
+                                 cc_factory=cc_factory)
+        wms = WindowsMediaServer(wmp_host, scaling_policy_factory=scaling,
+                                 cc_factory=cc_factory)
     real_server.add_clip(pair.real)
-    wms = WindowsMediaServer(wmp_host, scaling_policy_factory=scaling)
     wms.add_clip(pair.wmp)
 
     # Section II.D: verify the path before the run.
@@ -221,14 +263,35 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
     sniffer = Sniffer(topology.client).start()
     robustness = PlayerRobustness() if scenario is not None else None
     feedback = 1.0 if scenario is not None else None
-    real_player = RealTracker(topology.client, real_host.address,
-                              preroll_seconds=preroll_seconds,
-                              feedback_interval=feedback,
-                              robustness=robustness)
-    wmp_player = MediaTracker(topology.client, wmp_host.address,
-                              preroll_seconds=preroll_seconds,
-                              feedback_interval=feedback,
-                              robustness=robustness)
+    if cc_armed:
+        # Congestion control needs the report loop even on clean runs.
+        feedback = cc.feedback_interval
+    if abr is not None:
+        from repro.media.clip import PlayerFamily
+        from repro.players.abrtracker import AbrTracker
+
+        # ABR always keeps the watchdog armed: a lost segment-boundary
+        # datagram would otherwise park the request loop forever.
+        abr_robustness = robustness or PlayerRobustness()
+        real_player = AbrTracker(topology.client, real_host.address,
+                                 family=PlayerFamily.REAL, config=abr,
+                                 preroll_seconds=preroll_seconds,
+                                 feedback_interval=feedback or 1.0,
+                                 robustness=abr_robustness)
+        wmp_player = AbrTracker(topology.client, wmp_host.address,
+                                family=PlayerFamily.WMP, config=abr,
+                                preroll_seconds=preroll_seconds,
+                                feedback_interval=feedback or 1.0,
+                                robustness=abr_robustness)
+    else:
+        real_player = RealTracker(topology.client, real_host.address,
+                                  preroll_seconds=preroll_seconds,
+                                  feedback_interval=feedback,
+                                  robustness=robustness)
+        wmp_player = MediaTracker(topology.client, wmp_host.address,
+                                  preroll_seconds=preroll_seconds,
+                                  feedback_interval=feedback,
+                                  robustness=robustness)
     real_player.play(pair.real.title)
     wmp_player.play(pair.wmp.title)
 
@@ -243,11 +306,12 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
     horizon = sim.now + clip_set.duration * 2.0 + 120.0
     sim.run(until=horizon)
     if not (real_player.done and wmp_player.done):
-        if scenario is None:
+        if scenario is None and abr is None and not cc_armed:
             raise ExperimentError(
                 f"streams did not finish by t={horizon:.0f}s for "
                 f"set {clip_set.number} {pair.band.value}")
-        # A fault can legitimately kill a stream; close the books
+        # A fault, a throttling controller, or a lost ABR boundary can
+        # legitimately leave a stream unfinished; close the books
         # deterministically (eos_timeout event, stop at last arrival).
         for player in (real_player, wmp_player):
             if not player.done:
@@ -307,7 +371,10 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
               telemetry: Optional[Telemetry] = None,
               jobs: int = 1,
               scenario: Optional[FaultScenario] = None,
-              validate: Optional["RunValidator"] = None) -> StudyResults:
+              validate: Optional["RunValidator"] = None,
+              cc: Optional["CcConfig"] = None,
+              abr: Optional["AbrConfig"] = None,
+              min_parallel_runs: int = PARALLEL_MIN_RUNS) -> StudyResults:
     """Run the full Table 1 sweep (the corpus behind every figure).
 
     Args:
@@ -334,6 +401,14 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             invariant sweep at its end.  Sequential execution only —
             the validator holds live object references and cannot
             cross a process boundary.
+        cc: optional :class:`~repro.cc.CcConfig` applied to every pair
+            run (see :func:`run_pair_experiment`).
+        abr: optional :class:`~repro.cc.AbrConfig`: run the sweep over
+            the ABR transport instead of the 2002 servers.
+        min_parallel_runs: sweeps smaller than this auto-downgrade a
+            ``jobs > 1`` request to sequential execution (fork overhead
+            beats the win on small sweeps); the decision lands on
+            ``StudyResults.execution``.  Pass 0 to force the pool.
 
     Raises:
         ExperimentError: for ``validate`` combined with ``jobs > 1``.
@@ -347,14 +422,20 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             "validation requires sequential execution (jobs=1): the "
             "validator inspects live simulation objects and cannot "
             "cross a worker-process boundary")
+    execution = "sequential"
     if jobs > 1 and len(pairs) > 1:
-        from repro.experiments.parallel import run_study_parallel
+        if len(pairs) >= min_parallel_runs:
+            from repro.experiments.parallel import run_study_parallel
 
-        return run_study_parallel(library, seed=seed,
-                                  loss_probability=loss_probability,
-                                  telemetry=telemetry, jobs=jobs,
-                                  scenario=scenario)
-    results = StudyResults(telemetry=telemetry)
+            results = run_study_parallel(library, seed=seed,
+                                         loss_probability=loss_probability,
+                                         telemetry=telemetry, jobs=jobs,
+                                         scenario=scenario, cc=cc, abr=abr)
+            results.execution = f"parallel jobs={jobs}"
+            return results
+        execution = (f"sequential (auto-downgraded from jobs={jobs}: "
+                     f"{len(pairs)} runs < {min_parallel_runs})")
+    results = StudyResults(telemetry=telemetry, execution=execution)
     for index, (clip_set, pair) in enumerate(pairs):
         conditions = study_conditions(seed, index,
                                       loss_probability=loss_probability)
@@ -363,7 +444,8 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
                                       f"{pair.band.short}")
         results.runs.append(run_pair_experiment(
             clip_set, pair, seed=seed + index, conditions=conditions,
-            telemetry=telemetry, scenario=scenario, validate=validate))
+            telemetry=telemetry, scenario=scenario, validate=validate,
+            cc=cc, abr=abr))
     if telemetry is not None:
         telemetry.clear_context()
     return results

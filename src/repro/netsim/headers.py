@@ -138,3 +138,7 @@ class PayloadMeta:
     #: the pacer when span tracing is on; rides the metadata through
     #: fragmentation and reassembly to the receiving player.
     span: Optional[object] = None
+    #: Simulated send time, stamped only when congestion control is
+    #: armed (``Pacer.enable_cc_stamping``); the receiver turns it into
+    #: delay/jitter samples for its receiver reports.
+    sent_at: Optional[float] = None

@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.node import Host
 
 #: RFC 4963 suggests 30s-ish reassembly timers; Windows 2000 used 60s.
-REASSEMBLY_TIMEOUT = 30.0
+REASSEMBLY_TIMEOUT_SECONDS = 30.0
 
 
 @dataclass
@@ -266,7 +266,8 @@ class IpLayer:
                 buffer.span = self._spans.reassembly_started(
                     packet.payload.span, now, self.host.name)
             self._buffers[key] = buffer
-            self.host.sim.schedule_in(REASSEMBLY_TIMEOUT, self._expire, key)
+            self.host.sim.schedule_in(REASSEMBLY_TIMEOUT_SECONDS,
+                                      self._expire, key)
         buffer.add(packet, now)
         if buffer.complete:
             del self._buffers[key]
@@ -311,7 +312,7 @@ class IpLayer:
         buffer = self._buffers.get(key)
         if buffer is None:
             return  # completed in the meantime
-        remaining = REASSEMBLY_TIMEOUT - (self.host.sim.now
+        remaining = REASSEMBLY_TIMEOUT_SECONDS - (self.host.sim.now
                                           - buffer.last_seen)
         if remaining > 1e-6:
             # Saw more fragments recently; re-arm the timer.  The

@@ -109,6 +109,12 @@ class StreamingClient:
         self.feedback_interval = feedback_interval
         self._reported_received = 0
         self._reported_lost = 0
+        self._reported_bytes = 0
+        # Congestion-control signals, populated only when the server
+        # stamps ``PayloadMeta.sent_at`` (cc runs); otherwise the
+        # reports carry their "no cc" defaults.
+        self._cc_transit: Optional[float] = None
+        self._cc_jitter: Optional[float] = None
         self.stats: Optional[PlayerStats] = None
         self.buffer: Optional[DelayBuffer] = None
         self.interleaver: Optional[BatchingReceiver] = None
@@ -219,7 +225,8 @@ class StreamingClient:
         elif message.method == "PLAY":
             self._start_feedback()
             self._start_robustness()
-        # TEARDOWN acks need no client action.
+            self._on_playing()
+        # TEARDOWN and SEGMENT acks need no client action.
 
     def _handle_described(self, response: ControlResponse) -> None:
         if response.description is None:
@@ -298,6 +305,15 @@ class StreamingClient:
             return
         now = datagram.arrival_time
         self._last_media_at = now
+        if datagram.payload.sent_at is not None:
+            # RFC 3550-style interarrival jitter over the one-way
+            # transit; feeds the cc fields of the receiver reports.
+            transit = now - datagram.payload.sent_at
+            if self._cc_transit is not None:
+                deviation = abs(transit - self._cc_transit)
+                jitter = self._cc_jitter or 0.0
+                self._cc_jitter = jitter + (deviation - jitter) / 16.0
+            self._cc_transit = transit
         app_time = now
         if self.interleaver is not None:
             app_time = self.interleaver.receive(now)
@@ -346,14 +362,19 @@ class StreamingClient:
 
         received = self.stats.packets_received
         lost = self.stats.packets_lost
+        media_bytes = self.stats.bytes_received
         report = ReceiverReport(
             session_id=self.session_id or 0,
             sent_at=self.host.sim.now,
             packets_received=received, packets_lost=lost,
             interval_received=received - self._reported_received,
-            interval_lost=lost - self._reported_lost)
+            interval_lost=lost - self._reported_lost,
+            interval_bytes=media_bytes - self._reported_bytes,
+            delay_sample=self._cc_transit,
+            jitter_sample=self._cc_jitter)
         self._reported_received = received
         self._reported_lost = lost
+        self._reported_bytes = media_bytes
         if self.quality_controller is not None:
             interval_total = report.interval_received + report.interval_lost
             loss_fraction = (report.interval_lost / interval_total
@@ -365,6 +386,10 @@ class StreamingClient:
         self._safe_send(report, report.wire_bytes)
         self.host.sim.schedule_in(self.feedback_interval,
                                   self._send_feedback)
+
+    def _on_playing(self) -> None:
+        """Hook: media is about to flow (PLAY acknowledged).  The ABR
+        tracker uses this to request its first segment."""
 
     # ------------------------------------------------------------------
     # Graceful degradation (robustness != None only)

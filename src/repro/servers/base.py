@@ -43,6 +43,11 @@ class StreamingServer:
         scaling_policy_factory: when given, each PLAY attaches a fresh
             media-scaling policy fed by the client's receiver reports
             (the paper's §VI media-scaling capability).
+        cc_factory: when given, each PLAY builds a fresh
+            :class:`~repro.cc.CongestionControl` and wires it to the
+            session's pacer through a
+            :class:`~repro.cc.CcSessionController`; receiver reports
+            then drive rate control in addition to media scaling.
     """
 
     #: Which player family's clips this server serves; subclasses set it.
@@ -50,7 +55,7 @@ class StreamingServer:
 
     def __init__(self, host: Host, control_port: int = RTSP_PORT,
                  codec: Optional[SyntheticCodec] = None,
-                 scaling_policy_factory=None) -> None:
+                 scaling_policy_factory=None, cc_factory=None) -> None:
         self.host = host
         self.control_port = control_port
         rng_name = f"server:{host.name}:{control_port}"
@@ -65,6 +70,8 @@ class StreamingServer:
         self._next_media_port = control_port + 1000
         self.scaling_policy_factory = scaling_policy_factory
         self.scaling_controllers: Dict[int, object] = {}
+        self.cc_factory = cc_factory
+        self.cc_controllers: Dict[int, object] = {}
         #: Fault state: a crashed server drops every request unanswered
         #: until :meth:`restart`.
         self.crashed = False
@@ -108,6 +115,9 @@ class StreamingServer:
             controller = self.scaling_controllers.get(message.session_id)
             if controller is not None:
                 controller.on_report(message, self.host.sim.now)
+            cc_controller = self.cc_controllers.get(message.session_id)
+            if cc_controller is not None:
+                cc_controller.on_report(message, self.host.sim.now)
             return
         if not isinstance(message, ControlRequest):
             return
@@ -118,6 +128,8 @@ class StreamingServer:
             "TEARDOWN": self._handle_teardown,
             "KEEPALIVE": self._handle_keepalive,
         }.get(message.method)
+        if handler is None:
+            handler = self._extra_handlers().get(message.method)
         if handler is None:
             response = ControlResponse(status=501, method=message.method,
                                        reason="not implemented")
@@ -205,6 +217,12 @@ class StreamingServer:
 
             self.scaling_controllers[session.session_id] = (
                 ScalingController(self.scaling_policy_factory(), pacer))
+        if self.cc_factory is not None:
+            from repro.cc.controller import CcSessionController
+
+            self.cc_controllers[session.session_id] = CcSessionController(
+                self.cc_factory(), pacer, self.host.sim,
+                family=self.family.name.lower())
         return ControlResponse(status=200, method="PLAY",
                                session_id=session.session_id)
 
@@ -270,6 +288,11 @@ class StreamingServer:
     def _make_pacer(self, session: ServerSession) -> Pacer:
         """Build the family-specific pacer for a session."""
         raise NotImplementedError
+
+    def _extra_handlers(self) -> Dict[str, object]:
+        """Additional control methods a subclass serves (ABR's
+        SEGMENT); unknown methods still answer 501."""
+        return {}
 
     def _session_rng(self, session: ServerSession) -> random.Random:
         """A deterministic per-session random source."""

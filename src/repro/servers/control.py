@@ -10,6 +10,7 @@ analysis never depends on control-plane differences.  The exchange:
     PLAY <session>    -> 200; media starts flowing over UDP
     KEEPALIVE <session>-> 200 while the session lives (fault detection)
     TEARDOWN <session>-> 200; media stops
+    SEGMENT <session> -> 200; next ABR segment scheduled (abr servers)
 
 Messages travel as structured objects over :mod:`repro.netsim.tcp`
 with realistic byte sizes, so control packets show up in captures.
@@ -47,12 +48,16 @@ class ClipDescription:
 class ControlRequest:
     """A client-to-server control message."""
 
-    method: str  # DESCRIBE | SETUP | PLAY | KEEPALIVE | TEARDOWN
+    method: str  # DESCRIBE | SETUP | PLAY | KEEPALIVE | TEARDOWN | SEGMENT
     clip_title: Optional[str] = None
     session_id: Optional[int] = None
     client_media_port: Optional[int] = None
     #: Media transport: "UDP" (the paper's forced choice) or "TCP".
     transport: str = "UDP"
+    #: ABR (``repro.servers.abr``): SEGMENT requests name the segment
+    #: index and ladder rung to stream next; unused by 2002 players.
+    segment_index: Optional[int] = None
+    rung: Optional[int] = None
 
     @property
     def wire_bytes(self) -> int:

@@ -11,6 +11,7 @@ that feedback message.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 #: Wire size of one report (an RTCP receiver report is ~80-120 bytes).
 REPORT_BYTES = 96
@@ -18,7 +19,14 @@ REPORT_BYTES = 96
 
 @dataclass(frozen=True)
 class ReceiverReport:
-    """One periodic quality report from player to server."""
+    """One periodic quality report from player to server.
+
+    The trailing fields feed congestion control (``repro.cc``): bytes
+    delivered over the interval plus the latest one-way delay and
+    RFC 3550-style jitter samples.  They default to the "no cc"
+    values and fit inside the same ``REPORT_BYTES`` wire budget, so
+    legacy media-scaling runs are untouched.
+    """
 
     session_id: int
     sent_at: float
@@ -26,6 +34,9 @@ class ReceiverReport:
     packets_lost: int
     interval_received: int
     interval_lost: int
+    interval_bytes: int = 0
+    delay_sample: Optional[float] = None
+    jitter_sample: Optional[float] = None
 
     @property
     def interval_loss_fraction(self) -> float:

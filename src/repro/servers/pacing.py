@@ -74,6 +74,12 @@ class Pacer:
         #: ledger exactly.
         self._rate_scaled = False
         self._budget_consumed = 0.0
+        #: Congestion control (repro.cc): when set, the send loop
+        #: stretches inter-send gaps so the wire rate never exceeds
+        #: this target.  ``None`` (the default, and the null
+        #: controller) leaves the native schedule untouched.
+        self.cc_rate_bps: Optional[float] = None
+        self._cc_stamp = False
         # Frame bookkeeping: cumulative byte offsets of frame ends let
         # each datagram name the frames it completes.
         self._frame_ends: List[int] = []
@@ -132,7 +138,8 @@ class Pacer:
             self._resume_pending = False
             self.sim.schedule_in(0.0, self._tick)
 
-    def set_rate_scale(self, scale: float) -> None:
+    def set_rate_scale(self, scale: float,
+                       reason: str = "media_scaling") -> None:
         """Apply media scaling: stream at ``scale ×`` the encoding rate.
 
         Media time still advances in real time — a scaled stream covers
@@ -146,12 +153,35 @@ class Pacer:
             raise MediaError(f"rate scale must be in (0, 1], got {scale}")
         if self._telemetry is not None and scale != self.rate_scale:
             self._telemetry.emit(RATE_SWITCH, family=self.clip.family.name.lower(),
-                                 reason="media_scaling",
+                                 reason=reason,
                                  from_scale=round(self.rate_scale, 6),
                                  to_scale=round(scale, 6))
         if scale != 1.0:
             self._rate_scaled = True
         self.rate_scale = scale
+
+    def enable_cc_stamping(self) -> None:
+        """Stamp ``PayloadMeta.sent_at`` on outgoing media.
+
+        Armed once per session by :class:`~repro.cc.CcSessionController`
+        so the receiver can derive delay/jitter samples; never enabled
+        on cc-free runs, keeping their payloads byte-identical.
+        """
+        self._cc_stamp = True
+
+    def set_cc_rate(self, rate_bps: float) -> None:
+        """Apply a congestion-control pacing target.
+
+        Unlike :meth:`set_rate_scale` this does not touch the budget
+        ledger — the same media bytes flow, just no faster than
+        ``rate_bps`` on the wire.
+
+        Raises:
+            MediaError: for a nonpositive rate.
+        """
+        if rate_bps <= 0:
+            raise MediaError(f"cc rate must be positive, got {rate_bps}")
+        self.cc_rate_bps = rate_bps
 
     @property
     def total_media_bytes(self) -> int:
@@ -184,8 +214,12 @@ class Pacer:
         if size <= 0:
             self._finish()
             return
+        if self.cc_rate_bps is not None:
+            delay = max(delay, size * 8.0 / self.cc_rate_bps)
         budget_after = self._budget_consumed + size / self.rate_scale
         meta = self._meta_for(budget_after)
+        if self._cc_stamp:
+            meta.sent_at = self.sim.now
         if self._spans is not None:
             # Root of the ADU's causal trace: every fragment, hop, and
             # buffer span downstream hangs off this one.
@@ -205,6 +239,11 @@ class Pacer:
         if self.media_bytes_remaining <= 0:
             self._finish()
             return
+        self._schedule_next(delay)
+
+    def _schedule_next(self, delay: float) -> None:
+        """Continue the tick chain; the ABR pacer parks it at segment
+        boundaries instead."""
         self.sim.schedule_in(delay, self._tick)
 
     def _meta_for(self, sent_after: float) -> PayloadMeta:

@@ -34,7 +34,10 @@ from repro.telemetry.critical_path import (
     slowest,
 )
 from repro.telemetry.events import (
+    ABR_SEGMENT,
+    ABR_SWITCH,
     ALL_EVENT_TYPES,
+    CC_STATE,
     FRAGMENT_EMITTED,
     PACKET_DELIVERED,
     PACKET_ENQUEUED,
@@ -92,9 +95,12 @@ from repro.telemetry.trace_export import (
 )
 
 __all__ = [
+    "ABR_SEGMENT",
+    "ABR_SWITCH",
     "ALL_EVENT_TYPES",
     "ALL_SPAN_KINDS",
     "AduLatency",
+    "CC_STATE",
     "Counter",
     "FRAGMENT_EMITTED",
     "FilterSink",

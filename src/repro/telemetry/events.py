@@ -83,6 +83,18 @@ SERVER_RESUMED = "server_resumed"
 #: A server crashed: sessions dropped silently, no EOS, no TEARDOWN ack.
 SERVER_CRASHED = "server_crashed"
 
+# ----------------------------------------------------------------------
+# Congestion control and adaptive bitrate (repro.cc).
+# ----------------------------------------------------------------------
+
+#: A cc session controller processed a receiver report: new pacing
+#: rate / cwnd snapshot.
+CC_STATE = "cc_state"
+#: An ABR server began streaming one segment at a ladder rung.
+ABR_SEGMENT = "abr_segment"
+#: The ABR player switched ladder rungs between segments.
+ABR_SWITCH = "abr_switch"
+
 ALL_EVENT_TYPES: Tuple[str, ...] = (
     PACKET_ENQUEUED, QUEUE_DROP, PACKET_LOSS, PACKET_DELIVERED,
     FRAGMENT_EMITTED, REASSEMBLY_TIMEOUT, STREAM_START, STREAM_END,
@@ -91,6 +103,7 @@ ALL_EVENT_TYPES: Tuple[str, ...] = (
     TCP_RETRANSMIT, TCP_ABORT, KEEPALIVE_MISS, SESSION_LOST,
     QUALITY_DOWNSHIFT, QUALITY_UPSHIFT, PLAYER_STALLED, EOS_TIMEOUT,
     SERVER_PAUSED, SERVER_RESUMED, SERVER_CRASHED,
+    CC_STATE, ABR_SEGMENT, ABR_SWITCH,
 )
 
 

@@ -83,6 +83,8 @@ INVARIANT_NAMES: Tuple[str, ...] = (
     "span-integrity",
     "byte-conservation",
     "span-decomposition",
+    "cc-bounds",
+    "ladder-conservation",
 )
 
 
@@ -127,6 +129,7 @@ class RunValidator:
         self._pacers: List[object] = []
         self._players: List[object] = []
         self._connections: List[object] = []
+        self._cc_controllers: List[object] = []
         # High-water marks into the shared telemetry facade: a study
         # reuses one event stream / span forest across runs, so each
         # sweep examines only what this run appended.
@@ -145,6 +148,7 @@ class RunValidator:
         self._pacers = []
         self._players = []
         self._connections = []
+        self._cc_controllers = []
 
     def register_link(self, link) -> None:
         self._links.append(link)
@@ -160,6 +164,9 @@ class RunValidator:
 
     def register_connection(self, connection) -> None:
         self._connections.append(connection)
+
+    def register_cc(self, controller) -> None:
+        self._cc_controllers.append(controller)
 
     # ------------------------------------------------------------------
     # The sweep
@@ -193,6 +200,8 @@ class RunValidator:
         self._check_players(fail)
         self._check_events(fail)
         self._check_spans(fail)
+        self._check_cc(fail)
+        self._check_abr(fail)
 
         self.runs_checked += 1
         self.violations.extend(found)
@@ -556,6 +565,89 @@ class RunValidator:
                      f"ADU seq={latency.sequence} components sum to "
                      f"{latency.components_sum!r} but end-to-end latency "
                      f"is {latency.total!r}", family=latency.family)
+
+    # ------------------------------------------------------------------
+    # Congestion control: every published rate stays inside the clamp
+    # ------------------------------------------------------------------
+    def _check_cc(self, fail) -> None:
+        if not self._cc_controllers:
+            return
+        from repro.cc.base import CC_MAX_RATE_BPS, CC_MIN_RATE_BPS
+        for controller in self._cc_controllers:
+            self.checks_performed += 1
+            name = controller.cc.name
+            last_time = None
+            for when, rate, cwnd in controller.state_log:
+                if rate is not None and not (
+                        CC_MIN_RATE_BPS - FLOAT_TOLERANCE <= rate
+                        <= CC_MAX_RATE_BPS + FLOAT_TOLERANCE):
+                    fail("cc-bounds",
+                         f"pacing rate {rate!r} bps outside "
+                         f"[{CC_MIN_RATE_BPS}, {CC_MAX_RATE_BPS}] "
+                         f"at t={when:.6f}", controller=name)
+                    break
+                if cwnd < 0:
+                    fail("cc-bounds",
+                         f"negative cwnd {cwnd!r} at t={when:.6f}",
+                         controller=name)
+                    break
+                if last_time is not None and when < last_time:
+                    fail("cc-bounds",
+                         f"state log time regressed {last_time:.6f} -> "
+                         f"{when:.6f}", controller=name)
+                    break
+                last_time = when
+
+    # ------------------------------------------------------------------
+    # ABR ladder: per-segment wire bytes match the rung's rate scale
+    # ------------------------------------------------------------------
+    def _check_abr(self, fail) -> None:
+        for pacer in self._pacers:
+            segments = getattr(pacer, "segment_log", None)
+            if segments is None:
+                continue
+            self.checks_performed += 1
+            family = pacer.clip.family.name.lower()
+            rungs = pacer.config.rungs
+            closed_wire = 0
+            for position, segment in enumerate(segments):
+                if segment.index != position:
+                    fail("ladder-conservation",
+                         f"segment log position {position} holds segment "
+                         f"index {segment.index}", family=family)
+                    break
+                if not 0 <= segment.rung_index < len(rungs):
+                    fail("ladder-conservation",
+                         f"segment {segment.index} streamed at rung "
+                         f"{segment.rung_index} of a {len(rungs)}-rung "
+                         "ladder", family=family)
+                    break
+                if segment.end_bytes is None:
+                    if position != len(segments) - 1:
+                        fail("ladder-conservation",
+                             f"segment {segment.index} never closed but "
+                             "a later segment streamed", family=family)
+                    break
+                # Wire bytes are the ledger delta scaled by the rung:
+                # every tick consumes size / scale budget for size wire
+                # bytes, so the two agree to float roundoff.
+                wire = segment.wire_bytes
+                budget_delta = segment.end_budget - segment.start_budget
+                if abs(wire - segment.scale * budget_delta) > 1.0:
+                    fail("ladder-conservation",
+                         f"segment {segment.index} sent {wire} wire bytes "
+                         f"but scale {segment.scale} x budget "
+                         f"{budget_delta!r} predicts "
+                         f"{segment.scale * budget_delta!r}", family=family)
+                closed_wire += wire
+            # A finished ladder's closed segments cover exactly what the
+            # pacer's own ledger says went out.
+            if (pacer.finished_at is not None and segments
+                    and segments[-1].end_bytes is not None
+                    and closed_wire != pacer.bytes_sent):
+                fail("ladder-conservation",
+                     f"closed segments total {closed_wire} wire bytes but "
+                     f"the pacer sent {pacer.bytes_sent}", family=family)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.capture import serialize
+from repro.cc.abr import AbrConfig
+from repro.cc.base import CcConfig
 from repro.experiments.cache import (
     CACHE_DIR_ENV,
     CACHE_ENV,
@@ -141,6 +143,8 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
                      loss_probability: float = 0.0, jobs: int = 2,
                      library: Optional[ClipLibrary] = None,
                      scenario: Optional[FaultScenario] = None,
+                     cc: Optional[CcConfig] = None,
+                     abr: Optional[AbrConfig] = None,
                      ) -> DifferentialReport:
     """Run one seeded study three ways and diff every surface.
 
@@ -164,7 +168,7 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
                           duration_scale=duration_scale,
                           loss_probability=loss_probability,
                           telemetry=telemetry_seq, jobs=1,
-                          scenario=scenario)
+                          scenario=scenario, cc=cc, abr=abr)
     reference = study_surface(study_seq, telemetry_seq)
     report.legs["sequential"] = reference
 
@@ -173,7 +177,8 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
                           duration_scale=duration_scale,
                           loss_probability=loss_probability,
                           telemetry=telemetry_par, jobs=max(2, jobs),
-                          scenario=scenario)
+                          scenario=scenario, cc=cc, abr=abr,
+                          min_parallel_runs=0)
     parallel = study_surface(study_par, telemetry_par)
     report.legs["parallel"] = parallel
     _compare(report, "parallel", reference, parallel, require_all=True)
@@ -182,7 +187,7 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
     # pickle round-trip in an isolated directory so the user's real
     # cache is neither consulted nor polluted.
     key = study_key(seed, duration_scale, loss_probability, library,
-                    scenario)
+                    scenario, cc, abr)
     saved = {name: os.environ.get(name)
              for name in (CACHE_ENV, CACHE_DIR_ENV)}
     with tempfile.TemporaryDirectory(prefix="repro-validate-") as tmp:

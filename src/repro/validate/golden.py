@@ -24,6 +24,8 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro._version import __version__
+from repro.cc.abr import AbrConfig
+from repro.cc.base import CcConfig
 from repro.experiments.datasets import build_table1_library
 from repro.experiments.runner import run_study
 from repro.faults.scenario import build_scenario
@@ -45,6 +47,8 @@ class GoldenScenario:
     set_number: int
     duration_scale: float
     fault: Optional[str] = None  # fault-scenario name, or None
+    cc: Optional[str] = None  # congestion-controller kind, or None
+    abr: bool = False  # run on the ABR segment-ladder transport
 
 
 GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
@@ -60,6 +64,17 @@ GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
                         "and the access link flapping mid-run",
             seed=424, set_number=3, duration_scale=0.12,
             fault="link-flap"),
+        GoldenScenario(
+            name="cc_aimd",
+            description="The baseline set under the AIMD congestion "
+                        "controller with burst loss driving backoff",
+            seed=424, set_number=3, duration_scale=0.12,
+            fault="burst-loss", cc="aimd"),
+        GoldenScenario(
+            name="abr_baseline",
+            description="The baseline set on the ABR segment-ladder "
+                        "transport, clean network",
+            seed=424, set_number=3, duration_scale=0.12, abr=True),
     )
 }
 
@@ -90,10 +105,12 @@ def compute_golden(scenario: GoldenScenario) -> Dict[str, object]:
     """
     fault = (build_scenario(scenario.fault, scenario.seed)
              if scenario.fault is not None else None)
+    cc = CcConfig(kind=scenario.cc) if scenario.cc is not None else None
+    abr = AbrConfig() if scenario.abr else None
     telemetry = _fresh_telemetry()
     study = run_study(library=_scenario_library(scenario),
                       seed=scenario.seed, telemetry=telemetry,
-                      jobs=1, scenario=fault)
+                      jobs=1, scenario=fault, cc=cc, abr=abr)
     return {
         "schema": GOLDEN_SCHEMA,
         "scenario": scenario.name,
@@ -102,6 +119,8 @@ def compute_golden(scenario: GoldenScenario) -> Dict[str, object]:
         "set_number": scenario.set_number,
         "duration_scale": scenario.duration_scale,
         "fault": scenario.fault,
+        "cc": scenario.cc,
+        "abr": scenario.abr,
         "digests": study_surface(study, telemetry),
     }
 
@@ -127,7 +146,7 @@ def compare_golden(expected: Dict[str, object],
     """
     mismatches: List[str] = []
     for field in ("schema", "scenario", "seed", "set_number",
-                  "duration_scale", "fault"):
+                  "duration_scale", "fault", "cc", "abr"):
         if expected.get(field) != actual.get(field):
             mismatches.append(
                 f"{field}: golden has {expected.get(field)!r}, "

@@ -211,6 +211,45 @@ class TestSpansCommand:
         assert "no completed ADU traces" in capsys.readouterr().err
 
 
+class TestCcCommand:
+    def test_list_prints_every_controller(self, capsys):
+        assert main(["cc", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("aimd", "gcc", "null"):
+            assert name in out
+
+    def test_aimd_run_prints_state_summary(self, capsys):
+        code = main(["cc", "aimd", "--scale", "0.06", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state samples" in out
+        assert "fingerprint cc-aimd:" in out
+        assert "aimd/real" in out
+        assert "aimd/wmp" in out
+
+    def test_null_controller_empty_report_exits_one(self, capsys):
+        assert main(["cc", "null", "--scale", "0.06"]) == 1
+        err = capsys.readouterr().err
+        assert "no cc_state samples" in err
+
+
+class TestModernScorecardCommand:
+    def test_then_vs_now_table_and_svg(self, tmp_path, capsys):
+        svg_path = tmp_path / "modern.svg"
+        code = main(["scorecard", "--modern", "--scale", "0.03",
+                     "--transports", "2002,abr",
+                     "--svg", str(svg_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metric (then vs. now)" in out
+        assert "fig04/05" in out
+        assert "startup delay" in out
+        # Every Table 1 clip set gets its own delivered-rate row.
+        for number in range(1, 7):
+            assert f"set {number} delivered" in out
+        assert svg_path.read_text().startswith("<svg")
+
+
 class TestBadArgumentExitCodes:
     """Every subcommand's bad-argument paths: stderr message, status 2."""
 
@@ -239,6 +278,15 @@ class TestBadArgumentExitCodes:
         (["faults", "link-flap", "--scale", "0"], "--scale"),
         (["validate", "--scale", "0"], "--scale"),
         (["validate", "--jobs", "-1"], "--jobs"),
+        (["validate", "--cc", "vegas"], "unknown congestion controller"),
+        (["cc"], "controller name is required"),
+        (["cc", "bbr2"], "unknown congestion controller"),
+        (["cc", "aimd", "--scale", "0"], "--scale"),
+        (["cc", "aimd", "--set", "99"], "no clip set 99"),
+        (["scorecard", "--modern", "--scale", "0"], "--scale"),
+        (["scorecard", "--modern", "--jobs", "-1"], "--jobs"),
+        (["scorecard", "--modern", "--transports", "2002,quic"],
+         "unknown transport"),
     ])
     def test_bad_argument_exits_two(self, argv, needle, capsys):
         assert main(argv) == 2

@@ -198,8 +198,10 @@ class TestDeterminism:
 
         def traced(jobs):
             telemetry = Telemetry(sinks=[MemorySink(capacity=None)])
+            # min_parallel_runs=0 keeps jobs=2 on the process pool even
+            # for this two-run library (no sequential auto-downgrade).
             run_study(library=library, seed=SEED, telemetry=telemetry,
-                      jobs=jobs, scenario=scenario)
+                      jobs=jobs, scenario=scenario, min_parallel_runs=0)
             return [encode_event(e) for e in telemetry.memory_events()]
 
         assert traced(2) == traced(1)

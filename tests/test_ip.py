@@ -14,7 +14,7 @@ from repro import units
 from repro.errors import PacketError
 from repro.netsim.engine import Simulator
 from repro.netsim.headers import IpProtocol, PayloadMeta, UdpHeader
-from repro.netsim.ip import REASSEMBLY_TIMEOUT, ReassemblyBuffer
+from repro.netsim.ip import REASSEMBLY_TIMEOUT_SECONDS, ReassemblyBuffer
 
 from .conftest import HostPair
 
@@ -127,7 +127,7 @@ class TestReassembly:
         sim = host_pair.sim
         for packet in (captured[0], captured[2]):
             host_pair.right.ip.receive(packet)
-        sim.run(until=REASSEMBLY_TIMEOUT * 2 + 1)
+        sim.run(until=REASSEMBLY_TIMEOUT_SECONDS * 2 + 1)
         assert received == []
         assert host_pair.right.ip.stats.reassembly_timeouts >= 1
         assert host_pair.right.ip.stats.wasted_fragment_bytes > 0
