@@ -16,6 +16,23 @@ import platform
 import sys
 from typing import Dict, Iterable, List
 
+try:
+    import resource
+except ImportError:  # non-POSIX platform: omit the RSS field
+    resource = None
+
+
+def peak_rss_kb() -> int:
+    """Peak resident-set size of this process in KiB (0 if unknown).
+
+    ``ru_maxrss`` is KiB on Linux; session-scoped, so it reflects the
+    high-water mark across every bench that ran, which is exactly the
+    memory-flatness signal the streaming work is guarded on.
+    """
+    if resource is None:
+        return 0
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
 
 def benchmark_records(benchmarks: Iterable[object]) -> List[Dict[str, object]]:
     """Flatten pytest-benchmark ``Metadata`` objects to JSON-able rows.
@@ -52,6 +69,7 @@ def write_benchmark_json(benchmarks: Iterable[object], path: str) -> bool:
     document = {
         "python": platform.python_version(),
         "platform": sys.platform,
+        "peak_rss_kb": peak_rss_kb(),
         "benchmarks": records,
     }
     with open(path, "w") as stream:

@@ -24,7 +24,17 @@
   oracle (sequential vs parallel vs cache), ``--golden`` re-checks the
   pinned golden traces, ``--cc``/``--abr`` pick a transport.
   Non-zero exit on any violation or divergence.
+* ``watch``      — replay a streamed study's per-run records (``repro
+  study --stream-jsonl``) through rolling z-score baselines; exits 1
+  when a rebuffer/loss/delivery anomaly rule trips, so CI can gate on
+  study health.
 * ``cache``      — inspect or clear the persistent study cache.
+
+``study --progress`` renders a live status line (runs done/total, ETA,
+cache state, violations) from heartbeat records — sequential or pool
+workers alike — with a deterministic non-TTY fallback; ``study
+--stream-jsonl PATH`` writes each run's online-folded turbulence
+roll-up as one JSON line for ``repro watch``.
 
 ``scorecard --modern`` re-runs the sweep under each transport (2002
 push, AIMD, delay-gradient, ABR ladder) and prints the figure-for-
@@ -63,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = one per CPU; default 1, sequential)")
     study.add_argument("--no-cache", action="store_true",
                        help="always simulate; skip the study caches")
+    study.add_argument("--progress", action="store_true",
+                       help="live status line while the sweep runs "
+                            "(single in-place line on a TTY; one "
+                            "deterministic line per run otherwise)")
+    study.add_argument("--stream-jsonl", default=None,
+                       help="write each run's online-folded turbulence "
+                            "roll-up as one JSON line (feeds `repro "
+                            "watch`); implies a fresh simulation")
     study.add_argument("--plots", action="store_true",
                        help="include ASCII plots")
     study.add_argument("--html",
@@ -135,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "numbers; excluded from exports)")
     telemetry.add_argument("--top", type=int, default=12,
                            help="rows shown per summary section")
+    telemetry.add_argument("--ring-capacity", type=int, default=None,
+                           help="memory-ring capacity in events "
+                                "(default 262144; 0 = unbounded); a "
+                                "dropped=N warning prints if the ring "
+                                "overflows")
 
     spans = commands.add_parser(
         "spans", help="run the sweep with span tracing; print per-hop "
@@ -218,6 +241,32 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--abr", action="store_true",
                           help="run on the ABR segment-ladder transport")
 
+    watch = commands.add_parser(
+        "watch", help="flag anomalies in a streamed study's per-run "
+                      "records; nonzero exit when a rule trips")
+    watch.add_argument("path",
+                       help="JSON-lines file from `repro study "
+                            "--stream-jsonl`")
+    watch.add_argument("--metric", default=None, dest="metrics",
+                       help="comma-separated metrics to watch "
+                            "(default: rebuffer_ratio,loss_rate)")
+    watch.add_argument("--z", type=float, default=3.0,
+                       help="z-score threshold against the rolling "
+                            "baseline (default 3.0)")
+    watch.add_argument("--window", type=int, default=8,
+                       help="rolling-baseline window in runs (default 8)")
+    watch.add_argument("--min-baseline", type=int, default=3,
+                       help="runs required before a rule may trip "
+                            "(default 3)")
+    watch.add_argument("--min-delta", type=float, default=0.02,
+                       help="absolute deviation floor so flat baselines "
+                            "never page on numeric dust (default 0.02)")
+    watch.add_argument("--follow", action="store_true",
+                       help="keep tailing the file for appended records")
+    watch.add_argument("--idle-timeout", type=float, default=5.0,
+                       help="with --follow: stop after this many "
+                            "seconds without new records (default 5)")
+
     cache = commands.add_parser(
         "cache", help="inspect or clear the persistent study cache")
     cache.add_argument("action", choices=["info", "clear"], nargs="?",
@@ -257,6 +306,8 @@ def _check_sweep_args(args: argparse.Namespace) -> Optional[int]:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    import json as json_module
+    import resource
     import time
 
     from repro.experiments.report import build_report
@@ -265,29 +316,101 @@ def _cmd_study(args: argparse.Namespace) -> int:
     bad = _check_sweep_args(args)
     if bad is not None:
         return bad
-    started = time.perf_counter()
-    if args.no_cache:
-        study = run_study(seed=args.seed, duration_scale=args.scale,
-                          jobs=args.jobs)
-        source = "cache off"
-    else:
-        from repro.experiments.cache import load_or_run_study
+    record_stream = None
+    if args.stream_jsonl:
+        try:
+            record_stream = open(args.stream_jsonl, "w")
+        except OSError as exc:
+            return _usage_error(f"cannot write {args.stream_jsonl}: {exc}")
+    callbacks = []
+    renderer = None
+    if args.progress:
+        from repro.experiments.progress import ProgressRenderer
 
-        study, origin = load_or_run_study(seed=args.seed,
-                                          duration_scale=args.scale,
-                                          jobs=args.jobs)
-        source = ("disk cache hit" if origin == "disk"
-                  else "memory cache hit" if origin == "memory"
-                  else "cache miss")
+        renderer = ProgressRenderer(
+            stream=sys.stderr,
+            cache_note="off" if args.no_cache else "cold")
+        callbacks.append(renderer)
+    if record_stream is not None:
+        from repro.experiments.progress import PHASE_DONE
+
+        # Parallel workers finish out of order; hold records until every
+        # earlier run has been written so the tap is byte-identical to a
+        # sequential sweep (and `repro watch` baselines stay ordered).
+        held = {}
+        next_record = [0]
+
+        def write_record(beat) -> None:
+            if beat.phase != PHASE_DONE or beat.rollup is None:
+                return
+            record = {"index": beat.index, "label": beat.label,
+                      "events_folded": beat.events_folded,
+                      "violations": beat.violations}
+            record.update(beat.rollup)
+            held[beat.index] = record
+            while next_record[0] in held:
+                record_stream.write(json_module.dumps(
+                    held.pop(next_record[0]), sort_keys=True) + "\n")
+                next_record[0] += 1
+            record_stream.flush()
+
+        callbacks.append(write_record)
+    progress = None
+    if callbacks:
+        def progress(beat) -> None:
+            for callback in callbacks:
+                callback(beat)
+    streaming = bool(args.progress or args.stream_jsonl)
+    started = time.perf_counter()
+    try:
+        if args.no_cache or args.stream_jsonl:
+            # --stream-jsonl implies a fresh simulation: per-run records
+            # cannot be replayed out of a cached sweep.
+            stream = None
+            if streaming:
+                from repro.telemetry.streaming import StreamingSummary
+
+                stream = StreamingSummary()
+            study = run_study(seed=args.seed, duration_scale=args.scale,
+                              jobs=args.jobs, stream=stream,
+                              progress=progress)
+            source = ("cache off" if args.no_cache
+                      else "cache bypassed (--stream-jsonl)")
+        else:
+            from repro.experiments.cache import load_or_run_study
+
+            study, origin = load_or_run_study(seed=args.seed,
+                                              duration_scale=args.scale,
+                                              jobs=args.jobs,
+                                              stream=streaming,
+                                              progress=progress)
+            source = ("disk cache hit" if origin == "disk"
+                      else "memory cache hit" if origin == "memory"
+                      else "cache miss")
+    finally:
+        if renderer is not None:
+            renderer.close()
+        if record_stream is not None:
+            record_stream.close()
     elapsed = time.perf_counter() - started
     jobs_note = f", jobs {args.jobs}" if args.jobs != 1 else ""
     # Cached studies were not executed now; only a fresh simulation's
     # sequential/parallel/auto-downgrade decision is worth reporting.
-    ran_now = source in ("cache off", "cache miss")
+    ran_now = source in ("cache off", "cache miss",
+                         "cache bypassed (--stream-jsonl)")
     exec_note = f", {study.execution}" if ran_now else ""
+    # ru_maxrss is KiB on Linux: the process-lifetime high-water mark,
+    # which is exactly the number the bounded-memory claim is about.
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     print(f"# study sweep: {len(study)} pair runs in {elapsed:.2f}s "
           f"(seed {args.seed}, scale {args.scale}{jobs_note}{exec_note}, "
-          f"{source})\n")
+          f"{source}, peak rss {peak_kib / 1024:.0f} MiB)\n")
+    if study.streaming is not None:
+        summary = study.streaming
+        print(f"# streamed: {summary.events_folded} events folded into "
+              f"a bounded summary (fingerprint {summary.fingerprint()})\n")
+    if args.stream_jsonl:
+        print(f"wrote {args.stream_jsonl}")
     print(build_report(study, plots=args.plots))
     if args.html:
         from repro.experiments.html_report import build_html_report
@@ -568,7 +691,14 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     bad = _check_sweep_args(args)
     if bad is not None:
         return bad
-    sinks = [MemorySink()]
+    if args.ring_capacity is not None and args.ring_capacity < 0:
+        return _usage_error(f"--ring-capacity must be >= 0, "
+                            f"got {args.ring_capacity}")
+    if args.ring_capacity is None:
+        sinks = [MemorySink()]
+    else:
+        # 0 = unbounded, matching MemorySink(capacity=None).
+        sinks = [MemorySink(capacity=args.ring_capacity or None)]
     if args.events:
         sinks.append(JsonlSink(args.events))
     profiler = SimProfiler() if args.profile else None
@@ -640,6 +770,12 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         with open(args.series_csv, "w") as stream:
             stream.write(series_csv(registry))
         print(f"wrote {args.series_csv}")
+    dropped = telemetry.dropped_events()
+    if dropped:
+        print(f"warning: memory ring dropped={dropped} events; the "
+              f"oldest events are missing from every view above "
+              f"(raise --ring-capacity, or pass 0 for unbounded)",
+              file=sys.stderr)
     telemetry.close()
     if args.events:
         print(f"wrote {args.events}")
@@ -882,12 +1018,21 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         return 0 if report.ok else 1
 
     validator = RunValidator(raise_on_violation=False)
+    # Arm full telemetry (unbounded ring) plus an online streaming
+    # summary so the stream-equivalence invariant has both sides to
+    # compare: the per-run fold and the buffered events it must match.
+    from repro.telemetry import MemorySink, Telemetry
+    from repro.telemetry.streaming import StreamingSummary
+
+    telemetry = Telemetry(sinks=[MemorySink(capacity=None)])
+    stream = StreamingSummary()
     # build_table1_library already applied the scale when --set was
     # given; run_study applies it itself for the full sweep.
     study = run_study(library=library, seed=args.seed,
                       duration_scale=args.scale, jobs=1,
                       scenario=scenario, validate=validator,
-                      cc=cc, abr=abr)
+                      cc=cc, abr=abr, telemetry=telemetry,
+                      stream=stream)
     transport_note = ((f", cc {args.cc_kind}" if cc is not None else "")
                       + (", abr" if abr is not None else ""))
     print(f"# invariant check: {len(study)} pair runs "
@@ -897,6 +1042,63 @@ def _cmd_validate(args: argparse.Namespace) -> int:
           + transport_note + ")\n")
     print(validator.report())
     return 1 if validator.violations else 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.errors import AnalysisError
+    from repro.experiments.watch import (
+        DEFAULT_METRICS,
+        build_rules,
+        load_records,
+        tail_records,
+        watch_records,
+    )
+
+    if args.metrics is not None:
+        metrics = tuple(metric.strip()
+                        for metric in args.metrics.split(",")
+                        if metric.strip())
+        if not metrics:
+            return _usage_error("--metric needs at least one metric name")
+    else:
+        metrics = DEFAULT_METRICS
+    if args.idle_timeout < 0:
+        return _usage_error(f"--idle-timeout must be >= 0, "
+                            f"got {args.idle_timeout}")
+    try:
+        rules = build_rules(metrics, z_threshold=args.z,
+                            window=args.window,
+                            min_baseline=args.min_baseline,
+                            min_delta=args.min_delta)
+    except AnalysisError as exc:
+        return _usage_error(f"error: {exc}")
+    try:
+        if args.follow:
+            report = watch_records(
+                tail_records(args.path, idle_timeout=args.idle_timeout),
+                rules)
+        else:
+            report = watch_records(load_records(args.path), rules)
+    except OSError as exc:
+        return _usage_error(f"error: {exc}")
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"# watch: {report.records_checked} run records, "
+          f"{len(rules)} rules (metrics {', '.join(metrics)}, "
+          f"z {args.z:g}, window {args.window}, "
+          f"min-baseline {args.min_baseline})\n")
+    if report.records_checked == 0:
+        print("error: no run records to watch", file=sys.stderr)
+        return 1
+    if report.tripped:
+        for alert in report.alerts:
+            print(alert.render())
+        plural = "s" if len(report.alerts) != 1 else ""
+        print(f"\n{len(report.alerts)} watch rule trip{plural}")
+        return 1
+    print("no anomalies")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -931,6 +1133,7 @@ _HANDLERS = {
     "faults": _cmd_faults,
     "cc": _cmd_cc,
     "validate": _cmd_validate,
+    "watch": _cmd_watch,
     "cache": _cmd_cache,
     "telemetry": _cmd_telemetry,
     "spans": _cmd_spans,

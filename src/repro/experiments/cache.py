@@ -57,7 +57,13 @@ _NO_SCENARIO = "no-faults"
 _NO_CC = "no-cc"
 _NO_ABR = "no-abr"
 
-StudyKey = Tuple[int, float, float, str, str, str, str]
+#: Key slots for the streaming-summary axis: a sweep that folded an
+#: online summary carries it in the stored payload, so it must never
+#: alias a sweep that did not.
+_STREAMING = "streaming"
+_NO_STREAM = "no-stream"
+
+StudyKey = Tuple[int, float, float, str, str, str, str, str]
 
 _CACHE: Dict[StudyKey, StudyResults] = {}
 
@@ -72,7 +78,8 @@ def study_key(seed: int, duration_scale: float, loss_probability: float,
               library: Optional[ClipLibrary],
               scenario: Optional[FaultScenario] = None,
               cc: Optional[CcConfig] = None,
-              abr: Optional[AbrConfig] = None) -> StudyKey:
+              abr: Optional[AbrConfig] = None,
+              stream: bool = False) -> StudyKey:
     """The canonical cache key for one study parameter set.
 
     Shared by the memory dict and the disk layer so the two can never
@@ -90,8 +97,9 @@ def study_key(seed: int, duration_scale: float, loss_probability: float,
                     else _NO_SCENARIO)
     cc_key = cc.fingerprint() if cc is not None else _NO_CC
     abr_key = abr.fingerprint() if abr is not None else _NO_ABR
+    stream_key = _STREAMING if stream else _NO_STREAM
     return (seed, duration_scale, loss_probability, library_key,
-            scenario_key, cc_key, abr_key)
+            scenario_key, cc_key, abr_key, stream_key)
 
 
 def code_fingerprint() -> str:
@@ -136,7 +144,7 @@ def _entry_paths(key: StudyKey) -> Tuple[Path, Path]:
         {"seed": key[0], "duration_scale": key[1],
          "loss_probability": key[2], "library": key[3],
          "scenario": key[4], "cc": key[5], "abr": key[6],
-         "code": code_fingerprint()},
+         "stream": key[7], "code": code_fingerprint()},
         sort_keys=True)
     digest = hashlib.sha256(material.encode()).hexdigest()[:32]
     directory = cache_dir()
@@ -147,32 +155,36 @@ def _disk_load(key: StudyKey) -> Optional[StudyResults]:
     """The stored sweep for ``key``, or None (missing/unreadable)."""
     pickle_path, _ = _entry_paths(key)
     try:
-        with open(pickle_path, "rb") as stream:
-            runs = pickle.load(stream)
+        with open(pickle_path, "rb") as handle:
+            payload = pickle.load(handle)
     except FileNotFoundError:
         return None
     except Exception:
         # A truncated or version-skewed entry is a miss, not an error;
         # the fresh run below overwrites it.
         return None
-    return StudyResults(runs=runs)
+    if isinstance(payload, dict):
+        return StudyResults(runs=payload["runs"],
+                            streaming=payload.get("streaming"))
+    return StudyResults(runs=payload)
 
 
 def _disk_store(key: StudyKey, study: StudyResults) -> None:
-    """Persist a sweep (runs only — the telemetry facade holds live
-    clock closures and is never cached), atomically."""
+    """Persist a sweep (runs plus any streaming summary — the telemetry
+    facade holds live clock closures and is never cached), atomically."""
     pickle_path, key_path = _entry_paths(key)
     try:
         pickle_path.parent.mkdir(parents=True, exist_ok=True)
         tmp = pickle_path.with_suffix(".pkl.tmp")
-        with open(tmp, "wb") as stream:
-            pickle.dump(study.runs, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(tmp, "wb") as handle:
+            pickle.dump({"runs": study.runs, "streaming": study.streaming},
+                        handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, pickle_path)
         key_path.write_text(json.dumps(
             {"seed": key[0], "duration_scale": key[1],
              "loss_probability": key[2], "library": key[3],
              "scenario": key[4], "cc": key[5], "abr": key[6],
-             "code": code_fingerprint(),
+             "stream": key[7], "code": code_fingerprint(),
              "version": __version__, "runs": len(study)},
             sort_keys=True, indent=2) + "\n")
     except OSError:
@@ -225,8 +237,20 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
                       scenario: Optional[FaultScenario] = None,
                       cc: Optional[CcConfig] = None,
                       abr: Optional[AbrConfig] = None,
+                      stream: bool = False,
+                      progress=None,
                       ) -> Tuple[StudyResults, str]:
     """The study for these parameters, plus where it came from.
+
+    Args:
+        stream: fold the sweep into an online
+            :class:`~repro.telemetry.streaming.StreamingSummary`; the
+            summary is part of the cached payload (and of the key), so
+            a cache hit returns the identical bytes a fresh streamed
+            run would produce.
+        progress: optional heartbeat callback, forwarded to
+            :func:`~repro.experiments.runner.run_study` on a cache
+            miss (hits emit no heartbeats — there are no runs to beat).
 
     Returns:
         ``(study, source)`` with source one of ``"memory"``, ``"disk"``
@@ -234,7 +258,7 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
         from the terminal.
     """
     key = study_key(seed, duration_scale, loss_probability, library,
-                    scenario, cc, abr)
+                    scenario, cc, abr, stream=stream)
     study = _CACHE.get(key)
     if study is not None:
         return study, "memory"
@@ -243,10 +267,16 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
         if study is not None:
             _CACHE[key] = study
             return study, "disk"
+    summary = None
+    if stream:
+        from repro.telemetry.streaming import StreamingSummary
+
+        summary = StreamingSummary()
     study = run_study(library=library, seed=seed,
                       duration_scale=duration_scale,
                       loss_probability=loss_probability, jobs=jobs,
-                      scenario=scenario, cc=cc, abr=abr)
+                      scenario=scenario, cc=cc, abr=abr,
+                      stream=summary, progress=progress)
     _CACHE[key] = study
     if disk_cache_enabled():
         _disk_store(key, study)
@@ -259,12 +289,14 @@ def get_study(seed: int = 2002, duration_scale: float = 1.0,
               jobs: int = 1,
               scenario: Optional[FaultScenario] = None,
               cc: Optional[CcConfig] = None,
-              abr: Optional[AbrConfig] = None) -> StudyResults:
+              abr: Optional[AbrConfig] = None,
+              stream: bool = False) -> StudyResults:
     """The study for these parameters, running it on first request."""
     study, _ = load_or_run_study(seed=seed, duration_scale=duration_scale,
                                  loss_probability=loss_probability,
                                  library=library, jobs=jobs,
-                                 scenario=scenario, cc=cc, abr=abr)
+                                 scenario=scenario, cc=cc, abr=abr,
+                                 stream=stream)
     return study
 
 

@@ -35,12 +35,19 @@ them across runs.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import queue as queue_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.cc.abr import AbrConfig
 from repro.cc.base import CcConfig
+from repro.experiments.progress import (
+    PHASE_DONE,
+    PHASE_START,
+    Heartbeat,
+    ProgressCallback,
+)
 from repro.experiments.runner import (
     PairRunResult,
     StudyResults,
@@ -52,6 +59,7 @@ from repro.media.library import ClipLibrary
 from repro.telemetry.core import Telemetry, TelemetrySnapshot
 from repro.telemetry.sinks import MemorySink, NullSink
 from repro.telemetry.spans import SpanRecorder
+from repro.telemetry.streaming import StreamingSink, StreamingSummary
 
 
 @dataclass(frozen=True)
@@ -74,6 +82,13 @@ class _WorkerSpec:
     #: Transport configs (repro.cc); frozen dataclasses, pure data.
     cc: Optional[CcConfig] = None
     abr: Optional[AbrConfig] = None
+    #: Streaming-summary template: workers never fold into it, they
+    #: ``spawn()`` a fresh per-run summary with its configuration and
+    #: ship that home on the snapshot.
+    stream: Optional[StreamingSummary] = None
+    #: Manager-queue proxy for live heartbeats (a raw ``mp.Queue``
+    #: cannot ride through initargs); ``None`` when nobody listens.
+    heartbeats: Optional[object] = None
 
 
 #: Per-worker-process state, installed by :func:`_init_worker`.
@@ -93,7 +108,14 @@ def _worker_telemetry(spec: _WorkerSpec) -> Optional[Telemetry]:
     dropping anything here would diverge from a sequential run.
     """
     if not spec.metrics:
-        return None
+        if spec.stream is None:
+            return None
+        # Stream-only mode: a facade whose bus is inactive until the
+        # per-run streaming sink attaches, exactly like the sequential
+        # loop's internal facade.
+        from repro.telemetry.registry import MetricsRegistry
+
+        return Telemetry(registry=MetricsRegistry(), sinks=[])
     from repro.telemetry.registry import MetricsRegistry
 
     sink = MemorySink(capacity=None) if spec.events else NullSink()
@@ -107,20 +129,46 @@ def _run_index(index: int
     """Execute pair run ``index`` of the sweep in this worker."""
     spec = _SPEC
     assert spec is not None, "worker used before _init_worker ran"
-    clip_set, pair = spec.library.all_pairs()[index]
+    pairs = spec.library.all_pairs()
+    clip_set, pair = pairs[index]
+    label = f"set{clip_set.number}-{pair.band.short}"
     conditions = study_conditions(spec.seed, index,
                                   loss_probability=spec.loss_probability)
     telemetry = _worker_telemetry(spec)
-    if telemetry is not None:
-        telemetry.set_context(run=f"set{clip_set.number}-{pair.band.short}")
+    if telemetry is not None and spec.metrics:
+        telemetry.set_context(run=label)
+    if spec.heartbeats is not None:
+        spec.heartbeats.put(Heartbeat(index=index, total=len(pairs),
+                                      label=label, phase=PHASE_START))
+    per_run = None
+    if spec.stream is not None:
+        per_run = spec.stream.spawn()
+        telemetry.bus.attach(StreamingSink(per_run))
     result = run_pair_experiment(clip_set, pair, seed=spec.seed + index,
                                  conditions=conditions, telemetry=telemetry,
                                  scenario=spec.scenario, cc=spec.cc,
                                  abr=spec.abr)
-    if telemetry is None:
-        return result, None
-    telemetry.clear_context()
-    return result, telemetry.snapshot()
+    snapshot: Optional[TelemetrySnapshot] = None
+    if telemetry is not None:
+        if per_run is not None and telemetry.spans is not None:
+            # The worker recorder is fresh per run, so its whole forest
+            # is this run's — the same slice the sequential loop folds.
+            per_run.fold_spans(telemetry.spans.spans)
+        if spec.metrics:
+            telemetry.clear_context()
+            snapshot = telemetry.snapshot()
+            snapshot.streaming = per_run
+        elif per_run is not None:
+            snapshot = TelemetrySnapshot(registry=telemetry.registry,
+                                         streaming=per_run)
+    if spec.heartbeats is not None:
+        spec.heartbeats.put(Heartbeat(
+            index=index, total=len(pairs), label=label, phase=PHASE_DONE,
+            sim_time_frac=1.0,
+            events_folded=per_run.events_folded if per_run else 0,
+            faults_fired=per_run.rollup.faults_fired if per_run else 0,
+            rollup=per_run.rollup.as_dict() if per_run else None))
+    return result, snapshot
 
 
 def _pool_context():
@@ -131,21 +179,39 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _drain_heartbeats(heartbeats, progress: ProgressCallback) -> None:
+    """Forward every queued heartbeat to the progress callback."""
+    while True:
+        try:
+            beat = heartbeats.get_nowait()
+        except queue_module.Empty:
+            return
+        progress(beat)
+
+
 def run_study_parallel(library: ClipLibrary, seed: int,
                        loss_probability: float,
                        telemetry: Optional[Telemetry],
                        jobs: int,
                        scenario: Optional[FaultScenario] = None,
                        cc: Optional[CcConfig] = None,
-                       abr: Optional[AbrConfig] = None
+                       abr: Optional[AbrConfig] = None,
+                       stream: Optional[StreamingSummary] = None,
+                       progress: Optional[ProgressCallback] = None
                        ) -> StudyResults:
     """Fan a sweep's pair runs across ``jobs`` worker processes.
 
     Called by :func:`~repro.experiments.runner.run_study` when
     ``jobs > 1``; produces results identical to the sequential path
-    (same runs in the same order, same merged telemetry).
+    (same runs in the same order, same merged telemetry, same
+    streaming-summary bytes).
     """
     pairs = library.all_pairs()
+    manager = None
+    heartbeats = None
+    if progress is not None:
+        manager = _pool_context().Manager()
+        heartbeats = manager.Queue()
     spec = _WorkerSpec(
         library=library, seed=seed, loss_probability=loss_probability,
         metrics=telemetry is not None,
@@ -153,21 +219,43 @@ def run_study_parallel(library: ClipLibrary, seed: int,
         spans=telemetry is not None and telemetry.spans is not None,
         series_limit=(telemetry.registry._series_limit
                       if telemetry is not None else 0),
-        scenario=scenario, cc=cc, abr=abr)
+        scenario=scenario, cc=cc, abr=abr,
+        stream=stream, heartbeats=heartbeats)
     outcomes: List[Tuple[PairRunResult, Optional[TelemetrySnapshot]]]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pairs)),
-                             mp_context=_pool_context(),
-                             initializer=_init_worker,
-                             initargs=(spec,)) as pool:
-        # map() preserves submission order, which *is* library order —
-        # the determinism guarantee needs nothing more than that.
-        outcomes = list(pool.map(_run_index, range(len(pairs)),
-                                 chunksize=1))
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pairs)),
+                                 mp_context=_pool_context(),
+                                 initializer=_init_worker,
+                                 initargs=(spec,)) as pool:
+            if heartbeats is None:
+                # map() preserves submission order, which *is* library
+                # order — the determinism guarantee needs nothing more.
+                outcomes = list(pool.map(_run_index, range(len(pairs)),
+                                         chunksize=1))
+            else:
+                # submit + wait so heartbeats relay while runs are in
+                # flight; results are still gathered in library order.
+                futures = [pool.submit(_run_index, index)
+                           for index in range(len(pairs))]
+                pending = set(futures)
+                while pending:
+                    _, pending = wait(pending, timeout=0.05,
+                                      return_when=FIRST_COMPLETED)
+                    _drain_heartbeats(heartbeats, progress)
+                _drain_heartbeats(heartbeats, progress)
+                outcomes = [future.result() for future in futures]
+    finally:
+        if manager is not None:
+            manager.shutdown()
     results = StudyResults(telemetry=telemetry)
     for result, snapshot in outcomes:
-        if telemetry is not None and snapshot is not None:
-            offset = telemetry.merge(snapshot)
-            if offset:
-                result.trace.rebase_spans(offset)
+        if snapshot is not None:
+            if telemetry is not None:
+                offset = telemetry.merge(snapshot)
+                if offset:
+                    result.trace.rebase_spans(offset)
+            if stream is not None and snapshot.streaming is not None:
+                stream.merge(snapshot.streaming)
         results.runs.append(result)
+    results.streaming = stream
     return results

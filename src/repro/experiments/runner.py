@@ -34,6 +34,12 @@ from repro.netsim.rng import RandomStreams
 from repro.netsim.routing import RouteManager
 from repro.netsim.tcp import TcpReliability
 from repro.netsim.topology import PathTopology, build_path_topology
+from repro.experiments.progress import (
+    PHASE_DONE,
+    PHASE_START,
+    Heartbeat,
+    ProgressCallback,
+)
 from repro.players.base import PlayerRobustness
 from repro.players.mediatracker import MediaTracker
 from repro.players.realtracker import RealTracker
@@ -42,6 +48,7 @@ from repro.servers.realserver import RealServer
 from repro.servers.scaling import MediaScalingPolicy
 from repro.servers.wms import WindowsMediaServer
 from repro.telemetry.core import Telemetry
+from repro.telemetry.streaming import StreamingSink, StreamingSummary
 from repro.tools.ping import PingReport, run_ping
 from repro.tools.stability import StabilityVerdict, verify_stability
 from repro.tools.tracert import TracerouteReport, run_tracert
@@ -122,6 +129,12 @@ class StudyResults:
     #: jobs=N", or the auto-downgrade note when a parallel request fell
     #: back to sequential on a small sweep.
     execution: str = "sequential"
+    #: The online-folded study summary, when the sweep streamed (see
+    #: :mod:`repro.telemetry.streaming`): every pair run folded into a
+    #: fresh per-run summary, merged here in library order — identical
+    #: bytes whether the sweep ran sequentially, on a pool, or came
+    #: back from the disk cache.
+    streaming: Optional[StreamingSummary] = None
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -374,7 +387,9 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
               validate: Optional["RunValidator"] = None,
               cc: Optional["CcConfig"] = None,
               abr: Optional["AbrConfig"] = None,
-              min_parallel_runs: int = PARALLEL_MIN_RUNS) -> StudyResults:
+              min_parallel_runs: int = PARALLEL_MIN_RUNS,
+              stream: Optional[StreamingSummary] = None,
+              progress: Optional[ProgressCallback] = None) -> StudyResults:
     """Run the full Table 1 sweep (the corpus behind every figure).
 
     Args:
@@ -409,6 +424,18 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             ``jobs > 1`` request to sequential execution (fork overhead
             beats the win on small sweeps); the decision lands on
             ``StudyResults.execution``.  Pass 0 to force the pool.
+        stream: optional :class:`~repro.telemetry.streaming.StreamingSummary`
+            to fold the sweep into online.  Each pair run folds into a
+            fresh ``stream.spawn()`` via a per-run bus sink (no event
+            buffering), and the per-run summaries merge into ``stream``
+            in library order — byte-identical across sequential,
+            parallel, and cached execution.  Works with or without a
+            ``telemetry`` facade; the merged summary also lands on
+            ``StudyResults.streaming``.
+        progress: optional heartbeat consumer (see
+            :mod:`repro.experiments.progress`); called with one
+            :class:`Heartbeat` at each pair run's start and end, from
+            the sequential loop or relayed from pool workers.
 
     Raises:
         ExperimentError: for ``validate`` combined with ``jobs > 1``.
@@ -430,22 +457,61 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             results = run_study_parallel(library, seed=seed,
                                          loss_probability=loss_probability,
                                          telemetry=telemetry, jobs=jobs,
-                                         scenario=scenario, cc=cc, abr=abr)
+                                         scenario=scenario, cc=cc, abr=abr,
+                                         stream=stream, progress=progress)
             results.execution = f"parallel jobs={jobs}"
             return results
         execution = (f"sequential (auto-downgraded from jobs={jobs}: "
                      f"{len(pairs)} runs < {min_parallel_runs})")
     results = StudyResults(telemetry=telemetry, execution=execution)
+    # A streamed sweep needs a live bus even when the caller brought no
+    # facade: an internal one with no sinks stays inactive except while
+    # a per-run streaming sink is attached.
+    facade = telemetry
+    if stream is not None and facade is None:
+        facade = Telemetry(sinks=[])
+    total = len(pairs)
     for index, (clip_set, pair) in enumerate(pairs):
         conditions = study_conditions(seed, index,
                                       loss_probability=loss_probability)
+        label = f"set{clip_set.number}-{pair.band.short}"
         if telemetry is not None:
-            telemetry.set_context(run=f"set{clip_set.number}-"
-                                      f"{pair.band.short}")
-        results.runs.append(run_pair_experiment(
-            clip_set, pair, seed=seed + index, conditions=conditions,
-            telemetry=telemetry, scenario=scenario, validate=validate,
-            cc=cc, abr=abr))
+            telemetry.set_context(run=label)
+        if progress is not None:
+            progress(Heartbeat(index=index, total=total, label=label,
+                               phase=PHASE_START))
+        per_run = None
+        sink = None
+        span_base = 0
+        if stream is not None:
+            per_run = stream.spawn()
+            sink = StreamingSink(per_run)
+            if facade.spans is not None:
+                span_base = len(facade.spans.spans)
+            facade.bus.attach(sink)
+        try:
+            results.runs.append(run_pair_experiment(
+                clip_set, pair, seed=seed + index, conditions=conditions,
+                telemetry=facade, scenario=scenario, validate=validate,
+                cc=cc, abr=abr))
+        finally:
+            if sink is not None:
+                facade.bus.detach(sink)
+        if per_run is not None:
+            if facade.spans is not None:
+                per_run.fold_spans(facade.spans.spans[span_base:])
+            stream.merge(per_run)
+        if progress is not None:
+            progress(Heartbeat(
+                index=index, total=total, label=label, phase=PHASE_DONE,
+                sim_time_frac=1.0,
+                events_folded=per_run.events_folded if per_run else 0,
+                faults_fired=(per_run.rollup.faults_fired
+                              if per_run else 0),
+                violations=(len(validate.violations)
+                            if validate is not None else 0),
+                rollup=per_run.rollup.as_dict() if per_run else None))
     if telemetry is not None:
         telemetry.clear_context()
+    results.streaming = stream
     return results

@@ -16,7 +16,11 @@ The observability subsystem the measurement pipeline itself runs on:
 * :mod:`~repro.telemetry.trace_export` — Chrome trace-event (Perfetto)
   and JSONL span exports, byte-identical under a fixed seed;
 * :mod:`~repro.telemetry.core` — the :class:`Telemetry` facade every
-  instrumented layer holds behind a ``None`` check.
+  instrumented layer holds behind a ``None`` check;
+* :mod:`~repro.telemetry.streaming` — bounded-memory online folds:
+  mergeable :class:`StreamingSummary` (counters-by-type, heavy-hitter
+  sketch, turbulence roll-up) with byte-identical output across
+  sequential / parallel / cached execution.
 
 Everything is opt-in: construct a :class:`Telemetry`, hand it to
 ``Simulator(seed, telemetry=...)`` (or ``run_study(telemetry=...)``),
@@ -74,6 +78,14 @@ from repro.telemetry.sinks import (
     MemorySink,
     NullSink,
 )
+from repro.telemetry.streaming import (
+    ExactSumHistogram,
+    StreamingSink,
+    StreamingSummary,
+    TopKSketch,
+    TurbulenceRollup,
+    fold_events,
+)
 from repro.telemetry.spans import (
     ALL_SPAN_KINDS,
     SPAN_ADU,
@@ -102,6 +114,7 @@ __all__ = [
     "AduLatency",
     "CC_STATE",
     "Counter",
+    "ExactSumHistogram",
     "FRAGMENT_EMITTED",
     "FilterSink",
     "Gauge",
@@ -133,11 +146,16 @@ __all__ = [
     "SimProfiler",
     "Span",
     "SpanRecorder",
+    "StreamingSink",
+    "StreamingSummary",
     "Telemetry",
     "TelemetrySnapshot",
+    "TopKSketch",
     "TraceEvent",
     "TraceEventBus",
+    "TurbulenceRollup",
     "aggregate_attribution",
+    "fold_events",
     "attribute_latency",
     "attribution_dict",
     "chrome_trace",

@@ -44,6 +44,11 @@ class TelemetrySnapshot:
     registry: MetricsRegistry
     events: List[Tuple[str, float, Tuple]] = field(default_factory=list)
     spans: List[Tuple] = field(default_factory=list)
+    #: The worker's online-folded per-run summary (see
+    #: :mod:`repro.telemetry.streaming`), shipped pre-reduced so the
+    #: parent merges O(1) state instead of re-folding the event rows.
+    #: ``None`` when the study did not request streaming aggregation.
+    streaming: Optional[object] = None
 
 
 class Telemetry:
@@ -176,6 +181,17 @@ class Telemetry:
             if isinstance(sink, MemorySink):
                 return list(sink.events)
         return []
+
+    def dropped_events(self) -> int:
+        """Events lost to memory-ring truncation across attached sinks.
+
+        Nonzero means every event-derived view (timelines, summaries,
+        replays) is missing the *oldest* part of the stream — exporters
+        and the CLI surface this so truncation never looks like a
+        quiet run.
+        """
+        return sum(sink.dropped for sink in self.bus._sinks
+                   if isinstance(sink, MemorySink))
 
     def close(self) -> None:
         self.bus.close()

@@ -160,6 +160,20 @@ class TraceEventBus:
         self._sinks.append(sink)
         self._refresh_active()
 
+    def detach(self, sink: object) -> None:
+        """Remove a previously-attached sink (identity match).
+
+        The study runner attaches one per-run streaming sink before a
+        pair run and detaches it after, so a run's folds never bleed
+        into the next run's summary.  Detaching a sink that is not
+        attached is a no-op.
+        """
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            return
+        self._refresh_active()
+
     def _refresh_active(self) -> None:
         self._active = any(getattr(sink, "active", True)
                            for sink in self._sinks)

@@ -74,7 +74,10 @@ def summary_dict(telemetry: Telemetry) -> Dict[str, object]:
         "counters": counters,
         "gauges": gauges,
         "histograms": histograms,
+        # ``dropped`` counts ring-buffer truncation: nonzero means the
+        # tallies above describe only the *newest* part of the stream.
         "events": {"total": len(events),
+                   "dropped": telemetry.dropped_events(),
                    "by_type": dict(sorted(by_type.items()))},
     }
 
@@ -103,6 +106,7 @@ def summary_csv(telemetry: Telemetry) -> str:
     for name, labels, histogram in registry.histograms():
         out.write(f"histogram,{name},{format_labels(labels)},"
                   f"{histogram.count},{_round(histogram.max)}\n")
+    out.write(f"meta,events.dropped,,{telemetry.dropped_events()},\n")
     return out.getvalue()
 
 

@@ -31,6 +31,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ValidationError
 from repro.telemetry.critical_path import attribute_latency
 from repro.telemetry.events import REBUFFER_START
+from repro.telemetry.sinks import MemorySink
+from repro.telemetry.streaming import StreamingSink
 from repro.telemetry.spans import (
     SPAN_ADU,
     SPAN_BUFFER,
@@ -85,6 +87,7 @@ INVARIANT_NAMES: Tuple[str, ...] = (
     "span-decomposition",
     "cc-bounds",
     "ladder-conservation",
+    "stream-equivalence",
 )
 
 
@@ -135,6 +138,7 @@ class RunValidator:
         # sweep examines only what this run appended.
         self._event_seq_checked = -1
         self._spans_checked = 0
+        self._stream_seq_checked = -1
 
     # ------------------------------------------------------------------
     # Wiring (Simulator and instrumented layers call these)
@@ -202,6 +206,7 @@ class RunValidator:
         self._check_spans(fail)
         self._check_cc(fail)
         self._check_abr(fail)
+        self._check_stream(fail)
 
         self.runs_checked += 1
         self.violations.extend(found)
@@ -648,6 +653,55 @@ class RunValidator:
                 fail("ladder-conservation",
                      f"closed segments total {closed_wire} wire bytes but "
                      f"the pacer sent {pacer.bytes_sent}", family=family)
+
+    # ------------------------------------------------------------------
+    # Streaming summary: the online fold equals a refold of the run's
+    # buffered events
+    # ------------------------------------------------------------------
+    def _check_stream(self, fail) -> None:
+        """The bounded-memory fold must lose nothing the buffer kept.
+
+        When a run streams (a :class:`StreamingSink` on the bus) *and*
+        buffers (a :class:`MemorySink` on the same bus), the two views
+        saw the identical event sequence — so refolding this run's
+        buffered slice into a fresh summary must reproduce the online
+        summary exactly, section for section.  Spans are excluded on
+        both sides: the study runner folds them after this sweep runs.
+        """
+        telemetry = getattr(self._sim, "telemetry", None)
+        if telemetry is None:
+            return
+        sinks = telemetry.bus._sinks
+        events = telemetry.memory_events()
+        high_water = self._stream_seq_checked
+        if events:
+            self._stream_seq_checked = max(self._stream_seq_checked,
+                                           events[-1].sequence)
+        streaming = [sink for sink in sinks
+                     if isinstance(sink, StreamingSink)]
+        if not streaming:
+            return
+        if not any(isinstance(sink, MemorySink) for sink in sinks):
+            return  # stream-only run: nothing buffered to refold
+        if telemetry.dropped_events():
+            # An overflowed ring cannot be refolded faithfully; the
+            # invariant is unverifiable here, not violated.
+            return
+        run_events = [event for event in events
+                      if event.sequence > high_water]
+        for sink in streaming:
+            self.checks_performed += 1
+            refold = sink.summary.spawn()
+            for event in run_events:
+                refold.fold(event)
+            if refold.as_dict() != sink.summary.as_dict():
+                fail("stream-equivalence",
+                     f"online fold (fingerprint "
+                     f"{sink.summary.fingerprint()}, "
+                     f"{sink.summary.events_folded} events) differs "
+                     f"from a refold of the run's {len(run_events)} "
+                     f"buffered events (fingerprint "
+                     f"{refold.fingerprint()})")
 
     # ------------------------------------------------------------------
     # Reporting

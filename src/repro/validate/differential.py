@@ -42,6 +42,7 @@ from repro.telemetry.core import Telemetry
 from repro.telemetry.exporters import to_json
 from repro.telemetry.sinks import MemorySink, encode_event
 from repro.telemetry.spans import SpanRecorder
+from repro.telemetry.streaming import StreamingSummary, fold_events
 from repro.telemetry.trace_export import spans_jsonl
 
 
@@ -63,10 +64,14 @@ def study_surface(study: StudyResults,
     experiment metadata (conditions, ping RTTs, tracert hops, stability
     verdict).  Study-wide, when a telemetry facade is supplied: the
     canonical summary JSON, the encoded event stream, and the span
-    forest export.  Cache round-trips carry runs only, so their
-    surfaces simply lack the ``telemetry.*`` keys.
+    forest export.  Cache round-trips carry runs (plus any streaming
+    summary) only, so their surfaces simply lack the ``telemetry.*``
+    keys; the ``streaming.summary`` surface rides wherever the study's
+    online fold does — including through the pickle round-trip.
     """
     surfaces: Dict[str, str] = {}
+    if study.streaming is not None:
+        surfaces["streaming.summary"] = _digest(study.streaming.to_json())
     for run in study:
         label = run.label
         surfaces[f"run[{label}].trace"] = _digest(serialize.dumps(run.trace))
@@ -168,9 +173,25 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
                           duration_scale=duration_scale,
                           loss_probability=loss_probability,
                           telemetry=telemetry_seq, jobs=1,
-                          scenario=scenario, cc=cc, abr=abr)
+                          scenario=scenario, cc=cc, abr=abr,
+                          stream=StreamingSummary())
     reference = study_surface(study_seq, telemetry_seq)
     report.legs["sequential"] = reference
+
+    # The streaming fold's own oracle: refolding the *fully buffered*
+    # event stream (plus the span forest) into one fresh summary must
+    # reproduce the per-run merged summary byte for byte — the bounded
+    # fold lost nothing the unbounded buffer kept.
+    if study_seq.streaming is not None:
+        refold = fold_events(telemetry_seq.memory_events(),
+                             into=study_seq.streaming.spawn())
+        if telemetry_seq.spans is not None:
+            refold.fold_spans(telemetry_seq.spans.spans)
+        if refold.to_json() != study_seq.streaming.to_json():
+            report.divergences.append(
+                f"streaming: merged per-run fold (fingerprint "
+                f"{study_seq.streaming.fingerprint()}) != refold of the "
+                f"buffered stream ({refold.fingerprint()})")
 
     telemetry_par = _fresh_telemetry()
     study_par = run_study(library=library, seed=seed,
@@ -178,7 +199,8 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
                           loss_probability=loss_probability,
                           telemetry=telemetry_par, jobs=max(2, jobs),
                           scenario=scenario, cc=cc, abr=abr,
-                          min_parallel_runs=0)
+                          min_parallel_runs=0,
+                          stream=StreamingSummary())
     parallel = study_surface(study_par, telemetry_par)
     report.legs["parallel"] = parallel
     _compare(report, "parallel", reference, parallel, require_all=True)
@@ -187,7 +209,7 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
     # pickle round-trip in an isolated directory so the user's real
     # cache is neither consulted nor polluted.
     key = study_key(seed, duration_scale, loss_probability, library,
-                    scenario, cc, abr)
+                    scenario, cc, abr, stream=True)
     saved = {name: os.environ.get(name)
              for name in (CACHE_ENV, CACHE_DIR_ENV)}
     with tempfile.TemporaryDirectory(prefix="repro-validate-") as tmp:
@@ -209,7 +231,8 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
     else:
         cached = study_surface(study_cached)
         report.legs["cache"] = cached
-        # Cache entries are runs-only by design; compare the run
-        # surfaces and let the telemetry.* keys pass.
+        # Cache entries carry runs and the streaming summary but no
+        # telemetry facade; compare what round-tripped and let the
+        # telemetry.* keys pass.
         _compare(report, "cache", reference, cached, require_all=False)
     return report

@@ -30,11 +30,15 @@ from repro.experiments.datasets import build_table1_library
 from repro.experiments.runner import run_study
 from repro.faults.scenario import build_scenario
 from repro.media.library import ClipLibrary
+from repro.telemetry.streaming import StreamingSummary
 from repro.validate.differential import _fresh_telemetry, study_surface
 
 #: Schema marker inside every golden file; bump on format changes so a
 #: stale checkout fails loudly instead of diffing apples to oranges.
-GOLDEN_SCHEMA = 1
+#: Schema 2: goldens run with an online streaming summary and pin its
+#: canonical JSON as the ``streaming.summary`` surface; the telemetry
+#: summary surface also carries the ring's dropped-event count.
+GOLDEN_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -110,7 +114,8 @@ def compute_golden(scenario: GoldenScenario) -> Dict[str, object]:
     telemetry = _fresh_telemetry()
     study = run_study(library=_scenario_library(scenario),
                       seed=scenario.seed, telemetry=telemetry,
-                      jobs=1, scenario=fault, cc=cc, abr=abr)
+                      jobs=1, scenario=fault, cc=cc, abr=abr,
+                      stream=StreamingSummary())
     return {
         "schema": GOLDEN_SCHEMA,
         "scenario": scenario.name,

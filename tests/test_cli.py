@@ -306,3 +306,116 @@ class TestBadArgumentExitCodes:
         with pytest.raises(SystemExit) as excinfo:
             main(["no-such-command"])
         assert excinfo.value.code == 2
+
+
+class TestStudyStreamingOptions:
+    def test_progress_and_stream_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "runs.jsonl"
+        # --stream-jsonl bypasses the caches, so this is always a
+        # fresh simulation with live heartbeats.
+        assert main(["study", "--scale", "0.1", "--seed", "3",
+                     "--progress", "--stream-jsonl", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "peak rss" in captured.out
+        assert "# streamed:" in captured.out
+        assert "cache bypassed" in captured.out
+        # Non-TTY progress: one deterministic done-line per run, in
+        # library order, on stderr.
+        lines = [line for line in captured.err.splitlines()
+                 if line.startswith("run ")]
+        assert len(lines) == 13
+        assert lines[0].startswith("run 1/13 done ")
+        assert lines[-1].startswith("run 13/13 done ")
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == 13
+        assert records[0]["index"] == 0
+        for key in ("label", "rebuffer_ratio", "loss_rate",
+                    "delivered_rate_kbps", "events_folded"):
+            assert key in records[0]
+
+    def test_unwritable_stream_path_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "runs.jsonl"
+        assert main(["study", "--stream-jsonl", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestWatchCommand:
+    @staticmethod
+    def _write(tmp_path, values, metric="rebuffer_ratio"):
+        import json
+
+        path = tmp_path / "stream.jsonl"
+        path.write_text("".join(
+            json.dumps({"index": i, "label": f"run{i}", metric: value})
+            + "\n" for i, value in enumerate(values)))
+        return str(path)
+
+    def test_clean_records_exit_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, [0.01] * 8)
+        assert main(["watch", path]) == 0
+        out = capsys.readouterr().out
+        assert "no anomalies" in out
+        assert "8 run records" in out
+
+    def test_spike_exits_one_with_alert(self, tmp_path, capsys):
+        path = self._write(tmp_path, [0.01, 0.012, 0.011, 0.013, 0.9])
+        assert main(["watch", path]) == 1
+        out = capsys.readouterr().out
+        assert "ALERT rebuffer_ratio" in out
+        assert "1 watch rule trip" in out
+
+    def test_follow_mode_reads_static_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, [0.01] * 6)
+        assert main(["watch", path, "--follow",
+                     "--idle-timeout", "0"]) == 0
+        assert "no anomalies" in capsys.readouterr().out
+
+    def test_unknown_metric_exits_two(self, tmp_path, capsys):
+        path = self._write(tmp_path, [0.01])
+        assert main(["watch", path, "--metric", "bogus"]) == 2
+        assert "unknown watch metric" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["watch", str(path)]) == 1
+        assert "no run records" in capsys.readouterr().err
+
+    def test_garbage_line_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"index": 0}\nnot json\n')
+        assert main(["watch", str(path)]) == 1
+        assert "unparseable" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv,needle", [
+        (["--z", "0"], "z-threshold"),
+        (["--window", "1"], "window"),
+        (["--min-baseline", "1"], "min-baseline"),
+        (["--min-delta", "-0.1"], "min-delta"),
+        (["--metric", " , "], "--metric"),
+        (["--idle-timeout", "-1"], "--idle-timeout"),
+    ])
+    def test_bad_knobs_exit_two(self, tmp_path, argv, needle, capsys):
+        path = self._write(tmp_path, [0.01])
+        assert main(["watch", path] + argv) == 2
+        assert needle in capsys.readouterr().err
+
+
+class TestTelemetryRingCapacity:
+    def test_dropped_warning_on_overflow(self, capsys):
+        assert main(["telemetry", "--scale", "0.02", "--seed", "3",
+                     "--ring-capacity", "200"]) == 0
+        err = capsys.readouterr().err
+        assert "dropped=" in err
+        assert "--ring-capacity" in err
+
+    def test_negative_capacity_exits_two(self, capsys):
+        assert main(["telemetry", "--ring-capacity", "-5"]) == 2
+        assert "--ring-capacity" in capsys.readouterr().err
