@@ -32,6 +32,7 @@ GUARDED = frozenset({
     "test_bench_study_parallel",
     "test_bench_study_aimd",
     "test_bench_study_abr",
+    "test_bench_study_repair",
     "test_bench_streaming_fold",
 })
 

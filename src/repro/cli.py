@@ -19,6 +19,10 @@
 * ``cc``         — run one clip set under a named congestion
   controller (``repro.cc``) and print the controller's state summary
   (``--list`` shows the controllers).
+* ``repair``     — run one clip set with the loss-repair stack armed
+  (``repro.repair``: XOR parity, NACK retransmission, deadline-aware
+  scheduling) under a fault scenario and print the repair ledger and
+  per-viewer QoE scores.
 * ``validate``   — run a seeded study with every runtime invariant
   checked (``repro.validate``); ``--study`` runs the differential
   oracle (sequential vs parallel vs cache), ``--golden`` re-checks the
@@ -195,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--events",
                         help="write the run's trace-event stream as "
                              "JSON lines")
+    faults.add_argument("--repair", action="store_true",
+                        help="also arm the default loss-repair stack; "
+                             "the report gains a loss-repair line")
 
     cc = commands.add_parser(
         "cc", help="run one clip set under a congestion controller and "
@@ -210,6 +217,29 @@ def build_parser() -> argparse.ArgumentParser:
                          "set is enough to watch a controller move)")
     cc.add_argument("--set", type=int, default=3, dest="set_number",
                     help="Table 1 clip set to stream (default 3)")
+
+    repair = commands.add_parser(
+        "repair", help="run one clip set with the loss-repair stack "
+                       "armed and print the repair/QoE report")
+    repair.add_argument("--seed", type=int, default=2002)
+    repair.add_argument("--scale", type=float, default=0.12,
+                        help="clip duration scale (default 0.12: one "
+                             "short set is enough to watch repair work)")
+    repair.add_argument("--set", type=int, default=3, dest="set_number",
+                        help="Table 1 clip set to stream (default 3)")
+    repair.add_argument("--faults", default="burst-loss",
+                        dest="fault_scenario",
+                        help="fault scenario driving the loss (see "
+                             "`repro faults --list`; default burst-loss; "
+                             "'none' for a clean run)")
+    repair.add_argument("--fec-group", type=int, default=8,
+                        help="media datagrams per XOR parity group "
+                             "(0 disables FEC; default 8)")
+    repair.add_argument("--no-nack", action="store_true",
+                        help="disable the NACK/retransmission loop "
+                             "(parity-only repair)")
+    repair.add_argument("--json",
+                        help="write the repair/QoE summary as JSON")
 
     validate = commands.add_parser(
         "validate", help="check a seeded study against the runtime "
@@ -240,6 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
                                "(see `repro cc --list`)")
     validate.add_argument("--abr", action="store_true",
                           help="run on the ABR segment-ladder transport")
+    validate.add_argument("--repair", action="store_true",
+                          help="arm the default loss-repair stack")
 
     watch = commands.add_parser(
         "watch", help="flag anomalies in a streamed study's per-run "
@@ -920,10 +952,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     sinks = [MemorySink()]
     if args.events:
         sinks.append(JsonlSink(args.events))
+    repair = None
+    if args.repair:
+        from repro.repair import RepairConfig
+
+        repair = RepairConfig()
     telemetry = Telemetry(sinks=sinks)
     result = run_pair_experiment(clip_set, pair, seed=args.seed,
                                  conditions=conditions,
-                                 telemetry=telemetry, scenario=scenario)
+                                 telemetry=telemetry, scenario=scenario,
+                                 repair=repair)
     report = recovery_report(telemetry.memory_events(),
                              scenario=scenario.name)
     telemetry.close()
@@ -942,6 +980,90 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print("error: the scenario injected no faults (nothing "
               "executed before the run ended)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.errors import ReproError
+    from repro.experiments.datasets import build_table1_library
+    from repro.experiments.runner import run_study
+    from repro.faults import build_scenario
+    from repro.media.library import ClipLibrary
+    from repro.repair import RepairConfig
+    from repro.telemetry import MemorySink, Telemetry
+    from repro.telemetry.streaming import StreamingSummary
+
+    if args.scale <= 0:
+        return _usage_error(f"--scale must be positive, got {args.scale}")
+    try:
+        config = RepairConfig(fec_group=args.fec_group,
+                              nack=not args.no_nack)
+    except ReproError as exc:
+        return _usage_error(f"error: {exc}")
+    if config.is_null:
+        return _usage_error(
+            "error: --fec-group 0 with --no-nack arms no repair "
+            "mechanism at all; nothing to report")
+    scenario = None
+    if args.fault_scenario != "none":
+        try:
+            scenario = build_scenario(args.fault_scenario, args.seed)
+        except ReproError as exc:
+            return _usage_error(f"error: {exc}")
+
+    full = build_table1_library(duration_scale=args.scale)
+    try:
+        clip_set = full.get_set(args.set_number)
+    except ReproError as exc:
+        return _usage_error(f"error: {exc}")
+    library = ClipLibrary()
+    library.add_set(clip_set)
+    telemetry = Telemetry(sinks=[MemorySink(capacity=None)])
+    stream = StreamingSummary()
+    study = run_study(library=library, seed=args.seed,
+                      telemetry=telemetry, scenario=scenario,
+                      repair=config, stream=stream)
+    telemetry.close()
+
+    fault_note = (args.fault_scenario if scenario is not None
+                  else "no faults")
+    print(f"# repair: {len(study)} pair runs (seed {args.seed}, "
+          f"scale {args.scale}, set {args.set_number}, {fault_note}, "
+          f"fingerprint {config.fingerprint()})\n")
+    section = stream.rollup.as_dict().get("repair")
+    if section is None:
+        print("no repair activity (nothing sent, nothing lost)")
+    else:
+        qoe = section.pop("qoe")
+        for key in sorted(section):
+            print(f"  {key:<26} {section[key]}")
+        print(f"  {'qoe mean/min/max':<26} {qoe['mean']}"
+              f" / {qoe['min']} / {qoe['max']}")
+    print("\nper-viewer QoE:")
+    payload = {"repair": section, "runs": []}
+    for run in study:
+        for name, stats in (("real", run.real_stats),
+                            ("wmp", run.wmp_stats)):
+            score = stats.qoe()
+            print(f"  {run.label}/{name}: score {score.score:.2f} "
+                  f"(startup {score.startup_delay:.2f}s, rebuffer "
+                  f"{100 * score.rebuffer_ratio:.1f}%, frames "
+                  f"{100 * score.frame_delivery:.1f}%, repaired "
+                  f"{100 * score.repair_ratio:.1f}% — lost "
+                  f"{stats.packets_lost}, recovered "
+                  f"{stats.packets_recovered})")
+            payload["runs"].append(
+                {"run": run.label, "player": name,
+                 "packets_lost": stats.packets_lost,
+                 "packets_recovered": stats.packets_recovered,
+                 "qoe": score.as_dict()})
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -1006,12 +1128,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     abr = AbrConfig() if args.abr else None
+    repair = None
+    if args.repair:
+        from repro.repair import RepairConfig
+
+        repair = RepairConfig()
 
     if args.differential:
         report = run_differential(seed=args.seed,
                                   duration_scale=args.scale,
                                   jobs=args.jobs, library=library,
-                                  scenario=scenario, cc=cc, abr=abr)
+                                  scenario=scenario, cc=cc, abr=abr,
+                                  repair=repair)
         print(f"# differential oracle (seed {args.seed}, "
               f"scale {args.scale})\n")
         print(report.summary())
@@ -1031,10 +1159,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     study = run_study(library=library, seed=args.seed,
                       duration_scale=args.scale, jobs=1,
                       scenario=scenario, validate=validator,
-                      cc=cc, abr=abr, telemetry=telemetry,
+                      cc=cc, abr=abr, repair=repair, telemetry=telemetry,
                       stream=stream)
     transport_note = ((f", cc {args.cc_kind}" if cc is not None else "")
-                      + (", abr" if abr is not None else ""))
+                      + (", abr" if abr is not None else "")
+                      + (", repair" if repair is not None else ""))
     print(f"# invariant check: {len(study)} pair runs "
           f"(seed {args.seed}, scale {args.scale}"
           + (f", faults {args.fault_scenario}"
@@ -1132,6 +1261,7 @@ _HANDLERS = {
     "study": _cmd_study,
     "faults": _cmd_faults,
     "cc": _cmd_cc,
+    "repair": _cmd_repair,
     "validate": _cmd_validate,
     "watch": _cmd_watch,
     "cache": _cmd_cache,

@@ -36,6 +36,7 @@ from repro.cc.base import CcConfig
 from repro.experiments.runner import StudyResults, run_study
 from repro.faults.scenario import FaultScenario
 from repro.media.library import ClipLibrary
+from repro.repair.base import RepairConfig
 
 #: Key slot used when the caller lets ``run_study`` build the default
 #: Table 1 library; the library itself depends only on duration_scale,
@@ -57,13 +58,16 @@ _NO_SCENARIO = "no-faults"
 _NO_CC = "no-cc"
 _NO_ABR = "no-abr"
 
+#: Key slot for studies run without loss repair.
+_NO_REPAIR = "no-repair"
+
 #: Key slots for the streaming-summary axis: a sweep that folded an
 #: online summary carries it in the stored payload, so it must never
 #: alias a sweep that did not.
 _STREAMING = "streaming"
 _NO_STREAM = "no-stream"
 
-StudyKey = Tuple[int, float, float, str, str, str, str, str]
+StudyKey = Tuple[int, float, float, str, str, str, str, str, str]
 
 _CACHE: Dict[StudyKey, StudyResults] = {}
 
@@ -79,6 +83,7 @@ def study_key(seed: int, duration_scale: float, loss_probability: float,
               scenario: Optional[FaultScenario] = None,
               cc: Optional[CcConfig] = None,
               abr: Optional[AbrConfig] = None,
+              repair: Optional[RepairConfig] = None,
               stream: bool = False) -> StudyKey:
     """The canonical cache key for one study parameter set.
 
@@ -97,9 +102,11 @@ def study_key(seed: int, duration_scale: float, loss_probability: float,
                     else _NO_SCENARIO)
     cc_key = cc.fingerprint() if cc is not None else _NO_CC
     abr_key = abr.fingerprint() if abr is not None else _NO_ABR
+    repair_key = (repair.fingerprint() if repair is not None
+                  else _NO_REPAIR)
     stream_key = _STREAMING if stream else _NO_STREAM
     return (seed, duration_scale, loss_probability, library_key,
-            scenario_key, cc_key, abr_key, stream_key)
+            scenario_key, cc_key, abr_key, repair_key, stream_key)
 
 
 def code_fingerprint() -> str:
@@ -144,7 +151,8 @@ def _entry_paths(key: StudyKey) -> Tuple[Path, Path]:
         {"seed": key[0], "duration_scale": key[1],
          "loss_probability": key[2], "library": key[3],
          "scenario": key[4], "cc": key[5], "abr": key[6],
-         "stream": key[7], "code": code_fingerprint()},
+         "repair": key[7], "stream": key[8],
+         "code": code_fingerprint()},
         sort_keys=True)
     digest = hashlib.sha256(material.encode()).hexdigest()[:32]
     directory = cache_dir()
@@ -184,7 +192,8 @@ def _disk_store(key: StudyKey, study: StudyResults) -> None:
             {"seed": key[0], "duration_scale": key[1],
              "loss_probability": key[2], "library": key[3],
              "scenario": key[4], "cc": key[5], "abr": key[6],
-             "stream": key[7], "code": code_fingerprint(),
+             "repair": key[7], "stream": key[8],
+             "code": code_fingerprint(),
              "version": __version__, "runs": len(study)},
             sort_keys=True, indent=2) + "\n")
     except OSError:
@@ -237,6 +246,7 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
                       scenario: Optional[FaultScenario] = None,
                       cc: Optional[CcConfig] = None,
                       abr: Optional[AbrConfig] = None,
+                      repair: Optional[RepairConfig] = None,
                       stream: bool = False,
                       progress=None,
                       ) -> Tuple[StudyResults, str]:
@@ -258,7 +268,7 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
         from the terminal.
     """
     key = study_key(seed, duration_scale, loss_probability, library,
-                    scenario, cc, abr, stream=stream)
+                    scenario, cc, abr, repair=repair, stream=stream)
     study = _CACHE.get(key)
     if study is not None:
         return study, "memory"
@@ -275,7 +285,7 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
     study = run_study(library=library, seed=seed,
                       duration_scale=duration_scale,
                       loss_probability=loss_probability, jobs=jobs,
-                      scenario=scenario, cc=cc, abr=abr,
+                      scenario=scenario, cc=cc, abr=abr, repair=repair,
                       stream=summary, progress=progress)
     _CACHE[key] = study
     if disk_cache_enabled():
@@ -290,13 +300,14 @@ def get_study(seed: int = 2002, duration_scale: float = 1.0,
               scenario: Optional[FaultScenario] = None,
               cc: Optional[CcConfig] = None,
               abr: Optional[AbrConfig] = None,
+              repair: Optional[RepairConfig] = None,
               stream: bool = False) -> StudyResults:
     """The study for these parameters, running it on first request."""
     study, _ = load_or_run_study(seed=seed, duration_scale=duration_scale,
                                  loss_probability=loss_probability,
                                  library=library, jobs=jobs,
                                  scenario=scenario, cc=cc, abr=abr,
-                                 stream=stream)
+                                 repair=repair, stream=stream)
     return study
 
 

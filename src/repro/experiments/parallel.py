@@ -56,6 +56,7 @@ from repro.experiments.runner import (
 )
 from repro.faults.scenario import FaultScenario
 from repro.media.library import ClipLibrary
+from repro.repair.base import RepairConfig
 from repro.telemetry.core import Telemetry, TelemetrySnapshot
 from repro.telemetry.sinks import MemorySink, NullSink
 from repro.telemetry.spans import SpanRecorder
@@ -82,6 +83,8 @@ class _WorkerSpec:
     #: Transport configs (repro.cc); frozen dataclasses, pure data.
     cc: Optional[CcConfig] = None
     abr: Optional[AbrConfig] = None
+    #: Loss-repair config (repro.repair); frozen dataclass, pure data.
+    repair: Optional[RepairConfig] = None
     #: Streaming-summary template: workers never fold into it, they
     #: ``spawn()`` a fresh per-run summary with its configuration and
     #: ship that home on the snapshot.
@@ -147,7 +150,7 @@ def _run_index(index: int
     result = run_pair_experiment(clip_set, pair, seed=spec.seed + index,
                                  conditions=conditions, telemetry=telemetry,
                                  scenario=spec.scenario, cc=spec.cc,
-                                 abr=spec.abr)
+                                 abr=spec.abr, repair=spec.repair)
     snapshot: Optional[TelemetrySnapshot] = None
     if telemetry is not None:
         if per_run is not None and telemetry.spans is not None:
@@ -196,6 +199,7 @@ def run_study_parallel(library: ClipLibrary, seed: int,
                        scenario: Optional[FaultScenario] = None,
                        cc: Optional[CcConfig] = None,
                        abr: Optional[AbrConfig] = None,
+                       repair: Optional[RepairConfig] = None,
                        stream: Optional[StreamingSummary] = None,
                        progress: Optional[ProgressCallback] = None
                        ) -> StudyResults:
@@ -219,7 +223,7 @@ def run_study_parallel(library: ClipLibrary, seed: int,
         spans=telemetry is not None and telemetry.spans is not None,
         series_limit=(telemetry.registry._series_limit
                       if telemetry is not None else 0),
-        scenario=scenario, cc=cc, abr=abr,
+        scenario=scenario, cc=cc, abr=abr, repair=repair,
         stream=stream, heartbeats=heartbeats)
     outcomes: List[Tuple[PairRunResult, Optional[TelemetrySnapshot]]]
     try:

@@ -56,6 +56,7 @@ from repro.tools.tracert import TracerouteReport, run_tracert
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cc.abr import AbrConfig
     from repro.cc.base import CcConfig
+    from repro.repair.base import RepairConfig
     from repro.validate.checker import RunValidator
 
 #: Below this many pair runs a parallel request silently downgrades to
@@ -188,6 +189,7 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
                         validate: Optional["RunValidator"] = None,
                         cc: Optional["CcConfig"] = None,
                         abr: Optional["AbrConfig"] = None,
+                        repair: Optional["RepairConfig"] = None,
                         ) -> PairRunResult:
     """Run the simultaneous-stream methodology for one clip pair.
 
@@ -218,6 +220,14 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
             2002 server/player pairs with the segment-ladder ABR
             transport (same stats schema, same REAL/WMP labels).
             Mutually exclusive with ``cc``.
+        repair: optional :class:`~repro.repair.RepairConfig`.  A
+            non-null config arms the loss-repair stack on both 2002
+            server/player pairs: servers emit XOR parity and answer
+            NACKs, players decode and request retransmissions.
+            ``None`` — or the null config — arms nothing, keeping the
+            run byte-identical to the unrepaired code path.  The ABR
+            transport has its own segment retry loop and never arms
+            repair.
 
     Raises:
         ExperimentError: if a stream never finishes within the safety
@@ -232,6 +242,8 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
         raise ExperimentError(
             "cc and abr are mutually exclusive transports; pick one")
     cc_armed = cc is not None and not cc.is_null
+    repair_armed = (repair is not None and not repair.is_null
+                    and abr is None)
     sim = Simulator(seed=seed, telemetry=telemetry, validate=validate)
     if conditions is None:
         conditions = sample_conditions(sim.streams.stream("conditions"))
@@ -261,10 +273,17 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
     else:
         scaling = MediaScalingPolicy if scenario is not None else None
         cc_factory = cc.build if cc_armed else None
+        repair_factory = None
+        if repair_armed:
+            from repro.repair.sender import SenderRepair
+
+            repair_factory = lambda: SenderRepair(repair)  # noqa: E731
         real_server = RealServer(real_host, scaling_policy_factory=scaling,
-                                 cc_factory=cc_factory)
+                                 cc_factory=cc_factory,
+                                 repair_factory=repair_factory)
         wms = WindowsMediaServer(wmp_host, scaling_policy_factory=scaling,
-                                 cc_factory=cc_factory)
+                                 cc_factory=cc_factory,
+                                 repair_factory=repair_factory)
     real_server.add_clip(pair.real)
     wms.add_clip(pair.wmp)
 
@@ -297,14 +316,17 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
                                 feedback_interval=feedback or 1.0,
                                 robustness=abr_robustness)
     else:
+        player_repair = repair if repair_armed else None
         real_player = RealTracker(topology.client, real_host.address,
                                   preroll_seconds=preroll_seconds,
                                   feedback_interval=feedback,
-                                  robustness=robustness)
+                                  robustness=robustness,
+                                  repair=player_repair)
         wmp_player = MediaTracker(topology.client, wmp_host.address,
                                   preroll_seconds=preroll_seconds,
                                   feedback_interval=feedback,
-                                  robustness=robustness)
+                                  robustness=robustness,
+                                  repair=player_repair)
     real_player.play(pair.real.title)
     wmp_player.play(pair.wmp.title)
 
@@ -387,6 +409,7 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
               validate: Optional["RunValidator"] = None,
               cc: Optional["CcConfig"] = None,
               abr: Optional["AbrConfig"] = None,
+              repair: Optional["RepairConfig"] = None,
               min_parallel_runs: int = PARALLEL_MIN_RUNS,
               stream: Optional[StreamingSummary] = None,
               progress: Optional[ProgressCallback] = None) -> StudyResults:
@@ -420,6 +443,10 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             run (see :func:`run_pair_experiment`).
         abr: optional :class:`~repro.cc.AbrConfig`: run the sweep over
             the ABR transport instead of the 2002 servers.
+        repair: optional :class:`~repro.repair.RepairConfig` applied to
+            every pair run (see :func:`run_pair_experiment`); pure
+            data, so pool workers arm their repair stacks from it
+            independently.
         min_parallel_runs: sweeps smaller than this auto-downgrade a
             ``jobs > 1`` request to sequential execution (fork overhead
             beats the win on small sweeps); the decision lands on
@@ -458,7 +485,8 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
                                          loss_probability=loss_probability,
                                          telemetry=telemetry, jobs=jobs,
                                          scenario=scenario, cc=cc, abr=abr,
-                                         stream=stream, progress=progress)
+                                         repair=repair, stream=stream,
+                                         progress=progress)
             results.execution = f"parallel jobs={jobs}"
             return results
         execution = (f"sequential (auto-downgraded from jobs={jobs}: "
@@ -493,7 +521,7 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             results.runs.append(run_pair_experiment(
                 clip_set, pair, seed=seed + index, conditions=conditions,
                 telemetry=facade, scenario=scenario, validate=validate,
-                cc=cc, abr=abr))
+                cc=cc, abr=abr, repair=repair))
         finally:
             if sink is not None:
                 facade.bus.detach(sink)

@@ -227,6 +227,18 @@ def _fps_high(study):
 
 
 # ----------------------------------------------------------------------
+# Viewer experience (Section IV synthesis)
+# ----------------------------------------------------------------------
+@_check("qoe", "per-viewer QoE scores in a sane band")
+def _qoe(study):
+    scores = [stats.qoe().score for run in study
+              for stats in (run.real_stats, run.wmp_stats)]
+    mean = statistics.fmean(scores)
+    return (f"mean {mean:.1f}, min {min(scores):.1f} of 100",
+            all(0.0 <= s <= 100.0 for s in scores) and mean >= 60.0)
+
+
+# ----------------------------------------------------------------------
 # Methodology (Section II.D)
 # ----------------------------------------------------------------------
 @_check("method", "every run's path verified stable")

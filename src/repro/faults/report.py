@@ -19,11 +19,15 @@ from repro.telemetry.events import (
     KEEPALIVE_MISS,
     LINK_DOWN,
     LINK_UP,
+    NACK_SENT,
     PLAYER_STALLED,
     QUALITY_DOWNSHIFT,
     QUALITY_UPSHIFT,
     REBUFFER_START,
     REBUFFER_STOP,
+    REPAIR_ABANDONED,
+    REPAIR_RECOVERED,
+    RETRANSMIT_SENT,
     ROUTE_RECONVERGED,
     SESSION_LOST,
     TCP_ABORT,
@@ -64,11 +68,27 @@ class RecoveryReport:
     sessions_lost: int
     player_stalls: int
     eos_timeouts: int
+    #: Loss-repair response (zero on runs without the repair stack):
+    #: media sequences rebuilt before their frame deadlines vs. given
+    #: up on, and the NACK/retransmit traffic that achieved it.
+    recovered_packets: int = 0
+    repairs_abandoned: int = 0
+    nacks_sent: int = 0
+    retransmits_sent: int = 0
 
     @property
     def recovered_episodes(self) -> Tuple[RebufferEpisode, ...]:
         return tuple(e for e in self.rebuffer_episodes
                      if e.ended_at is not None)
+
+    @property
+    def repair_ratio(self) -> Optional[float]:
+        """Recovered share of the sequences repair settled, or None
+        when the repair stack never acted."""
+        settled = self.recovered_packets + self.repairs_abandoned
+        if settled == 0:
+            return None
+        return self.recovered_packets / settled
 
     def render(self) -> str:
         lines: List[str] = []
@@ -99,6 +119,13 @@ class RecoveryReport:
         lines.append(f"  last resorts: {self.sessions_lost} sessions lost, "
                      f"{self.player_stalls} stalls, "
                      f"{self.eos_timeouts} EOS timeouts")
+        ratio = self.repair_ratio
+        if ratio is not None:
+            lines.append(f"  loss repair: {self.recovered_packets} "
+                         f"recovered, {self.repairs_abandoned} abandoned "
+                         f"({100.0 * ratio:.1f}% repaired) via "
+                         f"{self.nacks_sent} NACKs, "
+                         f"{self.retransmits_sent} retransmits")
         return "\n".join(lines)
 
 
@@ -114,6 +141,7 @@ def recovery_report(events: List[TraceEvent],
     first_rebuffer_after_fault: Optional[float] = None
     downshifts = upshifts = 0
     retransmits = aborts = misses = lost = stalls = eos_timeouts = 0
+    recovered = abandoned = nacks = rtx_sent = 0
 
     for event in events:
         fields = event.field_dict()
@@ -158,6 +186,14 @@ def recovery_report(events: List[TraceEvent],
             stalls += 1
         elif event.type == EOS_TIMEOUT:
             eos_timeouts += 1
+        elif event.type == REPAIR_RECOVERED:
+            recovered += 1
+        elif event.type == REPAIR_ABANDONED:
+            abandoned += 1
+        elif event.type == NACK_SENT:
+            nacks += 1
+        elif event.type == RETRANSMIT_SENT:
+            rtx_sent += 1
 
     for player, started in sorted(open_rebuffers.items()):
         episodes.append(RebufferEpisode(player=player, started_at=started,
@@ -173,4 +209,6 @@ def recovery_report(events: List[TraceEvent],
         downshifts=downshifts, upshifts=upshifts,
         tcp_retransmits=retransmits, tcp_aborts=aborts,
         keepalive_misses=misses, sessions_lost=lost,
-        player_stalls=stalls, eos_timeouts=eos_timeouts)
+        player_stalls=stalls, eos_timeouts=eos_timeouts,
+        recovered_packets=recovered, repairs_abandoned=abandoned,
+        nacks_sent=nacks, retransmits_sent=rtx_sent)

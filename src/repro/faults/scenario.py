@@ -74,8 +74,11 @@ class FaultEvent:
     params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.at_frac < 0:
-            raise ReproError(f"at_frac must be nonnegative: {self.at_frac}")
+        # Inclusive bounds: 0.0 (run start) and 1.0 (the reference
+        # duration) are legal firing points; the comparison also
+        # rejects NaN, which satisfies neither side.
+        if not 0.0 <= self.at_frac <= 1.0:
+            raise ReproError(f"at_frac must be in [0, 1]: {self.at_frac}")
         if self.action not in ALL_ACTIONS:
             raise ReproError(f"unknown fault action {self.action!r}")
 

@@ -1,0 +1,146 @@
+"""GOP-aware frame structure over a :class:`FrameSchedule`.
+
+The synthetic codec (:mod:`repro.media.codec`) already emits I-frames
+(``VideoFrame.keyframe``) on a per-family cadence; this module layers
+the *decode semantics* on top: which frames reference which, what a
+frame is worth to the decoder, and when its data stops being useful.
+
+A group of pictures (GOP) is one keyframe plus the delta frames that
+follow it.  A delta (P) frame references every frame between the GOP's
+keyframe and itself — lose any link of that chain and the frame cannot
+be decoded.  Three consequences drive the repair subsystem
+(:mod:`repro.repair`):
+
+* **Reference chains** — :attr:`GopFrame.references` names the exact
+  frames a frame needs, so loss impact is computable, not guessed.
+* **Value** — :attr:`GopFrame.dependent_bytes` is how many schedule
+  bytes become undecodable if this frame is lost (its own plus every
+  downstream frame in the GOP).  The repair scheduler spends its
+  budget on the most valuable bytes first.
+* **Deadlines** — :func:`decode_deadline` is the wall-clock instant a
+  frame's data must be present to decode on time; repair attempts past
+  it are dropped gracefully instead of stalling playout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MediaError
+from repro.media.frames import FrameSchedule, VideoFrame
+
+
+@dataclass(frozen=True)
+class GopFrame:
+    """One frame with its place in the GOP's reference structure.
+
+    Attributes:
+        frame: the underlying schedule entry.
+        gop_index: which GOP (0-based) the frame belongs to.
+        references: frame numbers this frame needs to decode, nearest
+            keyframe first — empty for a keyframe.
+        dependent_bytes: bytes that become undecodable if this frame
+            is lost: its own size plus every later frame in the GOP
+            (all of which reference it through the chain).
+    """
+
+    frame: VideoFrame
+    gop_index: int
+    references: Tuple[int, ...]
+    dependent_bytes: int
+
+    @property
+    def number(self) -> int:
+        return self.frame.number
+
+    @property
+    def keyframe(self) -> bool:
+        return self.frame.keyframe
+
+
+@dataclass(frozen=True)
+class GroupOfPictures:
+    """One keyframe-led run of frames."""
+
+    index: int
+    frames: Tuple[GopFrame, ...]
+
+    @property
+    def keyframe(self) -> GopFrame:
+        return self.frames[0]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.frame.size_bytes for entry in self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+
+def annotate_gops(schedule: FrameSchedule) -> Tuple[GroupOfPictures, ...]:
+    """Split a schedule into GOPs and compute each frame's chain.
+
+    The first frame of a schedule starts GOP 0 even if the codec did
+    not mark it a keyframe (a truncated schedule slice); every
+    subsequent keyframe starts a new group.
+
+    Raises:
+        MediaError: for an empty schedule.
+    """
+    frames = list(schedule)
+    if not frames:
+        raise MediaError("cannot annotate an empty schedule")
+    groups: List[List[VideoFrame]] = []
+    for frame in frames:
+        if frame.keyframe or not groups:
+            groups.append([frame])
+        else:
+            groups[-1].append(frame)
+
+    annotated: List[GroupOfPictures] = []
+    for gop_index, members in enumerate(groups):
+        # Suffix byte sums: frame i's dependents are frames i..end of
+        # the GOP (every later frame references it through the chain).
+        suffix = [0] * (len(members) + 1)
+        for position in range(len(members) - 1, -1, -1):
+            suffix[position] = (suffix[position + 1]
+                                + members[position].size_bytes)
+        chain: List[int] = []
+        gop_frames: List[GopFrame] = []
+        for position, frame in enumerate(members):
+            gop_frames.append(GopFrame(
+                frame=frame, gop_index=gop_index,
+                references=tuple(chain),
+                dependent_bytes=suffix[position]))
+            chain.append(frame.number)
+        annotated.append(GroupOfPictures(index=gop_index,
+                                         frames=tuple(gop_frames)))
+    return tuple(annotated)
+
+
+def frame_value_map(schedule: FrameSchedule) -> Dict[int, GopFrame]:
+    """Frame number -> :class:`GopFrame`, for O(1) value lookups."""
+    return {entry.number: entry
+            for gop in annotate_gops(schedule) for entry in gop}
+
+
+def decode_deadline(frame: VideoFrame, playout_start: Optional[float],
+                    tolerance: float = 0.0) -> Optional[float]:
+    """When ``frame``'s data must be present to decode on time.
+
+    ``None`` while playout has not started (the preroll is still
+    filling): nothing has a deadline yet, so repair is always worth
+    attempting.
+
+    Raises:
+        MediaError: for a negative tolerance.
+    """
+    if tolerance < 0:
+        raise MediaError(f"tolerance must be nonnegative: {tolerance}")
+    if playout_start is None:
+        return None
+    return playout_start + frame.media_time + tolerance

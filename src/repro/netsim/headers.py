@@ -142,3 +142,12 @@ class PayloadMeta:
     #: armed (``Pacer.enable_cc_stamping``); the receiver turns it into
     #: delay/jitter samples for its receiver reports.
     sent_at: Optional[float] = None
+    #: FEC group index, set only on ``fec-parity`` datagrams when the
+    #: repair stack is armed (repro.repair).
+    fec_group: Optional[int] = None
+    #: Member descriptors (the FEC/RTX header): which sequences a
+    #: parity datagram protects, or the original descriptor riding a
+    #: retransmission.  Empty on all non-repair traffic.
+    fec_members: tuple = field(default_factory=tuple)
+    #: Original ADU sequence a ``media-rtx`` datagram re-carries.
+    retransmit_of: Optional[int] = None

@@ -24,6 +24,8 @@ from repro.players.buffer import DelayBuffer
 from repro.players.interleave import BatchingReceiver
 from repro.players.quality import QualityController
 from repro.players.stats import PacketReceipt, PlayerStats
+from repro.repair.base import RepairConfig
+from repro.repair.receiver import ReceiverRepair, Recovery
 from repro.servers.control import (
     ControlRequest,
     ControlResponse,
@@ -33,6 +35,7 @@ from repro.telemetry.events import (
     EOS_TIMEOUT,
     KEEPALIVE_MISS,
     PLAYER_STALLED,
+    QOE_SCORE,
     SESSION_LOST,
 )
 
@@ -94,7 +97,8 @@ class StreamingClient:
                  preroll_seconds: float = 5.0,
                  feedback_interval: Optional[float] = None,
                  transport: str = "UDP",
-                 robustness: Optional[PlayerRobustness] = None) -> None:
+                 robustness: Optional[PlayerRobustness] = None,
+                 repair: Optional[RepairConfig] = None) -> None:
         if transport not in ("UDP", "TCP"):
             raise ProtocolError(f"unknown media transport {transport!r}")
         self.host = host
@@ -133,6 +137,10 @@ class StreamingClient:
         self._last_media_time = 0.0
         #: (frame_number, app_time) pairs, classified at finalize time.
         self._frame_arrivals: List[Tuple[int, float]] = []
+        # --- loss repair (inert when repair is None or null) ---
+        self.repair_config = (repair if repair is not None
+                              and not repair.is_null else None)
+        self._repair: Optional[ReceiverRepair] = None
         # --- graceful degradation (inert when robustness is None) ---
         self.robustness = robustness
         self.quality_controller: Optional[QualityController] = None
@@ -266,6 +274,15 @@ class StreamingClient:
 
     def _handle_setup_ok(self, response: ControlResponse) -> None:
         self.session_id = response.session_id
+        if self.repair_config is not None:
+            self._repair = ReceiverRepair(
+                config=self.repair_config, sim=self.host.sim,
+                family=self.family.name.lower(),
+                session_id=self.session_id or 0,
+                nominal_fps=self.stats.description.nominal_fps,
+                send_nack=self._send_nack,
+                playout_start=self._playout_start,
+                telemetry=self._telemetry)
         if self.transport == "TCP":
             self._connect_media_channel(response.server_media_port)
             return
@@ -301,6 +318,22 @@ class StreamingClient:
             self.stats.eos_at = datagram.arrival_time
             self._finish()
             return
+        if datagram.payload.kind == "fec-parity":
+            if self._repair is not None:
+                recoveries = self._repair.on_parity(
+                    datagram.payload, datagram.payload_bytes,
+                    datagram.arrival_time)
+                self._apply_recoveries(recoveries, datagram.arrival_time)
+            return
+        if datagram.payload.kind == "media-rtx":
+            if self._repair is not None:
+                recovery = self._repair.on_retransmit(
+                    datagram.payload, datagram.payload_bytes,
+                    datagram.arrival_time)
+                if recovery is not None:
+                    self._apply_recoveries([recovery],
+                                           datagram.arrival_time)
+            return
         if datagram.payload.kind != "media":
             return
         now = datagram.arrival_time
@@ -322,7 +355,14 @@ class StreamingClient:
             gap = sequence - self._last_sequence - 1
             if gap > 0:
                 self.stats.packets_lost += gap
+                if self._repair is not None:
+                    self._repair.on_gap(self._last_sequence + 1,
+                                        sequence - 1,
+                                        datagram.payload.media_time or 0.0,
+                                        now)
         self._last_sequence = sequence
+        if self._repair is not None:
+            self._repair.on_media(sequence, datagram.payload_bytes)
         self.stats.record_receipt(PacketReceipt(
             sequence=sequence, network_time=now, app_time=app_time,
             payload_bytes=datagram.payload_bytes,
@@ -345,6 +385,39 @@ class StreamingClient:
         self.buffer.add_media(now, delta)
         for frame_number in datagram.payload.frame_numbers:
             self._frame_arrivals.append((frame_number, app_time))
+
+    # ------------------------------------------------------------------
+    # Loss repair (repair != None only)
+    # ------------------------------------------------------------------
+    def _playout_start(self) -> Optional[float]:
+        return (self.buffer.playout_started_at
+                if self.buffer is not None else None)
+
+    def _send_nack(self, request) -> None:
+        """Deliver a NACK to the server over the control channel."""
+        if self.done or self._connection is None:
+            return
+        self._safe_send(request, request.wire_bytes)
+
+    def _apply_recoveries(self, recoveries: List[Recovery],
+                          now: float) -> None:
+        """Fold repaired sequences into playback state.
+
+        Recovered data counts in ``packets_recovered`` (the paper's
+        Table 1 statistic), never in ``packets_received`` — repair
+        traffic stays outside the media byte-conservation ledgers.
+        Frames ride to the usual deadline classifier, and any media
+        seconds the loss left missing are healed into the delay
+        buffer.
+        """
+        for recovery in recoveries:
+            self.stats.packets_recovered += 1
+            for frame_number in recovery.frame_numbers:
+                self._frame_arrivals.append((frame_number, now))
+            delta = recovery.media_time - self._last_media_time
+            if delta > 0:
+                self._last_media_time = recovery.media_time
+                self.buffer.add_media(now, delta)
 
     # ------------------------------------------------------------------
     # Receiver reports (media scaling feedback, paper §VI)
@@ -491,6 +564,8 @@ class StreamingClient:
     # ------------------------------------------------------------------
     def _finish(self) -> None:
         self.done = True
+        if self._repair is not None:
+            self._repair.close()
         self._classify_frames()
         if self._telemetry is not None:
             label = self.family.name.lower()
@@ -501,6 +576,17 @@ class StreamingClient:
                                     player=label).inc(self.stats.frames_late)
         if self.buffer is not None:
             self.stats.playout_started_at = self.buffer.playout_started_at
+            self.stats.rebuffer_seconds = (
+                self.buffer.total_rebuffer_seconds(self.host.sim.now))
+        if self._repair is not None and self._telemetry is not None:
+            qoe = self.stats.qoe()
+            self._telemetry.emit(
+                QOE_SCORE, player=self.family.name.lower(),
+                score=round(qoe.score, 9),
+                startup_delay=round(qoe.startup_delay, 9),
+                rebuffer_ratio=round(qoe.rebuffer_ratio, 9),
+                frame_delivery=round(qoe.frame_delivery, 9),
+                repair_ratio=round(qoe.repair_ratio, 9))
         if self._spans is not None and self._open_buffer_spans:
             playout = (self.buffer.playout_started_at
                        if self.buffer is not None else None)

@@ -65,6 +65,10 @@ class DelayBuffer:
         self._telemetry = telemetry
         self._label = label
         self._rebuffering = False
+        #: Total seconds playback has spent paused refilling, summed
+        #: over completed rebuffer episodes (QoE's rebuffer ratio).
+        self.rebuffer_seconds = 0.0
+        self._rebuffer_started_at: Optional[float] = None
         if telemetry is not None:
             self._occupancy_gauge = telemetry.gauge("buffer.media_seconds",
                                                     player=label)
@@ -89,6 +93,7 @@ class DelayBuffer:
             if before > 0 and self._buffered_media == 0.0:
                 self.underruns += 1
                 self._rebuffering = True
+                self._rebuffer_started_at = self._last_update + before
                 if self._telemetry is not None:
                     self._underrun_counter.inc()
                     # The buffer ran dry `before` media-seconds after
@@ -119,6 +124,10 @@ class DelayBuffer:
             threshold = self.resume_threshold_seconds
             if threshold is None or self._buffered_media >= threshold:
                 self._rebuffering = False
+                if self._rebuffer_started_at is not None:
+                    self.rebuffer_seconds += max(
+                        0.0, now - self._rebuffer_started_at)
+                    self._rebuffer_started_at = None
                 if self._telemetry is not None:
                     self._telemetry.bus.emit(REBUFFER_STOP, now,
                                              player=self._label)
@@ -139,6 +148,13 @@ class DelayBuffer:
     def rebuffering(self) -> bool:
         """Whether playback is currently paused refilling the buffer."""
         return self._rebuffering
+
+    def total_rebuffer_seconds(self, now: float) -> float:
+        """Rebuffer time including any episode still in progress."""
+        total = self.rebuffer_seconds
+        if self._rebuffering and self._rebuffer_started_at is not None:
+            total += max(0.0, now - self._rebuffer_started_at)
+        return total
 
     def startup_delay(self, stream_start: float) -> Optional[float]:
         """Seconds from stream start to playout start, once playing."""

@@ -36,6 +36,49 @@ class PacketReceipt:
     first_packet_time: float
 
 
+#: QoE composite weights: delivered frames dominate, rebuffering and
+#: startup shape the rest, repair effectiveness rounds it out.  They
+#: sum to 1 so the score lands in [0, 100].
+QOE_WEIGHTS = {"startup": 0.15, "rebuffer": 0.25,
+               "frames": 0.45, "repair": 0.15}
+
+#: Startup-delay half-life: the startup component is
+#: ``1 / (1 + delay / this)``, worth 0.5 at this many seconds.
+QOE_STARTUP_HALFLIFE_SECONDS = 10.0
+
+
+@dataclass(frozen=True)
+class QoeScore:
+    """The deterministic per-viewer quality-of-experience score.
+
+    Pure arithmetic over :class:`PlayerStats` scalars — no clocks, no
+    randomness — so the score is bit-identical across sequential,
+    parallel, and cache-replayed study executions.
+
+    Attributes:
+        startup_delay: seconds from the viewer's request to playout
+            start (the preroll wait included).
+        rebuffer_ratio: rebuffer seconds over streaming duration.
+        frame_delivery: frames played on time over expected frames.
+        repair_ratio: lost sequences repaired over sequences lost
+            (1.0 when nothing was lost — nothing to repair).
+        score: composite in [0, 100], higher is better.
+    """
+
+    startup_delay: float
+    rebuffer_ratio: float
+    frame_delivery: float
+    repair_ratio: float
+    score: float
+
+    def as_dict(self) -> dict:
+        return {"startup_delay": self.startup_delay,
+                "rebuffer_ratio": self.rebuffer_ratio,
+                "frame_delivery": self.frame_delivery,
+                "repair_ratio": self.repair_ratio,
+                "score": self.score}
+
+
 class PlayerStats:
     """Everything one instrumented playback records."""
 
@@ -54,6 +97,10 @@ class PlayerStats:
         self.playout_started_at: Optional[float] = None
         self.packets_lost = 0
         self.packets_recovered = 0
+        #: Seconds playback spent paused refilling the delay buffer;
+        #: copied from the buffer at finish.  Not serialized in tracker
+        #: logs (the log header is a pinned digest surface).
+        self.rebuffer_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Recording
@@ -138,6 +185,46 @@ class PlayerStats:
         """Share of the clip's frames that failed to play on time."""
         failed = self.frames_late + self.frames_missing
         return 100.0 * failed / self.expected_frames
+
+    # ------------------------------------------------------------------
+    # Quality of experience
+    # ------------------------------------------------------------------
+    def qoe(self) -> QoeScore:
+        """The per-viewer QoE score for this playback.
+
+        Defined for any finished-enough playback; components degrade
+        to their worst value when the underlying quantity never
+        materialized (no playout start = startup component 0).
+        """
+        if (self.requested_at is not None
+                and self.playout_started_at is not None):
+            startup_delay = max(0.0,
+                                self.playout_started_at - self.requested_at)
+            startup_component = 1.0 / (
+                1.0 + startup_delay / QOE_STARTUP_HALFLIFE_SECONDS)
+        else:
+            startup_delay = float("inf")
+            startup_component = 0.0
+        duration = self.streaming_duration
+        if duration is not None and duration > 0:
+            rebuffer_ratio = min(1.0, self.rebuffer_seconds / duration)
+        else:
+            rebuffer_ratio = 1.0 if self.rebuffer_seconds > 0 else 0.0
+        frame_delivery = min(1.0,
+                             len(self.frame_plays) / self.expected_frames)
+        if self.packets_lost > 0:
+            repair_ratio = min(1.0,
+                               self.packets_recovered / self.packets_lost)
+        else:
+            repair_ratio = 1.0
+        score = 100.0 * (QOE_WEIGHTS["startup"] * startup_component
+                         + QOE_WEIGHTS["rebuffer"] * (1.0 - rebuffer_ratio)
+                         + QOE_WEIGHTS["frames"] * frame_delivery
+                         + QOE_WEIGHTS["repair"] * repair_ratio)
+        return QoeScore(startup_delay=startup_delay,
+                        rebuffer_ratio=rebuffer_ratio,
+                        frame_delivery=frame_delivery,
+                        repair_ratio=repair_ratio, score=score)
 
     # ------------------------------------------------------------------
     # Time series

@@ -1,0 +1,26 @@
+"""Frame-aware loss repair: FEC parity, NACK/retransmission, and
+deadline-aware repair scheduling.
+
+The 2002 players both repaired loss — the paper's *recovered packets*
+statistic exists because of it — and this package gives the
+reproduction that capability: XOR-parity FEC groups on the sender,
+receiver-driven NACK -> retransmission with exponential backoff, and a
+most-valuable-bytes-first scheduler that drops repairs whose decode
+deadline has passed.  Strictly opt-in: a study with ``repair=None``
+is byte-identical to one run before this package existed.
+"""
+
+from repro.repair.base import RepairConfig
+from repro.repair.fec import (FecGroupEncoder, FecGroupSpec, FecMember,
+                              recover_block, xor_parity)
+from repro.repair.nack import NackManager, NackRequest
+from repro.repair.receiver import ReceiverRepair, Recovery
+from repro.repair.scheduler import RepairCandidate, schedule_repairs
+from repro.repair.sender import SenderRepair
+
+__all__ = [
+    "RepairConfig", "FecGroupEncoder", "FecGroupSpec", "FecMember",
+    "recover_block", "xor_parity", "NackManager", "NackRequest",
+    "ReceiverRepair", "Recovery", "RepairCandidate", "schedule_repairs",
+    "SenderRepair",
+]

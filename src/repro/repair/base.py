@@ -1,0 +1,100 @@
+"""Repair configuration: the picklable knob block for the loss-repair
+stack.
+
+``RepairConfig`` mirrors :class:`repro.cc.base.CcConfig`: frozen,
+picklable, validated at construction, and fingerprinted into the study
+cache key.  A study armed with a config behaves identically to a
+pre-repair study when the config ``is_null`` (both mechanisms off);
+``repair=None`` skips construction entirely and is the byte-identical
+legacy path.
+
+Two mechanisms, independently switchable:
+
+* **FEC** — the sender XORs every ``fec_group`` media datagrams into
+  one parity datagram; the receiver can rebuild any *single* lost
+  member of a group from the parity plus the survivors, with zero
+  round trips.
+* **NACK/RTX** — the receiver detects sequence gaps and asks the
+  server to retransmit, retrying with exponential backoff
+  (``nack_timeout * 2**attempt``) up to ``max_retries`` times.
+
+Both draw from one sender-side ``repair_budget_bytes`` so repair
+overhead is bounded, and the receiver's per-request spend is capped by
+``request_budget_bytes`` — the scheduler fills that budget most
+valuable bytes first (see :mod:`repro.repair.scheduler`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Loss-repair selection + tuning, with a stable digest.
+
+    Attributes:
+        fec_group: media datagrams per XOR parity group; ``0`` disables
+            FEC entirely.
+        nack: arm receiver-driven NACK -> retransmission.
+        max_retries: NACK re-requests per sequence after the first.
+        nack_timeout: seconds before the first NACK retry; doubles per
+            attempt (exponential backoff).
+        repair_budget_bytes: sender-side cap on parity + RTX bytes per
+            session; once spent, further repair is refused.
+        request_budget_bytes: receiver-side cap on the media bytes one
+            NACK message may ask to have retransmitted.
+        deadline_slack: seconds past a frame's decode deadline a repair
+            is still counted as arriving in time (matches the player's
+            late-frame tolerance).
+    """
+
+    fec_group: int = 8
+    nack: bool = True
+    max_retries: int = 3
+    nack_timeout: float = 0.25
+    repair_budget_bytes: int = 512_000
+    request_budget_bytes: int = 16_000
+    deadline_slack: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.fec_group < 0:
+            raise ReproError(
+                f"fec_group must be nonnegative: {self.fec_group}")
+        if self.fec_group == 1:
+            raise ReproError(
+                "fec_group=1 duplicates every datagram; use >= 2 "
+                "(or 0 to disable FEC)")
+        if self.max_retries < 0:
+            raise ReproError(
+                f"max_retries must be nonnegative: {self.max_retries}")
+        if self.nack_timeout <= 0:
+            raise ReproError("nack_timeout must be positive")
+        if self.repair_budget_bytes <= 0:
+            raise ReproError("repair_budget_bytes must be positive")
+        if self.request_budget_bytes <= 0:
+            raise ReproError("request_budget_bytes must be positive")
+        if self.deadline_slack < 0:
+            raise ReproError("deadline_slack must be nonnegative")
+
+    @property
+    def is_null(self) -> bool:
+        """Neither mechanism armed: behaviorally a no-op config."""
+        return self.fec_group == 0 and not self.nack
+
+    def fingerprint(self) -> str:
+        material = json.dumps(
+            {"fec_group": self.fec_group, "nack": self.nack,
+             "max_retries": self.max_retries,
+             "nack_timeout": self.nack_timeout,
+             "repair_budget_bytes": self.repair_budget_bytes,
+             "request_budget_bytes": self.request_budget_bytes,
+             "deadline_slack": self.deadline_slack},
+            sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(
+            f"repair\n{material}".encode()).hexdigest()[:16]
+        return f"repair-xor:{digest}"

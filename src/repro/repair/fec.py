@@ -1,0 +1,142 @@
+"""XOR-parity forward error correction.
+
+The codec is the classic single-erasure XOR: parity is the bytewise
+XOR of every member block (shorter blocks padded with zeros to the
+longest), so any *one* missing member equals the XOR of the parity
+with all the survivors, truncated back to the missing block's length.
+Two or more losses in a group are unrecoverable by parity and fall
+through to NACK/retransmission.
+
+The pure functions (:func:`xor_parity`, :func:`recover_block`) carry
+the arithmetic and are property-tested (round-trip for arbitrary group
+sizes and loss positions); :class:`FecGroupEncoder` is the sender-side
+bookkeeper that batches datagram descriptors into groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class FecMember:
+    """Descriptor of one media datagram inside a parity group.
+
+    The parity datagram carries these (the real-world analogue is the
+    FEC header listing protected sequence numbers and lengths), which
+    is how the receiver learns what a *lost* member contained: its
+    frames, media position, and repair value.
+    """
+
+    sequence: int
+    size_bytes: int
+    frame_numbers: Tuple[int, ...] = ()
+    media_time: float = 0.0
+    keyframe: bool = False
+    value_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class FecGroupSpec:
+    """One completed parity group, ready to send."""
+
+    index: int
+    members: Tuple[FecMember, ...]
+
+    @property
+    def parity_bytes(self) -> int:
+        """Parity datagram size: the XOR spans the longest member."""
+        return max(member.size_bytes for member in self.members)
+
+    @property
+    def sequences(self) -> Tuple[int, ...]:
+        return tuple(member.sequence for member in self.members)
+
+
+def xor_parity(blocks: Sequence[bytes]) -> bytes:
+    """Bytewise XOR of ``blocks``, zero-padded to the longest.
+
+    Raises:
+        ReproError: for an empty block list.
+    """
+    if not blocks:
+        raise ReproError("cannot compute parity over zero blocks")
+    parity = bytearray(max(len(block) for block in blocks))
+    for block in blocks:
+        for offset, value in enumerate(block):
+            parity[offset] ^= value
+    return bytes(parity)
+
+
+def recover_block(survivors: Sequence[bytes], parity: bytes,
+                  missing_length: int) -> bytes:
+    """Rebuild the single missing member of a parity group.
+
+    Args:
+        survivors: every member block that *did* arrive.
+        parity: the group's parity block.
+        missing_length: original length of the lost block (carried in
+            the parity header's member descriptors).
+
+    Raises:
+        ReproError: when the claimed length exceeds the parity span —
+            the descriptors and parity disagree, so the group is
+            corrupt rather than merely lossy.
+    """
+    if missing_length < 0:
+        raise ReproError(
+            f"missing_length must be nonnegative: {missing_length}")
+    if missing_length > len(parity):
+        raise ReproError(
+            f"missing block claims {missing_length} bytes but parity "
+            f"spans only {len(parity)}")
+    rebuilt = bytearray(parity)
+    for block in survivors:
+        for offset, value in enumerate(block):
+            rebuilt[offset] ^= value
+    return bytes(rebuilt[:missing_length])
+
+
+class FecGroupEncoder:
+    """Sender-side batcher: datagram descriptors in, group specs out.
+
+    Args:
+        group_size: members per group (>= 2; use the config to disable
+            FEC rather than a degenerate group size).
+    """
+
+    def __init__(self, group_size: int) -> None:
+        if group_size < 2:
+            raise ReproError(
+                f"FEC group size must be >= 2: {group_size}")
+        self.group_size = group_size
+        self.groups_emitted = 0
+        self._pending: List[FecMember] = []
+
+    def add(self, member: FecMember) -> Optional[FecGroupSpec]:
+        """Account one sent media datagram; a full group closes."""
+        self._pending.append(member)
+        if len(self._pending) < self.group_size:
+            return None
+        return self._close()
+
+    def flush(self) -> Optional[FecGroupSpec]:
+        """Close a partial trailing group at end of stream.
+
+        A single leftover member still gets parity — it degenerates to
+        a duplicate, which is exactly what protecting the final
+        datagram requires.
+        """
+        if not self._pending:
+            return None
+        return self._close()
+
+    def _close(self) -> FecGroupSpec:
+        spec = FecGroupSpec(index=self.groups_emitted,
+                            members=tuple(self._pending))
+        self.groups_emitted += 1
+        self._pending = []
+        return spec

@@ -1,0 +1,146 @@
+"""Receiver-driven NACK state and the retransmission request wire
+format.
+
+The manager is deliberately dumb about *time* — the receiver-side
+:class:`~repro.repair.receiver.ReceiverRepair` drives it from the
+simulation clock — and strict about *state*: a sequence moves
+``missing -> requested (with backoff) -> recovered | abandoned`` and
+never travels backwards.  The ``repair-no-duplication`` invariant
+checks the one property everything downstream relies on: once a
+sequence is recovered (by parity *or* retransmission), the manager
+never asks for it again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.repair.scheduler import RepairCandidate
+
+#: Wire size of a NACK control message: fixed header plus one 32-bit
+#: sequence per requested datagram.
+NACK_HEADER_BYTES = 24
+NACK_SEQUENCE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class NackRequest:
+    """Client -> server retransmission request (control channel).
+
+    Mirrors :class:`repro.servers.feedback.ReceiverReport`: a frozen
+    message object carried as TCP payload metadata.
+    """
+
+    session_id: int
+    sequences: Tuple[int, ...]
+    sent_at: float
+
+    @property
+    def wire_bytes(self) -> int:
+        return NACK_HEADER_BYTES + NACK_SEQUENCE_BYTES * len(self.sequences)
+
+
+@dataclass
+class _PendingRepair:
+    candidate: RepairCandidate
+    attempts: int = 0
+    next_due: float = 0.0
+
+
+class NackManager:
+    """Tracks which sequences are missing, requested, or settled.
+
+    Args:
+        max_retries: re-requests per sequence after the first NACK.
+        timeout: seconds to the first retry; doubles per attempt.
+    """
+
+    def __init__(self, max_retries: int, timeout: float) -> None:
+        if max_retries < 0:
+            raise ReproError(
+                f"max_retries must be nonnegative: {max_retries}")
+        if timeout <= 0:
+            raise ReproError(f"timeout must be positive: {timeout}")
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.recovered: Set[int] = set()
+        self.abandoned: Dict[int, str] = {}
+        #: Count of requests attempted for an already-recovered
+        #: sequence.  Structurally impossible; the
+        #: ``repair-no-duplication`` invariant asserts it stays 0.
+        self.requests_after_repair = 0
+        self._pending: Dict[int, _PendingRepair] = {}
+
+    def note_missing(self, candidate: RepairCandidate, now: float) -> bool:
+        """Register a lost sequence as repairable; idempotent.
+
+        Returns True when this call opened a new pending entry.  A
+        sequence already pending keeps its retry state but adopts the
+        new candidate if it carries better metadata (a parity header
+        upgrading a blind gap estimate).
+        """
+        sequence = candidate.sequence
+        if sequence in self.recovered or sequence in self.abandoned:
+            return False
+        pending = self._pending.get(sequence)
+        if pending is not None:
+            if candidate.exact and not pending.candidate.exact:
+                pending.candidate = candidate
+            return False
+        self._pending[sequence] = _PendingRepair(
+            candidate=candidate, next_due=now)
+        return True
+
+    def due(self, now: float) -> List[RepairCandidate]:
+        """Candidates whose (re)request timer has fired, sequence order."""
+        ready: List[RepairCandidate] = []
+        for sequence in sorted(self._pending):
+            pending = self._pending[sequence]
+            if pending.next_due <= now:
+                ready.append(pending.candidate)
+        return ready
+
+    def on_requested(self, sequence: int, now: float) -> None:
+        """A NACK naming ``sequence`` went out; start its backoff."""
+        if sequence in self.recovered:
+            self.requests_after_repair += 1
+            return
+        pending = self._pending.get(sequence)
+        if pending is None:
+            return
+        pending.attempts += 1
+        pending.next_due = now + self.timeout * (2 ** (pending.attempts - 1))
+
+    def on_recovered(self, sequence: int) -> bool:
+        """Sequence repaired (parity or RTX).  Returns False on a
+        duplicate — the caller must not apply the repair twice."""
+        if sequence in self.recovered:
+            return False
+        self.recovered.add(sequence)
+        self._pending.pop(sequence, None)
+        self.abandoned.pop(sequence, None)
+        return True
+
+    def abandon(self, sequence: int, reason: str) -> None:
+        if sequence in self.recovered:
+            return
+        self._pending.pop(sequence, None)
+        self.abandoned.setdefault(sequence, reason)
+
+    def exhausted(self, sequence: int) -> bool:
+        """True once the sequence has spent all its NACK attempts."""
+        pending = self._pending.get(sequence)
+        if pending is None:
+            return False
+        return pending.attempts > self.max_retries
+
+    def pending_sequences(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._pending))
+
+    def next_due_at(self) -> Optional[float]:
+        """Earliest retry timer among pending sequences, or None."""
+        if not self._pending:
+            return None
+        return min(entry.next_due for entry in self._pending.values())

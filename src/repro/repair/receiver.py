@@ -1,0 +1,261 @@
+"""Receiver-side repair: loss detection, parity decode, NACK pacing.
+
+One :class:`ReceiverRepair` serves one player session.  The player
+feeds it every media, parity, and retransmission arrival; it decides
+what is missing, repairs single losses from parity on the spot, and
+runs the NACK loop for the rest — deadline-aware, most-valuable-bytes
+first (:mod:`repro.repair.scheduler`), with exponential backoff per
+sequence (:mod:`repro.repair.nack`).  The player applies the returned
+:class:`Recovery` records to its own stats and frame arrivals, keeping
+this module free of player internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.netsim.headers import PayloadMeta
+from repro.repair.base import RepairConfig
+from repro.repair.fec import FecMember
+from repro.repair.nack import NackManager, NackRequest
+from repro.repair.scheduler import RepairCandidate, schedule_repairs
+from repro.telemetry.events import (NACK_SENT, REPAIR_ABANDONED,
+                                    REPAIR_RECOVERED)
+
+#: Fallback size estimate for a loss observed only as a sequence gap,
+#: before any parity header names the real size.
+_DEFAULT_GAP_BYTES = 900
+
+
+@dataclass(frozen=True)
+class Recovery:
+    """One repaired media sequence, for the player to apply."""
+
+    sequence: int
+    method: str  # "parity" | "rtx"
+    frame_numbers: Tuple[int, ...]
+    media_time: float
+    size_bytes: int
+    before_deadline: bool
+
+
+class ReceiverRepair:
+    """Per-player repair state machine.
+
+    Args:
+        config: the armed repair configuration.
+        sim: simulator, for the clock and NACK retry timers.
+        family: player family label stamped on repair events.
+        session_id: streaming session the NACKs name.
+        nominal_fps: clip frame rate, for frame decode deadlines.
+        send_nack: callback delivering a :class:`NackRequest` to the
+            server over the control channel.
+        playout_start: callback reading the delay buffer's playout
+            start time (``None`` until the preroll fills).
+        telemetry: telemetry facade, or ``None`` headless.
+    """
+
+    def __init__(self, config: RepairConfig, sim, family: str,
+                 session_id: int, nominal_fps: float,
+                 send_nack: Callable[[NackRequest], None],
+                 playout_start: Callable[[], Optional[float]],
+                 telemetry=None) -> None:
+        self.config = config
+        self.sim = sim
+        self.family = family
+        self.session_id = session_id
+        self.nominal_fps = nominal_fps
+        self._send_nack = send_nack
+        self._playout_start = playout_start
+        self._telemetry = telemetry
+        self.nack = NackManager(config.max_retries, config.nack_timeout)
+        self._received = set()
+        self._last_media_size = _DEFAULT_GAP_BYTES
+        self._tick_scheduled = False
+        self._closed = False
+        # Receiver-side repair ledger (audited alongside the sender's).
+        self.parity_received = 0
+        self.parity_bytes_received = 0
+        self.rtx_received = 0
+        self.rtx_bytes_received = 0
+        self.duplicate_rtx = 0
+        self.recovered_parity = 0
+        self.recovered_rtx = 0
+        self.recovered_before_deadline = 0
+        self.abandoned_deadline = 0
+        self.abandoned_retries = 0
+        self.nacks_sent = 0
+        self.nack_bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Player arrival hooks
+    # ------------------------------------------------------------------
+    def on_media(self, sequence: int, size: int) -> None:
+        """Every in-order media datagram the player accepts."""
+        self._received.add(sequence)
+        self._last_media_size = size
+
+    def on_gap(self, first_missing: int, last_missing: int,
+               next_media_time: float, now: float) -> None:
+        """A sequence gap surfaced at the next media arrival.
+
+        The lost datagrams' contents are unknown here, so candidates
+        carry neighbor-based estimates; a parity header later upgrades
+        them (``RepairCandidate.exact``).
+        """
+        if not self.config.nack:
+            return
+        deadline = self._deadline_for_media_time(next_media_time)
+        for sequence in range(first_missing, last_missing + 1):
+            size = max(1, self._last_media_size)
+            self.nack.note_missing(RepairCandidate(
+                sequence=sequence, size_bytes=size, deadline=deadline,
+                value_bytes=size, media_time=next_media_time,
+                exact=False), now)
+        self._schedule_tick(0.0)
+
+    def on_parity(self, meta: PayloadMeta, size: int,
+                  now: float) -> List[Recovery]:
+        """A parity datagram arrived: decode or refine NACK state.
+
+        Links deliver in order, so members not yet received when their
+        group's parity arrives are genuinely lost.  Exactly one missing
+        member is rebuilt on the spot; more than one exceeds XOR parity
+        and falls back to NACK with the header's exact metadata.
+        """
+        self.parity_received += 1
+        self.parity_bytes_received += size
+        missing = [member for member in meta.fec_members
+                   if member.sequence not in self._received
+                   and member.sequence not in self.nack.recovered]
+        recoveries: List[Recovery] = []
+        if len(missing) == 1:
+            recovery = self._recover(missing[0], now, method="parity")
+            if recovery is not None:
+                recoveries.append(recovery)
+        elif missing and self.config.nack:
+            for member in missing:
+                self.nack.note_missing(self._candidate_for(member), now)
+            self._schedule_tick(0.0)
+        return recoveries
+
+    def on_retransmit(self, meta: PayloadMeta, size: int,
+                      now: float) -> Optional[Recovery]:
+        """A retransmitted media datagram arrived."""
+        self.rtx_received += 1
+        self.rtx_bytes_received += size
+        member = meta.fec_members[0] if meta.fec_members else FecMember(
+            sequence=meta.adu_sequence, size_bytes=size,
+            frame_numbers=meta.frame_numbers, media_time=meta.media_time)
+        if (member.sequence in self._received
+                or member.sequence in self.nack.recovered):
+            self.duplicate_rtx += 1
+            return None
+        return self._recover(member, now, method="rtx")
+
+    def close(self) -> None:
+        """Stop the NACK loop (end of stream or session teardown)."""
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # NACK loop
+    # ------------------------------------------------------------------
+    def _schedule_tick(self, delay: float) -> None:
+        if self._tick_scheduled or self._closed or not self.config.nack:
+            return
+        self._tick_scheduled = True
+        self.sim.schedule_in(delay, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if self._closed:
+            return
+        now = self.sim.now
+        due = self.nack.due(now)
+        selected, expired = schedule_repairs(
+            due, now, self.config.request_budget_bytes)
+        for candidate in expired:
+            self._abandon(candidate.sequence, "deadline")
+        request_sequences: List[int] = []
+        for candidate in selected:
+            if self.nack.exhausted(candidate.sequence):
+                self._abandon(candidate.sequence, "retries")
+                continue
+            request_sequences.append(candidate.sequence)
+        if request_sequences:
+            request = NackRequest(session_id=self.session_id,
+                                  sequences=tuple(request_sequences),
+                                  sent_at=now)
+            self.nacks_sent += 1
+            self.nack_bytes_sent += request.wire_bytes
+            self._send_nack(request)
+            for sequence in request_sequences:
+                self.nack.on_requested(sequence, now)
+            if self._telemetry is not None:
+                self._telemetry.emit(NACK_SENT, family=self.family,
+                                     sequences=len(request_sequences),
+                                     first=request_sequences[0],
+                                     bytes=request.wire_bytes)
+        next_due = self.nack.next_due_at()
+        if next_due is not None:
+            self._schedule_tick(max(0.0, next_due - now))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _candidate_for(self, member: FecMember) -> RepairCandidate:
+        return RepairCandidate(
+            sequence=member.sequence, size_bytes=max(1, member.size_bytes),
+            deadline=self._deadline_for(member),
+            value_bytes=max(member.value_bytes, member.size_bytes),
+            frame_numbers=member.frame_numbers,
+            media_time=member.media_time, keyframe=member.keyframe,
+            exact=True)
+
+    def _deadline_for(self, member: FecMember) -> Optional[float]:
+        if member.frame_numbers and self.nominal_fps > 0:
+            media_time = min(member.frame_numbers) / self.nominal_fps
+        else:
+            media_time = member.media_time
+        return self._deadline_for_media_time(media_time)
+
+    def _deadline_for_media_time(self,
+                                 media_time: float) -> Optional[float]:
+        start = self._playout_start()
+        if start is None:
+            return None
+        return start + media_time + self.config.deadline_slack
+
+    def _recover(self, member: FecMember, now: float,
+                 method: str) -> Optional[Recovery]:
+        if not self.nack.on_recovered(member.sequence):
+            return None
+        deadline = self._deadline_for(member)
+        before = deadline is None or now <= deadline
+        if method == "parity":
+            self.recovered_parity += 1
+        else:
+            self.recovered_rtx += 1
+        if before:
+            self.recovered_before_deadline += 1
+        if self._telemetry is not None:
+            self._telemetry.emit(REPAIR_RECOVERED, family=self.family,
+                                 sequence=member.sequence, method=method,
+                                 frames=len(member.frame_numbers),
+                                 before_deadline=before)
+        return Recovery(sequence=member.sequence, method=method,
+                        frame_numbers=member.frame_numbers,
+                        media_time=member.media_time,
+                        size_bytes=member.size_bytes,
+                        before_deadline=before)
+
+    def _abandon(self, sequence: int, reason: str) -> None:
+        self.nack.abandon(sequence, reason)
+        if reason == "deadline":
+            self.abandoned_deadline += 1
+        else:
+            self.abandoned_retries += 1
+        if self._telemetry is not None:
+            self._telemetry.emit(REPAIR_ABANDONED, family=self.family,
+                                 sequence=sequence, reason=reason)

@@ -1,0 +1,100 @@
+"""Deadline-aware, value-dense repair scheduling.
+
+Repair bandwidth is scarce (the sender's repair budget, the receiver's
+per-request cap), so which losses to chase matters.  The scheduler
+implements the most-valuable-bytes-first discipline: each candidate
+carries the bytes that stay decodable if it is repaired
+(``value_bytes`` — a keyframe is worth its whole GOP, a late P-frame
+only its own tail; see :mod:`repro.media.gop`), and selection greedily
+packs the request budget by value *density* (value per requested
+byte).  Candidates whose decode deadline has already passed are
+expired, not requested: a repair that cannot arrive in time is pure
+queue poison, and dropping it is what keeps unrecoverable P-frame loss
+from stalling playout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass
+class RepairCandidate:
+    """One lost media sequence under consideration for repair.
+
+    Attributes:
+        sequence: the missing datagram's ADU sequence number.
+        size_bytes: bytes a retransmission would cost.
+        deadline: absolute simulated time the data must arrive to
+            decode on time (slack already applied); ``None`` before
+            playout starts, meaning no deadline pressure yet.
+        value_bytes: schedule bytes kept decodable by this repair.
+        frame_numbers: frames the datagram carried (empty when only a
+            gap was observed and the parity header never arrived).
+        media_time: stream position, for deadline estimation.
+        keyframe: whether a keyframe rides on this datagram.
+        exact: True when the metadata came from a parity header rather
+            than a neighbor-based gap estimate.
+    """
+
+    sequence: int
+    size_bytes: int
+    deadline: Optional[float] = None
+    value_bytes: int = 0
+    frame_numbers: Tuple[int, ...] = ()
+    media_time: float = 0.0
+    keyframe: bool = False
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ReproError(
+                f"candidate size must be positive: {self.size_bytes}")
+        if self.value_bytes < 0:
+            raise ReproError(
+                f"candidate value must be nonnegative: {self.value_bytes}")
+
+    @property
+    def value_density(self) -> float:
+        return self.value_bytes / self.size_bytes
+
+
+def schedule_repairs(
+        candidates: Sequence[RepairCandidate], now: float,
+        budget_bytes: int,
+) -> Tuple[List[RepairCandidate], List[RepairCandidate]]:
+    """Pick which losses to request, best value first, under budget.
+
+    Returns ``(selected, expired)``: ``selected`` is the ordered
+    request list fitting ``budget_bytes``; ``expired`` are candidates
+    whose deadline has passed and must be abandoned (deadline drop).
+    Candidates that merely miss the budget cut stay pending for the
+    next scheduling round and appear in neither list.
+
+    Ordering is deterministic: value density descending, then earlier
+    deadline, then lower sequence.
+    """
+    if budget_bytes <= 0:
+        raise ReproError(f"budget must be positive: {budget_bytes}")
+    live: List[RepairCandidate] = []
+    expired: List[RepairCandidate] = []
+    for candidate in candidates:
+        if candidate.deadline is not None and now > candidate.deadline:
+            expired.append(candidate)
+        else:
+            live.append(candidate)
+    live.sort(key=lambda c: (
+        -c.value_density,
+        c.deadline if c.deadline is not None else float("inf"),
+        c.sequence))
+    selected: List[RepairCandidate] = []
+    spent = 0
+    for candidate in live:
+        if spent + candidate.size_bytes > budget_bytes and selected:
+            continue
+        selected.append(candidate)
+        spent += candidate.size_bytes
+    return selected, expired

@@ -1,0 +1,163 @@
+"""Sender-side repair: FEC parity emission and NACK-driven
+retransmission, bolted onto a pacer.
+
+One :class:`SenderRepair` serves one streaming session (mirroring
+:class:`repro.cc.controller.CcSessionController`).  It observes every
+media datagram the pacer sends, closes XOR parity groups, answers
+NACKs out of its send history, and meters everything against the
+session's repair budget.  All repair traffic flows through the pacer's
+side channel (:meth:`repro.servers.pacing.Pacer.send_repair`), which
+deliberately bypasses the media byte ledger: ``bytes_sent``, the
+budget ledger, and the ADU sequence space describe *media*, and the
+``fec-conservation`` invariant audits the separate repair ledger kept
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.media.gop import frame_value_map
+from repro.netsim.headers import PayloadMeta
+from repro.repair.base import RepairConfig
+from repro.repair.fec import FecGroupEncoder, FecGroupSpec, FecMember
+from repro.repair.nack import NackRequest
+from repro.telemetry.events import FEC_PARITY_SENT, RETRANSMIT_SENT
+
+
+class SenderRepair:
+    """Per-session sender repair state machine.
+
+    Args:
+        config: the armed repair configuration (never null — the
+            server only builds repair state when a mechanism is on).
+    """
+
+    def __init__(self, config: RepairConfig) -> None:
+        self.config = config
+        self.pacer = None
+        self._encoder: Optional[FecGroupEncoder] = (
+            FecGroupEncoder(config.fec_group) if config.fec_group else None)
+        #: Send history: ADU sequence -> member descriptor, the source
+        #: of truth for retransmissions and parity headers.
+        self._history: Dict[int, FecMember] = {}
+        self._rtx_attempts: Dict[int, int] = {}
+        self._values = None
+        # The repair ledger audited by ``fec-conservation``.
+        self.parity_groups_sent = 0
+        self.parity_bytes_sent = 0
+        self.rtx_sent = 0
+        self.rtx_bytes_sent = 0
+        self.budget_spent = 0
+        self.budget_denied = 0
+        self.nacks_received = 0
+        self.nack_sequences_received = 0
+        self.unknown_sequences = 0
+
+    @property
+    def family(self) -> str:
+        return self.pacer.clip.family.name.lower()
+
+    def bind(self, pacer) -> None:
+        """Attach to the session's pacer and index its frame values."""
+        self.pacer = pacer
+        self._values = frame_value_map(pacer.schedule)
+        if pacer.sim.validator is not None:
+            pacer.sim.validator.register_repair(self)
+
+    # ------------------------------------------------------------------
+    # Pacer hooks
+    # ------------------------------------------------------------------
+    def on_media_sent(self, meta: PayloadMeta, size: int) -> None:
+        """Record one sent media datagram; emit parity on group close."""
+        member = self._describe(meta, size)
+        self._history[member.sequence] = member
+        if self._encoder is None:
+            return
+        spec = self._encoder.add(member)
+        if spec is not None:
+            self._send_parity(spec)
+
+    def on_stream_end(self) -> None:
+        """Flush a partial trailing parity group before end-of-stream."""
+        if self._encoder is None:
+            return
+        spec = self._encoder.flush()
+        if spec is not None:
+            self._send_parity(spec)
+
+    # ------------------------------------------------------------------
+    # NACK handling (called by the server on a control-channel request)
+    # ------------------------------------------------------------------
+    def on_nack(self, request: NackRequest, now: float) -> None:
+        """Retransmit what the receiver asked for, budget permitting."""
+        self.nacks_received += 1
+        self.nack_sequences_received += len(request.sequences)
+        for sequence in request.sequences:
+            member = self._history.get(sequence)
+            if member is None:
+                self.unknown_sequences += 1
+                continue
+            attempts = self._rtx_attempts.get(sequence, 0)
+            if attempts > self.config.max_retries:
+                continue
+            if not self._spend(member.size_bytes):
+                continue
+            self._rtx_attempts[sequence] = attempts + 1
+            self.rtx_sent += 1
+            self.rtx_bytes_sent += member.size_bytes
+            meta = PayloadMeta(kind="media-rtx",
+                               adu_sequence=member.sequence,
+                               frame_numbers=member.frame_numbers,
+                               media_time=member.media_time,
+                               retransmit_of=member.sequence,
+                               fec_members=(member,))
+            self.pacer.send_repair(member.size_bytes, meta)
+            telemetry = self.pacer.sim.telemetry
+            if telemetry is not None:
+                telemetry.emit(RETRANSMIT_SENT, family=self.family,
+                               sequence=member.sequence,
+                               attempt=attempts + 1,
+                               bytes=member.size_bytes)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _describe(self, meta: PayloadMeta, size: int) -> FecMember:
+        keyframe = False
+        value = size
+        for number in meta.frame_numbers:
+            entry = self._values.get(number)
+            if entry is None:
+                continue
+            keyframe = keyframe or entry.keyframe
+            # The datagram's worth is the best chain it completes.
+            value = max(value, entry.dependent_bytes)
+        return FecMember(sequence=meta.adu_sequence, size_bytes=size,
+                         frame_numbers=meta.frame_numbers,
+                         media_time=meta.media_time,
+                         keyframe=keyframe, value_bytes=value)
+
+    def _send_parity(self, spec: FecGroupSpec) -> None:
+        size = spec.parity_bytes
+        if not self._spend(size):
+            return
+        self.parity_groups_sent += 1
+        self.parity_bytes_sent += size
+        meta = PayloadMeta(kind="fec-parity",
+                           adu_sequence=spec.members[-1].sequence,
+                           fec_group=spec.index,
+                           fec_members=spec.members)
+        self.pacer.send_repair(size, meta)
+        telemetry = self.pacer.sim.telemetry
+        if telemetry is not None:
+            telemetry.emit(FEC_PARITY_SENT, family=self.family,
+                           group=spec.index, members=len(spec.members),
+                           bytes=size)
+
+    def _spend(self, amount: int) -> bool:
+        if self.budget_spent + amount > self.config.repair_budget_bytes:
+            self.budget_denied += 1
+            return False
+        self.budget_spent += amount
+        return True

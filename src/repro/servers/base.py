@@ -23,6 +23,7 @@ from repro.servers.control import (
     ControlResponse,
     RTSP_PORT,
 )
+from repro.repair.nack import NackRequest
 from repro.servers.feedback import ReceiverReport
 from repro.servers.pacing import Pacer
 from repro.servers.session import ServerSession, SessionState
@@ -48,6 +49,10 @@ class StreamingServer:
             session's pacer through a
             :class:`~repro.cc.CcSessionController`; receiver reports
             then drive rate control in addition to media scaling.
+        repair_factory: when given, each PLAY builds a fresh
+            :class:`~repro.repair.sender.SenderRepair` and attaches it
+            to the session's pacer; the server then answers the
+            client's NACKs out of that session's send history.
     """
 
     #: Which player family's clips this server serves; subclasses set it.
@@ -55,7 +60,8 @@ class StreamingServer:
 
     def __init__(self, host: Host, control_port: int = RTSP_PORT,
                  codec: Optional[SyntheticCodec] = None,
-                 scaling_policy_factory=None, cc_factory=None) -> None:
+                 scaling_policy_factory=None, cc_factory=None,
+                 repair_factory=None) -> None:
         self.host = host
         self.control_port = control_port
         rng_name = f"server:{host.name}:{control_port}"
@@ -72,6 +78,8 @@ class StreamingServer:
         self.scaling_controllers: Dict[int, object] = {}
         self.cc_factory = cc_factory
         self.cc_controllers: Dict[int, object] = {}
+        self.repair_factory = repair_factory
+        self.repair_controllers: Dict[int, object] = {}
         #: Fault state: a crashed server drops every request unanswered
         #: until :meth:`restart`.
         self.crashed = False
@@ -118,6 +126,11 @@ class StreamingServer:
             cc_controller = self.cc_controllers.get(message.session_id)
             if cc_controller is not None:
                 cc_controller.on_report(message, self.host.sim.now)
+            return
+        if isinstance(message, NackRequest):
+            repair = self.repair_controllers.get(message.session_id)
+            if repair is not None:
+                repair.on_nack(message, self.host.sim.now)
             return
         if not isinstance(message, ControlRequest):
             return
@@ -223,6 +236,10 @@ class StreamingServer:
             self.cc_controllers[session.session_id] = CcSessionController(
                 self.cc_factory(), pacer, self.host.sim,
                 family=self.family.name.lower())
+        if self.repair_factory is not None:
+            repair = self.repair_factory()
+            pacer.enable_repair(repair)
+            self.repair_controllers[session.session_id] = repair
         return ControlResponse(status=200, method="PLAY",
                                session_id=session.session_id)
 

@@ -80,6 +80,15 @@ class Pacer:
         #: controller) leaves the native schedule untouched.
         self.cc_rate_bps: Optional[float] = None
         self._cc_stamp = False
+        #: Loss repair (repro.repair): per-session sender state, armed
+        #: by :meth:`enable_repair`.  ``None`` (the default) sends no
+        #: repair traffic and keeps the stream byte-identical.
+        self._repair = None
+        #: Wire-side repair ledger, deliberately separate from
+        #: ``bytes_sent`` / the budget ledger (those describe media);
+        #: the ``fec-conservation`` invariant reconciles the two views.
+        self.repair_datagrams_sent = 0
+        self.repair_bytes_sent = 0
         # Frame bookkeeping: cumulative byte offsets of frame ends let
         # each datagram name the frames it completes.
         self._frame_ends: List[int] = []
@@ -169,6 +178,28 @@ class Pacer:
         """
         self._cc_stamp = True
 
+    def enable_repair(self, repair) -> None:
+        """Attach a :class:`~repro.repair.sender.SenderRepair`.
+
+        Armed once per session by the server when a repair config is
+        in force; never called on repair-free runs.
+        """
+        self._repair = repair
+        repair.bind(self)
+
+    def send_repair(self, size: int, meta: PayloadMeta) -> None:
+        """Send one repair datagram (parity or retransmission).
+
+        Repair traffic rides the same socket as media but bypasses the
+        media ledger entirely: no ``bytes_sent``, no budget
+        consumption, no ADU sequence, no provenance span.  Media
+        accounting stays exactly what the conservation invariants
+        already pin; repair has its own ledger.
+        """
+        self.socket.send(self.dst, self.dst_port, size, payload=meta)
+        self.repair_datagrams_sent += 1
+        self.repair_bytes_sent += size
+
     def set_cc_rate(self, rate_bps: float) -> None:
         """Apply a congestion-control pacing target.
 
@@ -236,6 +267,8 @@ class Pacer:
             self._ctr_bytes.inc(size)
             self._hist_size.observe(size)
             self._hist_gap.observe(delay)
+        if self._repair is not None:
+            self._repair.on_media_sent(meta, size)
         if self.media_bytes_remaining <= 0:
             self._finish()
             return
@@ -263,6 +296,11 @@ class Pacer:
         if self.finished_at is not None:
             return
         self.finished_at = self.sim.now
+        if self._repair is not None:
+            # Flush the trailing partial parity group ahead of the EOS
+            # marker; in-order links then deliver it before the client
+            # closes its session.
+            self._repair.on_stream_end()
         if self._telemetry is not None:
             self._telemetry.emit(STREAM_END,
                                  family=self.clip.family.name.lower(),

@@ -95,6 +95,25 @@ ABR_SEGMENT = "abr_segment"
 #: The ABR player switched ladder rungs between segments.
 ABR_SWITCH = "abr_switch"
 
+# ----------------------------------------------------------------------
+# Loss repair and viewer experience (repro.repair).
+# ----------------------------------------------------------------------
+
+#: The sender closed an FEC group and emitted its XOR parity datagram.
+FEC_PARITY_SENT = "fec_parity_sent"
+#: The player sent a retransmission request for missing sequences.
+NACK_SENT = "nack_sent"
+#: The server retransmitted a media datagram from its send history.
+RETRANSMIT_SENT = "retransmit_sent"
+#: The player repaired a lost sequence (parity decode or RTX arrival).
+REPAIR_RECOVERED = "repair_recovered"
+#: The player gave up on a lost sequence (deadline passed or retries
+#: exhausted) — the graceful-drop path.
+REPAIR_ABANDONED = "repair_abandoned"
+#: A finished playback published its deterministic per-viewer QoE
+#: score (repair-armed runs only).
+QOE_SCORE = "qoe_score"
+
 ALL_EVENT_TYPES: Tuple[str, ...] = (
     PACKET_ENQUEUED, QUEUE_DROP, PACKET_LOSS, PACKET_DELIVERED,
     FRAGMENT_EMITTED, REASSEMBLY_TIMEOUT, STREAM_START, STREAM_END,
@@ -104,6 +123,8 @@ ALL_EVENT_TYPES: Tuple[str, ...] = (
     QUALITY_DOWNSHIFT, QUALITY_UPSHIFT, PLAYER_STALLED, EOS_TIMEOUT,
     SERVER_PAUSED, SERVER_RESUMED, SERVER_CRASHED,
     CC_STATE, ABR_SEGMENT, ABR_SWITCH,
+    FEC_PARITY_SENT, NACK_SENT, RETRANSMIT_SENT,
+    REPAIR_RECOVERED, REPAIR_ABANDONED, QOE_SCORE,
 )
 
 

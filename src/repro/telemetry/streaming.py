@@ -43,16 +43,22 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import AnalysisError
 from repro.telemetry.events import (
     FAULT_INJECTED,
+    FEC_PARITY_SENT,
     FRAGMENT_EMITTED,
     KEEPALIVE_MISS,
+    NACK_SENT,
     PACKET_DELIVERED,
     PACKET_LOSS,
     PLAYOUT_START,
+    QOE_SCORE,
     QUALITY_DOWNSHIFT,
     QUALITY_UPSHIFT,
     QUEUE_DROP,
     REBUFFER_START,
     REBUFFER_STOP,
+    REPAIR_ABANDONED,
+    REPAIR_RECOVERED,
+    RETRANSMIT_SENT,
     ROUTE_RECONVERGED,
     STREAM_END,
     STREAM_START,
@@ -272,6 +278,10 @@ class TurbulenceRollup:
         "rebuffer_stop_fp", "faults_fired", "route_reconvergences",
         "tcp_retransmits", "keepalive_misses", "quality_downshifts",
         "quality_upshifts", "first_time", "last_time",
+        "nacks_sent", "parity_groups", "parity_bytes",
+        "retransmits_sent", "rtx_bytes", "repairs_parity", "repairs_rtx",
+        "repairs_before_deadline", "repairs_abandoned",
+        "qoe_runs", "qoe_sum_fp", "qoe_min_fp", "qoe_max_fp",
     )
 
     def __init__(self) -> None:
@@ -296,6 +306,22 @@ class TurbulenceRollup:
         self.quality_upshifts = 0
         self.first_time: Optional[float] = None
         self.last_time: Optional[float] = None
+        # Loss repair + QoE (repro.repair); all zero on repair-free
+        # runs, and the export omits the section entirely then so
+        # legacy summaries stay byte-identical.
+        self.nacks_sent = 0
+        self.parity_groups = 0
+        self.parity_bytes = 0
+        self.retransmits_sent = 0
+        self.rtx_bytes = 0
+        self.repairs_parity = 0
+        self.repairs_rtx = 0
+        self.repairs_before_deadline = 0
+        self.repairs_abandoned = 0
+        self.qoe_runs = 0
+        self.qoe_sum_fp = 0
+        self.qoe_min_fp: Optional[int] = None
+        self.qoe_max_fp: Optional[int] = None
 
     def fold(self, etype: str, time: float, fields: Dict[str, object]) -> None:
         if self.first_time is None or time < self.first_time:
@@ -338,6 +364,31 @@ class TurbulenceRollup:
             self.quality_downshifts += 1
         elif etype == QUALITY_UPSHIFT:
             self.quality_upshifts += 1
+        elif etype == NACK_SENT:
+            self.nacks_sent += 1
+        elif etype == FEC_PARITY_SENT:
+            self.parity_groups += 1
+            self.parity_bytes += int(fields.get("bytes", 0))
+        elif etype == RETRANSMIT_SENT:
+            self.retransmits_sent += 1
+            self.rtx_bytes += int(fields.get("bytes", 0))
+        elif etype == REPAIR_RECOVERED:
+            if fields.get("method") == "parity":
+                self.repairs_parity += 1
+            else:
+                self.repairs_rtx += 1
+            if fields.get("before_deadline"):
+                self.repairs_before_deadline += 1
+        elif etype == REPAIR_ABANDONED:
+            self.repairs_abandoned += 1
+        elif etype == QOE_SCORE:
+            self.qoe_runs += 1
+            score_fp = _fp(float(fields.get("score", 0.0)))
+            self.qoe_sum_fp += score_fp
+            if self.qoe_min_fp is None or score_fp < self.qoe_min_fp:
+                self.qoe_min_fp = score_fp
+            if self.qoe_max_fp is None or score_fp > self.qoe_max_fp:
+                self.qoe_max_fp = score_fp
 
     def merge(self, other: "TurbulenceRollup") -> None:
         self.delivered_packets += other.delivered_packets
@@ -359,6 +410,25 @@ class TurbulenceRollup:
         self.keepalive_misses += other.keepalive_misses
         self.quality_downshifts += other.quality_downshifts
         self.quality_upshifts += other.quality_upshifts
+        self.nacks_sent += other.nacks_sent
+        self.parity_groups += other.parity_groups
+        self.parity_bytes += other.parity_bytes
+        self.retransmits_sent += other.retransmits_sent
+        self.rtx_bytes += other.rtx_bytes
+        self.repairs_parity += other.repairs_parity
+        self.repairs_rtx += other.repairs_rtx
+        self.repairs_before_deadline += other.repairs_before_deadline
+        self.repairs_abandoned += other.repairs_abandoned
+        self.qoe_runs += other.qoe_runs
+        self.qoe_sum_fp += other.qoe_sum_fp
+        if other.qoe_min_fp is not None and (
+                self.qoe_min_fp is None
+                or other.qoe_min_fp < self.qoe_min_fp):
+            self.qoe_min_fp = other.qoe_min_fp
+        if other.qoe_max_fp is not None and (
+                self.qoe_max_fp is None
+                or other.qoe_max_fp > self.qoe_max_fp):
+            self.qoe_max_fp = other.qoe_max_fp
         if other.first_time is not None and (
                 self.first_time is None or other.first_time < self.first_time):
             self.first_time = other.first_time
@@ -385,6 +455,19 @@ class TurbulenceRollup:
             closed += open_gaps * self.last_time
         return max(closed, 0.0)
 
+    @property
+    def repair_active(self) -> bool:
+        """Whether any repair/QoE signal ever folded.
+
+        Gates the export of the ``repair`` section: repair-free runs
+        fold none of these events and must render the exact summary
+        they always have.
+        """
+        return bool(self.nacks_sent or self.parity_groups
+                    or self.retransmits_sent or self.repairs_parity
+                    or self.repairs_rtx or self.repairs_abandoned
+                    or self.qoe_runs)
+
     def as_dict(self) -> Dict[str, object]:
         span = self.span_seconds
         attempted = (self.delivered_packets + self.lost_packets
@@ -397,7 +480,7 @@ class TurbulenceRollup:
             "quality_downshift": self.quality_downshifts,
             "quality_upshift": self.quality_upshifts,
         }
-        return {
+        result = {
             "delivered_packets": self.delivered_packets,
             "delivered_bytes": self.delivered_bytes,
             "delivered_rate_kbps": _round(
@@ -423,6 +506,33 @@ class TurbulenceRollup:
             "first_time": _round(self.first_time),
             "last_time": _round(self.last_time),
         }
+        if self.repair_active:
+            recovered = self.repairs_parity + self.repairs_rtx
+            settled = recovered + self.repairs_abandoned
+            result["repair"] = {
+                "nacks_sent": self.nacks_sent,
+                "parity_groups": self.parity_groups,
+                "parity_bytes": self.parity_bytes,
+                "retransmits_sent": self.retransmits_sent,
+                "rtx_bytes": self.rtx_bytes,
+                "recovered_parity": self.repairs_parity,
+                "recovered_rtx": self.repairs_rtx,
+                "recovered_before_deadline": self.repairs_before_deadline,
+                "abandoned": self.repairs_abandoned,
+                "repair_ratio": _round(
+                    recovered / settled if settled else 0.0),
+                "qoe": {
+                    "runs": self.qoe_runs,
+                    "mean": _round(self.qoe_sum_fp / _FP_SCALE
+                                   / self.qoe_runs
+                                   if self.qoe_runs else 0.0),
+                    "min": _round(self.qoe_min_fp / _FP_SCALE
+                                  if self.qoe_min_fp is not None else None),
+                    "max": _round(self.qoe_max_fp / _FP_SCALE
+                                  if self.qoe_max_fp is not None else None),
+                },
+            }
+        return result
 
 
 class StreamingSummary:

@@ -88,6 +88,8 @@ INVARIANT_NAMES: Tuple[str, ...] = (
     "cc-bounds",
     "ladder-conservation",
     "stream-equivalence",
+    "fec-conservation",
+    "repair-no-duplication",
 )
 
 
@@ -133,6 +135,7 @@ class RunValidator:
         self._players: List[object] = []
         self._connections: List[object] = []
         self._cc_controllers: List[object] = []
+        self._repairs: List[object] = []
         # High-water marks into the shared telemetry facade: a study
         # reuses one event stream / span forest across runs, so each
         # sweep examines only what this run appended.
@@ -153,6 +156,7 @@ class RunValidator:
         self._players = []
         self._connections = []
         self._cc_controllers = []
+        self._repairs = []
 
     def register_link(self, link) -> None:
         self._links.append(link)
@@ -171,6 +175,9 @@ class RunValidator:
 
     def register_cc(self, controller) -> None:
         self._cc_controllers.append(controller)
+
+    def register_repair(self, repair) -> None:
+        self._repairs.append(repair)
 
     # ------------------------------------------------------------------
     # The sweep
@@ -207,6 +214,7 @@ class RunValidator:
         self._check_cc(fail)
         self._check_abr(fail)
         self._check_stream(fail)
+        self._check_repair(fail)
 
         self.runs_checked += 1
         self.violations.extend(found)
@@ -704,6 +712,84 @@ class RunValidator:
                      f"{refold.fingerprint()})")
 
     # ------------------------------------------------------------------
+    # Loss repair: the repair byte ledger and no-duplication guarantee
+    # ------------------------------------------------------------------
+    def _check_repair(self, fail) -> None:
+        # Sender side: repair spending reconciles three ways — the
+        # budget ledger, the per-kind byte counters, and the pacer's
+        # wire-side tallies all describe the same datagrams.
+        for repair in self._repairs:
+            self.checks_performed += 1
+            family = repair.family
+            repair_bytes = repair.parity_bytes_sent + repair.rtx_bytes_sent
+            if min(repair.parity_groups_sent, repair.parity_bytes_sent,
+                   repair.rtx_sent, repair.rtx_bytes_sent,
+                   repair.budget_spent, repair.budget_denied,
+                   repair.nacks_received, repair.nack_sequences_received,
+                   repair.unknown_sequences) < 0:
+                fail("fec-conservation", "negative sender repair counter",
+                     family=family)
+            if repair.budget_spent != repair_bytes:
+                fail("fec-conservation",
+                     f"budget ledger {repair.budget_spent} != parity "
+                     f"{repair.parity_bytes_sent} + rtx "
+                     f"{repair.rtx_bytes_sent}", family=family)
+            if repair.budget_spent > repair.config.repair_budget_bytes:
+                fail("fec-conservation",
+                     f"spent {repair.budget_spent} repair bytes against a "
+                     f"{repair.config.repair_budget_bytes}-byte budget",
+                     family=family)
+            pacer = repair.pacer
+            if pacer is not None:
+                if pacer.repair_bytes_sent != repair_bytes:
+                    fail("fec-conservation",
+                         f"pacer wired {pacer.repair_bytes_sent} repair "
+                         f"bytes but the repair ledger accounts for "
+                         f"{repair_bytes}", family=family)
+                datagrams = repair.parity_groups_sent + repair.rtx_sent
+                if pacer.repair_datagrams_sent != datagrams:
+                    fail("fec-conservation",
+                         f"pacer wired {pacer.repair_datagrams_sent} repair "
+                         f"datagrams but the ledger counts {datagrams}",
+                         family=family)
+        # Receiver side: a recovered sequence is recovered exactly once,
+        # never re-requested, and never simultaneously abandoned.
+        for player in self._players:
+            repair = getattr(player, "_repair", None)
+            if repair is None:
+                continue
+            self.checks_performed += 1
+            label = player.family.name.lower()
+            recovered = repair.recovered_parity + repair.recovered_rtx
+            if repair.nack.requests_after_repair:
+                fail("repair-no-duplication",
+                     f"{repair.nack.requests_after_repair} NACK requests "
+                     "named already-recovered sequences", player=label)
+            if len(repair.nack.recovered) != recovered:
+                fail("repair-no-duplication",
+                     f"recovered set holds {len(repair.nack.recovered)} "
+                     f"sequences but counters claim {recovered}",
+                     player=label)
+            overlap = repair.nack.recovered & set(repair.nack.abandoned)
+            if overlap:
+                fail("repair-no-duplication",
+                     f"{len(overlap)} sequences both recovered and "
+                     f"abandoned (e.g. {min(overlap)})", player=label)
+            if (repair.abandoned_deadline + repair.abandoned_retries
+                    != len(repair.nack.abandoned)):
+                fail("repair-no-duplication",
+                     f"abandonment counters "
+                     f"{repair.abandoned_deadline}+{repair.abandoned_retries}"
+                     f" != abandoned set {len(repair.nack.abandoned)}",
+                     player=label)
+            if (player.stats is not None
+                    and player.stats.packets_recovered != recovered):
+                fail("repair-no-duplication",
+                     f"stats report {player.stats.packets_recovered} "
+                     f"recovered packets but the repair ledger holds "
+                     f"{recovered}", player=label)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def report(self) -> str:
@@ -719,7 +805,7 @@ class RunValidator:
                 by_invariant.get(violation.invariant, 0) + 1)
         for name in INVARIANT_NAMES:
             marker = by_invariant.get(name, 0)
-            lines.append(f"  {name:<20} "
+            lines.append(f"  {name:<22} "
                          f"{'ok' if not marker else f'{marker} VIOLATED'}")
         for violation in self.violations:
             lines.append(f"  ! {violation}")

@@ -38,6 +38,7 @@ from repro.experiments.runner import StudyResults, run_study
 from repro.faults.scenario import FaultScenario
 from repro.media.library import ClipLibrary
 from repro.players import logging as tracker_logging
+from repro.repair.base import RepairConfig
 from repro.telemetry.core import Telemetry
 from repro.telemetry.exporters import to_json
 from repro.telemetry.sinks import MemorySink, encode_event
@@ -150,6 +151,7 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
                      scenario: Optional[FaultScenario] = None,
                      cc: Optional[CcConfig] = None,
                      abr: Optional[AbrConfig] = None,
+                     repair: Optional[RepairConfig] = None,
                      ) -> DifferentialReport:
     """Run one seeded study three ways and diff every surface.
 
@@ -174,7 +176,7 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
                           loss_probability=loss_probability,
                           telemetry=telemetry_seq, jobs=1,
                           scenario=scenario, cc=cc, abr=abr,
-                          stream=StreamingSummary())
+                          repair=repair, stream=StreamingSummary())
     reference = study_surface(study_seq, telemetry_seq)
     report.legs["sequential"] = reference
 
@@ -199,7 +201,7 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
                           loss_probability=loss_probability,
                           telemetry=telemetry_par, jobs=max(2, jobs),
                           scenario=scenario, cc=cc, abr=abr,
-                          min_parallel_runs=0,
+                          repair=repair, min_parallel_runs=0,
                           stream=StreamingSummary())
     parallel = study_surface(study_par, telemetry_par)
     report.legs["parallel"] = parallel
@@ -209,7 +211,7 @@ def run_differential(seed: int = 2002, duration_scale: float = 1.0,
     # pickle round-trip in an isolated directory so the user's real
     # cache is neither consulted nor polluted.
     key = study_key(seed, duration_scale, loss_probability, library,
-                    scenario, cc, abr, stream=True)
+                    scenario, cc, abr, repair=repair, stream=True)
     saved = {name: os.environ.get(name)
              for name in (CACHE_ENV, CACHE_DIR_ENV)}
     with tempfile.TemporaryDirectory(prefix="repro-validate-") as tmp:

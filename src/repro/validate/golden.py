@@ -30,6 +30,7 @@ from repro.experiments.datasets import build_table1_library
 from repro.experiments.runner import run_study
 from repro.faults.scenario import build_scenario
 from repro.media.library import ClipLibrary
+from repro.repair.base import RepairConfig
 from repro.telemetry.streaming import StreamingSummary
 from repro.validate.differential import _fresh_telemetry, study_surface
 
@@ -38,7 +39,9 @@ from repro.validate.differential import _fresh_telemetry, study_surface
 #: Schema 2: goldens run with an online streaming summary and pin its
 #: canonical JSON as the ``streaming.summary`` surface; the telemetry
 #: summary surface also carries the ring's dropped-event count.
-GOLDEN_SCHEMA = 2
+#: Schema 3: scenarios gain a ``repair`` axis (loss-repair stack armed
+#: with the default :class:`~repro.repair.RepairConfig`).
+GOLDEN_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,7 @@ class GoldenScenario:
     fault: Optional[str] = None  # fault-scenario name, or None
     cc: Optional[str] = None  # congestion-controller kind, or None
     abr: bool = False  # run on the ABR segment-ladder transport
+    repair: bool = False  # arm the default loss-repair stack
 
 
 GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
@@ -79,6 +83,18 @@ GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
             description="The baseline set on the ABR segment-ladder "
                         "transport, clean network",
             seed=424, set_number=3, duration_scale=0.12, abr=True),
+        GoldenScenario(
+            name="repair_baseline",
+            description="The baseline set with the loss-repair stack "
+                        "armed on a clean network (parity flows, "
+                        "nothing to repair)",
+            seed=424, set_number=3, duration_scale=0.04, repair=True),
+        GoldenScenario(
+            name="fault_burstloss_repair",
+            description="Burst loss with repair armed — parity decode "
+                        "and the NACK/retransmit loop actually firing",
+            seed=424, set_number=3, duration_scale=0.12,
+            fault="burst-loss", repair=True),
     )
 }
 
@@ -111,11 +127,12 @@ def compute_golden(scenario: GoldenScenario) -> Dict[str, object]:
              if scenario.fault is not None else None)
     cc = CcConfig(kind=scenario.cc) if scenario.cc is not None else None
     abr = AbrConfig() if scenario.abr else None
+    repair = RepairConfig() if scenario.repair else None
     telemetry = _fresh_telemetry()
     study = run_study(library=_scenario_library(scenario),
                       seed=scenario.seed, telemetry=telemetry,
                       jobs=1, scenario=fault, cc=cc, abr=abr,
-                      stream=StreamingSummary())
+                      repair=repair, stream=StreamingSummary())
     return {
         "schema": GOLDEN_SCHEMA,
         "scenario": scenario.name,
@@ -126,6 +143,7 @@ def compute_golden(scenario: GoldenScenario) -> Dict[str, object]:
         "fault": scenario.fault,
         "cc": scenario.cc,
         "abr": scenario.abr,
+        "repair": scenario.repair,
         "digests": study_surface(study, telemetry),
     }
 
@@ -151,7 +169,7 @@ def compare_golden(expected: Dict[str, object],
     """
     mismatches: List[str] = []
     for field in ("schema", "scenario", "seed", "set_number",
-                  "duration_scale", "fault", "cc", "abr"):
+                  "duration_scale", "fault", "cc", "abr", "repair"):
         if expected.get(field) != actual.get(field):
             mismatches.append(
                 f"{field}: golden has {expected.get(field)!r}, "

@@ -315,3 +315,53 @@ class TestFaultsCli:
         out = capsys.readouterr().out
         assert "fault scenario: link-flap" in out
         assert "faults injected: 2" in out
+
+
+class TestAtFracBoundaries:
+    """Satellite: 0.0 and 1.0 are legal firing points (inclusive
+    bounds), fire exactly once regardless of ``duration_scale``, and
+    stay byte-deterministic under ``jobs=2``."""
+
+    def boundary_scenario(self):
+        return FaultScenario(
+            name="boundary",
+            description="a loss window spanning the entire clip",
+            events=(
+                FaultEvent(at_frac=0.0, action="burst_loss_on",
+                           target="middle",
+                           params=(("loss_bad", 0.3), ("p_bad_good", 0.4),
+                                   ("p_good_bad", 0.05))),
+                FaultEvent(at_frac=1.0, action="burst_loss_off",
+                           target="middle"),
+            ))
+
+    def test_boundary_fractions_accepted(self):
+        assert FaultEvent(at_frac=0.0, action="link_down").at_frac == 0.0
+        assert FaultEvent(at_frac=1.0, action="link_up").at_frac == 1.0
+
+    @pytest.mark.parametrize("bad", [1.0000001, 2.0, -0.0001,
+                                     float("inf"), float("-inf"),
+                                     float("nan")])
+    def test_out_of_range_fractions_rejected(self, bad):
+        with pytest.raises(ReproError, match="at_frac"):
+            FaultEvent(at_frac=bad, action="link_down")
+
+    @pytest.mark.parametrize("scale", [0.06, 0.25])
+    def test_boundary_events_fire_exactly_once(self, scale):
+        _, events = traced_pair_run(self.boundary_scenario(),
+                                    duration_scale=scale)
+        injected = [e for e in events if e.type == FAULT_INJECTED]
+        fired = sorted(str(e.field_dict().get("action")) for e in injected)
+        assert fired == ["burst_loss_off", "burst_loss_on"]
+
+    def test_boundary_scenario_jobs2_matches_sequential(self):
+        library = one_set_library(1)
+        scenario = self.boundary_scenario()
+
+        def traced(jobs):
+            telemetry = Telemetry(sinks=[MemorySink(capacity=None)])
+            run_study(library=library, seed=SEED, telemetry=telemetry,
+                      jobs=jobs, scenario=scenario, min_parallel_runs=0)
+            return [encode_event(e) for e in telemetry.memory_events()]
+
+        assert traced(2) == traced(1)

@@ -340,3 +340,76 @@ class TestFilterAlgebraProperty:
         if both(rec):
             assert compile_filter(a)(rec)
             assert compile_filter(b)(rec)
+
+
+class TestFecParityProperty:
+    """XOR parity must round-trip any single loss, for arbitrary group
+    sizes, block lengths, and loss positions."""
+
+    @given(data=st.data(),
+           blocks=st.lists(st.binary(min_size=0, max_size=96),
+                           min_size=1, max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_single_loss_round_trips(self, data, blocks):
+        from repro.repair import recover_block, xor_parity
+
+        parity = xor_parity(blocks)
+        assert len(parity) == max(len(block) for block in blocks)
+        lost = data.draw(st.integers(min_value=0,
+                                     max_value=len(blocks) - 1),
+                         label="lost_index")
+        survivors = [block for index, block in enumerate(blocks)
+                     if index != lost]
+        rebuilt = recover_block(survivors, parity, len(blocks[lost]))
+        assert rebuilt == blocks[lost]
+
+    @given(blocks=st.lists(st.binary(min_size=1, max_size=64),
+                           min_size=2, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_parity_is_order_independent(self, blocks):
+        from repro.repair import xor_parity
+
+        assert xor_parity(blocks) == xor_parity(list(reversed(blocks)))
+
+
+class TestNackNoRerequestProperty:
+    """Driving the NACK manager exactly as the receiver loop does —
+    requesting only what ``due()`` returns — must never re-request a
+    recovered sequence, for arbitrary miss/recover/abandon/tick
+    interleavings."""
+
+    OPS = st.lists(
+        st.tuples(st.sampled_from(["miss", "recover", "abandon", "tick"]),
+                  st.integers(min_value=0, max_value=6)),
+        max_size=60)
+
+    @given(ops=OPS)
+    @settings(max_examples=150, deadline=None)
+    def test_recovered_sequences_never_rerequested(self, ops):
+        from repro.repair import NackManager, RepairCandidate
+
+        manager = NackManager(max_retries=3, timeout=0.25)
+        now = 0.0
+        for op, sequence in ops:
+            now += 0.2
+            if op == "miss":
+                manager.note_missing(
+                    RepairCandidate(sequence=sequence, size_bytes=100,
+                                    value_bytes=100), now)
+            elif op == "recover":
+                manager.on_recovered(sequence)
+            elif op == "abandon":
+                manager.abandon(sequence, "deadline")
+            else:  # tick: the receiver loop requests whatever is due
+                for candidate in manager.due(now):
+                    manager.on_requested(candidate.sequence, now)
+            # The loop's one load-bearing property:
+            assert manager.requests_after_repair == 0
+            due = {candidate.sequence for candidate in manager.due(1e9)}
+            assert not due & manager.recovered
+            assert not due & set(manager.abandoned)
+            assert not manager.recovered & set(manager.abandoned)
+        for sequence in manager.recovered:
+            assert not manager.note_missing(
+                RepairCandidate(sequence=sequence, size_bytes=100,
+                                value_bytes=100), now + 1.0)
