@@ -42,7 +42,8 @@ def pytest_sessionfinish(session, exitstatus):
     substrate = [bench for bench in bench_session.benchmarks
                  if "bench_substrate_micro" in bench.fullname
                  or "bench_cc_abr" in bench.fullname
-                 or "bench_streaming_fold" in bench.fullname]
+                 or "bench_streaming_fold" in bench.fullname
+                 or "bench_flowlevel" in bench.fullname]
     path = os.environ.get(
         "BENCH_SUBSTRATE_JSON",
         os.path.join(str(session.config.rootdir), "BENCH_substrate.json"))

@@ -34,6 +34,8 @@ GUARDED = frozenset({
     "test_bench_study_abr",
     "test_bench_study_repair",
     "test_bench_streaming_fold",
+    "test_bench_flowlevel_uncontended_delivery",
+    "test_bench_flowlevel_study",
 })
 
 DEFAULT_THRESHOLD = 0.25

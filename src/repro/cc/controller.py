@@ -20,6 +20,7 @@ class CcSessionController:
         self.sim = sim
         self.family = family
         self.state_log: List[Tuple[float, Optional[float], float]] = []
+        self._blackout_opened = False
         pacer.enable_cc_stamping()
         validator = getattr(sim, "validator", None)
         if validator is not None:
@@ -35,6 +36,14 @@ class CcSessionController:
         rate = self.cc.pacing_rate_bps(now)
         if rate is not None:
             self.pacer.set_cc_rate(rate)
+            if not self._blackout_opened:
+                self._blackout_opened = True
+                fast_path = getattr(self.sim, "fast_path", None)
+                if fast_path is not None:
+                    # Once cc shapes the send rate, pacing depends on
+                    # the feedback loop's timing; the analytic model
+                    # has no seat at that table for the rest of the run.
+                    fast_path.add_blackout(now, float("inf"))
         self.state_log.append((now, rate, self.cc.cwnd_bytes))
         if self.sim.telemetry is not None:
             from repro.telemetry.events import CC_STATE

@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = one per CPU; default 1, sequential)")
     study.add_argument("--no-cache", action="store_true",
                        help="always simulate; skip the study caches")
+    study.add_argument("--fast-path", nargs="?", const="on",
+                       choices=["on", "strict"], default=None,
+                       dest="fast_path",
+                       help="deliver uncontended packet trains "
+                            "analytically instead of event-per-packet "
+                            "(see repro.netsim.flowlevel); 'strict' "
+                            "accepts only provably-exact trains")
     study.add_argument("--progress", action="store_true",
                        help="live status line while the sweep runs "
                             "(single in-place line on a TTY; one "
@@ -272,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run on the ABR segment-ladder transport")
     validate.add_argument("--repair", action="store_true",
                           help="arm the default loss-repair stack")
+    validate.add_argument("--fast-path", nargs="?", const="on",
+                          choices=["on", "strict"], default=None,
+                          dest="fast_path",
+                          help="arm the flow-level fast path so the "
+                               "fastpath-equivalence invariant refolds "
+                               "its train ledger")
 
     watch = commands.add_parser(
         "watch", help="flag anomalies in a streamed study's per-run "
@@ -303,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the persistent study cache")
     cache.add_argument("action", choices=["info", "clear"], nargs="?",
                        default="info")
+
+    pool = commands.add_parser(
+        "pool", help="inspect or stop the persistent study worker pool")
+    pool.add_argument("action", choices=["info", "shutdown"], nargs="?",
+                      default="info")
 
     commands.add_parser("table1", help="print Table 1 (no simulation)")
 
@@ -348,6 +366,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
     bad = _check_sweep_args(args)
     if bad is not None:
         return bad
+    fast_path = None
+    if args.fast_path is not None:
+        from repro.netsim.flowlevel import FlowLevelConfig
+
+        fast_path = FlowLevelConfig(strict=(args.fast_path == "strict"))
     record_stream = None
     if args.stream_jsonl:
         try:
@@ -405,7 +428,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
                 stream = StreamingSummary()
             study = run_study(seed=args.seed, duration_scale=args.scale,
                               jobs=args.jobs, stream=stream,
-                              progress=progress)
+                              fast_path=fast_path, progress=progress)
             source = ("cache off" if args.no_cache
                       else "cache bypassed (--stream-jsonl)")
         else:
@@ -415,6 +438,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
                                               duration_scale=args.scale,
                                               jobs=args.jobs,
                                               stream=streaming,
+                                              fast_path=fast_path,
                                               progress=progress)
             source = ("disk cache hit" if origin == "disk"
                       else "memory cache hit" if origin == "memory"
@@ -431,12 +455,30 @@ def _cmd_study(args: argparse.Namespace) -> int:
     ran_now = source in ("cache off", "cache miss",
                          "cache bypassed (--stream-jsonl)")
     exec_note = f", {study.execution}" if ran_now else ""
+    if ran_now and study.execution.startswith("parallel"):
+        from repro.experiments.parallel import pool_info
+
+        info = pool_info()
+        if info["workers"]:
+            state = "warm" if info["studies"] > 1 else "cold"
+            exec_note += (f", pool {state} "
+                          f"({info['workers']} workers)")
+    fast_note = f", fast-path {args.fast_path}" if fast_path else ""
     # ru_maxrss is KiB on Linux: the process-lifetime high-water mark,
     # which is exactly the number the bounded-memory claim is about.
     peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     print(f"# study sweep: {len(study)} pair runs in {elapsed:.2f}s "
-          f"(seed {args.seed}, scale {args.scale}{jobs_note}{exec_note}, "
-          f"{source}, peak rss {peak_kib / 1024:.0f} MiB)\n")
+          f"(seed {args.seed}, scale {args.scale}{jobs_note}{exec_note}"
+          f"{fast_note}, {source}, peak rss {peak_kib / 1024:.0f} MiB)\n")
+    if fast_path is not None and ran_now:
+        fast = sum(r.fastpath.packets_fast for r in study.runs
+                   if r.fastpath is not None)
+        fell = sum(r.fastpath.packets_fallback for r in study.runs
+                   if r.fastpath is not None)
+        total = fast + fell
+        if total:
+            print(f"# fast path: {fast} of {total} packets delivered "
+                  f"analytically ({100.0 * fast / total:.1f}%)\n")
     if study.streaming is not None:
         summary = study.streaming
         print(f"# streamed: {summary.events_folded} events folded into "
@@ -1133,6 +1175,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         from repro.repair import RepairConfig
 
         repair = RepairConfig()
+    fast_path = None
+    if args.fast_path is not None:
+        if args.abr:
+            return _usage_error(
+                "error: --fast-path and --abr are mutually exclusive")
+        if args.repair:
+            return _usage_error(
+                "error: --fast-path requires no repair stack "
+                "(drop --repair)")
+        from repro.netsim.flowlevel import FlowLevelConfig
+
+        fast_path = FlowLevelConfig(strict=(args.fast_path == "strict"))
 
     if args.differential:
         report = run_differential(seed=args.seed,
@@ -1160,10 +1214,12 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                       duration_scale=args.scale, jobs=1,
                       scenario=scenario, validate=validator,
                       cc=cc, abr=abr, repair=repair, telemetry=telemetry,
-                      stream=stream)
+                      stream=stream, fast_path=fast_path)
     transport_note = ((f", cc {args.cc_kind}" if cc is not None else "")
                       + (", abr" if abr is not None else "")
-                      + (", repair" if repair is not None else ""))
+                      + (", repair" if repair is not None else "")
+                      + (f", fast-path {args.fast_path}"
+                         if fast_path is not None else ""))
     print(f"# invariant check: {len(study)} pair runs "
           f"(seed {args.seed}, scale {args.scale}"
           + (f", faults {args.fault_scenario}"
@@ -1257,8 +1313,29 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pool(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import pool_info, shutdown_pool
+
+    if args.action == "shutdown":
+        stopped = shutdown_pool()
+        print("stopped the warm worker pool" if stopped
+              else "no warm worker pool to stop")
+        return 0
+    info = pool_info()
+    if not info["workers"]:
+        print("worker pool: cold (no persistent pool in this process); "
+              "a parallel run_study() warms one and later studies "
+              "reuse it until shutdown_pool() or process exit")
+        return 0
+    print(f"worker pool: warm, {info['workers']} workers, "
+          f"{info['studies']} stud"
+          f"{'y' if info['studies'] == 1 else 'ies'} served")
+    return 0
+
+
 _HANDLERS = {
     "study": _cmd_study,
+    "pool": _cmd_pool,
     "faults": _cmd_faults,
     "cc": _cmd_cc,
     "repair": _cmd_repair,

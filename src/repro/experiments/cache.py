@@ -36,6 +36,7 @@ from repro.cc.base import CcConfig
 from repro.experiments.runner import StudyResults, run_study
 from repro.faults.scenario import FaultScenario
 from repro.media.library import ClipLibrary
+from repro.netsim.flowlevel import FlowLevelConfig
 from repro.repair.base import RepairConfig
 
 #: Key slot used when the caller lets ``run_study`` build the default
@@ -67,7 +68,10 @@ _NO_REPAIR = "no-repair"
 _STREAMING = "streaming"
 _NO_STREAM = "no-stream"
 
-StudyKey = Tuple[int, float, float, str, str, str, str, str, str]
+#: Key slot for packet-level (non-fast-path) studies.
+_NO_FASTPATH = "packet-level"
+
+StudyKey = Tuple[int, float, float, str, str, str, str, str, str, str]
 
 _CACHE: Dict[StudyKey, StudyResults] = {}
 
@@ -84,7 +88,8 @@ def study_key(seed: int, duration_scale: float, loss_probability: float,
               cc: Optional[CcConfig] = None,
               abr: Optional[AbrConfig] = None,
               repair: Optional[RepairConfig] = None,
-              stream: bool = False) -> StudyKey:
+              stream: bool = False,
+              fast_path: Optional[FlowLevelConfig] = None) -> StudyKey:
     """The canonical cache key for one study parameter set.
 
     Shared by the memory dict and the disk layer so the two can never
@@ -94,7 +99,10 @@ def study_key(seed: int, duration_scale: float, loss_probability: float,
     transport configs key the same way: a study run under a congestion
     controller or on the ABR ladder is a different study, keyed by the
     config fingerprints (see :meth:`~repro.cc.base.CcConfig.fingerprint`
-    and :meth:`~repro.cc.abr.AbrConfig.fingerprint`).
+    and :meth:`~repro.cc.abr.AbrConfig.fingerprint`).  So does the
+    flow-level fast path: its results agree with packet-level within
+    declared tolerances but are not byte-identical, and the two must
+    never alias.
     """
     library_key = (library.fingerprint() if library is not None
                    else _DEFAULT_LIBRARY)
@@ -105,8 +113,11 @@ def study_key(seed: int, duration_scale: float, loss_probability: float,
     repair_key = (repair.fingerprint() if repair is not None
                   else _NO_REPAIR)
     stream_key = _STREAMING if stream else _NO_STREAM
+    fastpath_key = (fast_path.fingerprint() if fast_path is not None
+                    else _NO_FASTPATH)
     return (seed, duration_scale, loss_probability, library_key,
-            scenario_key, cc_key, abr_key, repair_key, stream_key)
+            scenario_key, cc_key, abr_key, repair_key, stream_key,
+            fastpath_key)
 
 
 def code_fingerprint() -> str:
@@ -151,7 +162,7 @@ def _entry_paths(key: StudyKey) -> Tuple[Path, Path]:
         {"seed": key[0], "duration_scale": key[1],
          "loss_probability": key[2], "library": key[3],
          "scenario": key[4], "cc": key[5], "abr": key[6],
-         "repair": key[7], "stream": key[8],
+         "repair": key[7], "stream": key[8], "fast_path": key[9],
          "code": code_fingerprint()},
         sort_keys=True)
     digest = hashlib.sha256(material.encode()).hexdigest()[:32]
@@ -192,7 +203,7 @@ def _disk_store(key: StudyKey, study: StudyResults) -> None:
             {"seed": key[0], "duration_scale": key[1],
              "loss_probability": key[2], "library": key[3],
              "scenario": key[4], "cc": key[5], "abr": key[6],
-             "repair": key[7], "stream": key[8],
+             "repair": key[7], "stream": key[8], "fast_path": key[9],
              "code": code_fingerprint(),
              "version": __version__, "runs": len(study)},
             sort_keys=True, indent=2) + "\n")
@@ -247,6 +258,7 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
                       cc: Optional[CcConfig] = None,
                       abr: Optional[AbrConfig] = None,
                       repair: Optional[RepairConfig] = None,
+                      fast_path: Optional[FlowLevelConfig] = None,
                       stream: bool = False,
                       progress=None,
                       ) -> Tuple[StudyResults, str]:
@@ -268,7 +280,8 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
         from the terminal.
     """
     key = study_key(seed, duration_scale, loss_probability, library,
-                    scenario, cc, abr, repair=repair, stream=stream)
+                    scenario, cc, abr, repair=repair, stream=stream,
+                    fast_path=fast_path)
     study = _CACHE.get(key)
     if study is not None:
         return study, "memory"
@@ -286,7 +299,8 @@ def load_or_run_study(seed: int = 2002, duration_scale: float = 1.0,
                       duration_scale=duration_scale,
                       loss_probability=loss_probability, jobs=jobs,
                       scenario=scenario, cc=cc, abr=abr, repair=repair,
-                      stream=summary, progress=progress)
+                      fast_path=fast_path, stream=summary,
+                      progress=progress)
     _CACHE[key] = study
     if disk_cache_enabled():
         _disk_store(key, study)
@@ -301,13 +315,15 @@ def get_study(seed: int = 2002, duration_scale: float = 1.0,
               cc: Optional[CcConfig] = None,
               abr: Optional[AbrConfig] = None,
               repair: Optional[RepairConfig] = None,
+              fast_path: Optional[FlowLevelConfig] = None,
               stream: bool = False) -> StudyResults:
     """The study for these parameters, running it on first request."""
     study, _ = load_or_run_study(seed=seed, duration_scale=duration_scale,
                                  loss_probability=loss_probability,
                                  library=library, jobs=jobs,
                                  scenario=scenario, cc=cc, abr=abr,
-                                 repair=repair, stream=stream)
+                                 repair=repair, fast_path=fast_path,
+                                 stream=stream)
     return study
 
 

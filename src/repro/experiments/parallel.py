@@ -30,15 +30,26 @@ is a process-local diagnostic counter (two sequential same-seed studies
 in one process already disagree on it), so uids in a parallel study's
 traces differ from a sequential study's.  Nothing downstream keys on
 them across runs.
+
+**The pool persists.**  Workers fork once and are reused across
+``run_study`` calls: on small sweeps the fork/import warmup used to eat
+most of the parallel win (BENCH_substrate.json), so the executor lives
+at module level and every study ships its :class:`_WorkerSpec` with the
+tasks instead of baking it into the pool initializer.  A new worker
+count replaces the pool; :func:`shutdown_pool` (also ``repro pool
+shutdown``, and an ``atexit`` hook) tears it down explicitly, and
+:func:`pool_info` reports reuse for the study timing line.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import queue as queue_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cc.abr import AbrConfig
 from repro.cc.base import CcConfig
@@ -56,6 +67,7 @@ from repro.experiments.runner import (
 )
 from repro.faults.scenario import FaultScenario
 from repro.media.library import ClipLibrary
+from repro.netsim.flowlevel import FlowLevelConfig
 from repro.repair.base import RepairConfig
 from repro.telemetry.core import Telemetry, TelemetrySnapshot
 from repro.telemetry.sinks import MemorySink, NullSink
@@ -85,6 +97,9 @@ class _WorkerSpec:
     abr: Optional[AbrConfig] = None
     #: Loss-repair config (repro.repair); frozen dataclass, pure data.
     repair: Optional[RepairConfig] = None
+    #: Flow-level fast-path config (repro.netsim.flowlevel); frozen
+    #: dataclass, pure data — each worker builds its own director.
+    fast_path: Optional[FlowLevelConfig] = None
     #: Streaming-summary template: workers never fold into it, they
     #: ``spawn()`` a fresh per-run summary with its configuration and
     #: ship that home on the snapshot.
@@ -92,15 +107,6 @@ class _WorkerSpec:
     #: Manager-queue proxy for live heartbeats (a raw ``mp.Queue``
     #: cannot ride through initargs); ``None`` when nobody listens.
     heartbeats: Optional[object] = None
-
-
-#: Per-worker-process state, installed by :func:`_init_worker`.
-_SPEC: Optional[_WorkerSpec] = None
-
-
-def _init_worker(spec: _WorkerSpec) -> None:
-    global _SPEC
-    _SPEC = spec
 
 
 def _worker_telemetry(spec: _WorkerSpec) -> Optional[Telemetry]:
@@ -127,11 +133,14 @@ def _worker_telemetry(spec: _WorkerSpec) -> Optional[Telemetry]:
                      spans=SpanRecorder() if spec.spans else None)
 
 
-def _run_index(index: int
+def _run_index(spec: _WorkerSpec, index: int
                ) -> Tuple[PairRunResult, Optional[TelemetrySnapshot]]:
-    """Execute pair run ``index`` of the sweep in this worker."""
-    spec = _SPEC
-    assert spec is not None, "worker used before _init_worker ran"
+    """Execute pair run ``index`` of the sweep in this worker.
+
+    The spec rides along with every task (rather than a pool
+    initializer) so one persistent pool can serve studies with
+    different configurations back to back.
+    """
     pairs = spec.library.all_pairs()
     clip_set, pair = pairs[index]
     label = f"set{clip_set.number}-{pair.band.short}"
@@ -150,7 +159,8 @@ def _run_index(index: int
     result = run_pair_experiment(clip_set, pair, seed=spec.seed + index,
                                  conditions=conditions, telemetry=telemetry,
                                  scenario=spec.scenario, cc=spec.cc,
-                                 abr=spec.abr, repair=spec.repair)
+                                 abr=spec.abr, repair=spec.repair,
+                                 fast_path=spec.fast_path)
     snapshot: Optional[TelemetrySnapshot] = None
     if telemetry is not None:
         if per_run is not None and telemetry.spans is not None:
@@ -182,6 +192,49 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+# ----------------------------------------------------------------------
+# The persistent pool
+# ----------------------------------------------------------------------
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_STUDIES = 0  # studies served by the current pool (1 = cold)
+
+
+def _ensure_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, (re)built only when the size changes."""
+    global _POOL, _POOL_WORKERS, _POOL_STUDIES
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=workers,
+                                    mp_context=_pool_context())
+        _POOL_WORKERS = workers
+        _POOL_STUDIES = 0
+    _POOL_STUDIES += 1
+    return _POOL
+
+
+def pool_info() -> Dict[str, int]:
+    """Live pool state: ``workers`` (0 = no pool) and ``studies`` served."""
+    return {"workers": _POOL_WORKERS if _POOL is not None else 0,
+            "studies": _POOL_STUDIES if _POOL is not None else 0}
+
+
+def shutdown_pool() -> bool:
+    """Tear the persistent pool down; True if one was running."""
+    global _POOL, _POOL_WORKERS, _POOL_STUDIES
+    if _POOL is None:
+        return False
+    _POOL.shutdown(wait=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+    _POOL_STUDIES = 0
+    return True
+
+
+atexit.register(shutdown_pool)
+
+
 def _drain_heartbeats(heartbeats, progress: ProgressCallback) -> None:
     """Forward every queued heartbeat to the progress callback."""
     while True:
@@ -200,6 +253,7 @@ def run_study_parallel(library: ClipLibrary, seed: int,
                        cc: Optional[CcConfig] = None,
                        abr: Optional[AbrConfig] = None,
                        repair: Optional[RepairConfig] = None,
+                       fast_path: Optional[FlowLevelConfig] = None,
                        stream: Optional[StreamingSummary] = None,
                        progress: Optional[ProgressCallback] = None
                        ) -> StudyResults:
@@ -208,7 +262,9 @@ def run_study_parallel(library: ClipLibrary, seed: int,
     Called by :func:`~repro.experiments.runner.run_study` when
     ``jobs > 1``; produces results identical to the sequential path
     (same runs in the same order, same merged telemetry, same
-    streaming-summary bytes).
+    streaming-summary bytes).  The worker pool outlives the call (see
+    module docstring); only the heartbeat manager, when progress is
+    requested, is per-study.
     """
     pairs = library.all_pairs()
     manager = None
@@ -224,30 +280,29 @@ def run_study_parallel(library: ClipLibrary, seed: int,
         series_limit=(telemetry.registry._series_limit
                       if telemetry is not None else 0),
         scenario=scenario, cc=cc, abr=abr, repair=repair,
-        stream=stream, heartbeats=heartbeats)
+        fast_path=fast_path, stream=stream, heartbeats=heartbeats)
     outcomes: List[Tuple[PairRunResult, Optional[TelemetrySnapshot]]]
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pairs)),
-                                 mp_context=_pool_context(),
-                                 initializer=_init_worker,
-                                 initargs=(spec,)) as pool:
-            if heartbeats is None:
-                # map() preserves submission order, which *is* library
-                # order — the determinism guarantee needs nothing more.
-                outcomes = list(pool.map(_run_index, range(len(pairs)),
-                                         chunksize=1))
-            else:
-                # submit + wait so heartbeats relay while runs are in
-                # flight; results are still gathered in library order.
-                futures = [pool.submit(_run_index, index)
-                           for index in range(len(pairs))]
-                pending = set(futures)
-                while pending:
-                    _, pending = wait(pending, timeout=0.05,
-                                      return_when=FIRST_COMPLETED)
-                    _drain_heartbeats(heartbeats, progress)
+        pool = _ensure_pool(min(jobs, len(pairs)))
+        # submit + wait (rather than map) so the same loop serves both
+        # modes; submission order is library order, and results are
+        # gathered from the future list in that order, which is the
+        # whole determinism guarantee.
+        futures = [pool.submit(_run_index, spec, index)
+                   for index in range(len(pairs))]
+        if heartbeats is not None:
+            pending = set(futures)
+            while pending:
+                _, pending = wait(pending, timeout=0.05,
+                                  return_when=FIRST_COMPLETED)
                 _drain_heartbeats(heartbeats, progress)
-                outcomes = [future.result() for future in futures]
+            _drain_heartbeats(heartbeats, progress)
+        outcomes = [future.result() for future in futures]
+    except BrokenProcessPool:
+        # A dead worker poisons the whole executor; drop it so the next
+        # study forks a fresh one instead of failing forever.
+        shutdown_pool()
+        raise
     finally:
         if manager is not None:
             manager.shutdown()

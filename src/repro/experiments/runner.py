@@ -56,6 +56,7 @@ from repro.tools.tracert import TracerouteReport, run_tracert
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cc.abr import AbrConfig
     from repro.cc.base import CcConfig
+    from repro.netsim.flowlevel import FastPathSummary, FlowLevelConfig
     from repro.repair.base import RepairConfig
     from repro.validate.checker import RunValidator
 
@@ -86,6 +87,9 @@ class PairRunResult:
     tracert: TracerouteReport
     tracert_after: TracerouteReport
     stability: StabilityVerdict
+    #: Flow-level fast-path outcome for this run, when the study opted
+    #: in (``None`` on packet-level runs).
+    fastpath: Optional["FastPathSummary"] = None
 
     # ------------------------------------------------------------------
     # Per-flow views
@@ -190,6 +194,7 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
                         cc: Optional["CcConfig"] = None,
                         abr: Optional["AbrConfig"] = None,
                         repair: Optional["RepairConfig"] = None,
+                        fast_path: Optional["FlowLevelConfig"] = None,
                         ) -> PairRunResult:
     """Run the simultaneous-stream methodology for one clip pair.
 
@@ -228,6 +233,17 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
             run byte-identical to the unrepaired code path.  The ABR
             transport has its own segment retry loop and never arms
             repair.
+        fast_path: optional
+            :class:`~repro.netsim.flowlevel.FlowLevelConfig`.  Delivers
+            analytically-tractable packet trains in closed form instead
+            of event-per-packet (see :mod:`repro.netsim.flowlevel`),
+            falling back to packet-level per train whenever contention,
+            loss, faults, cross traffic, or an active congestion
+            controller make the model invalid.  ``None`` (the default)
+            keeps the run byte-identical to a pre-fast-path build.
+            Mutually exclusive with ``abr`` and an armed ``repair``
+            (their control loops key on per-packet timing that the
+            analytic model does not reproduce).
 
     Raises:
         ExperimentError: if a stream never finishes within the safety
@@ -244,7 +260,17 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
     cc_armed = cc is not None and not cc.is_null
     repair_armed = (repair is not None and not repair.is_null
                     and abr is None)
-    sim = Simulator(seed=seed, telemetry=telemetry, validate=validate)
+    if fast_path is not None and abr is not None:
+        raise ExperimentError(
+            "fast_path and abr are mutually exclusive: the ABR request "
+            "loop keys on per-segment timing the analytic model does "
+            "not reproduce")
+    if fast_path is not None and repair_armed:
+        raise ExperimentError(
+            "fast_path requires a null repair config: loss repair only "
+            "matters on lossy paths, which the fast path refuses anyway")
+    sim = Simulator(seed=seed, telemetry=telemetry, validate=validate,
+                    fast_path=fast_path)
     if conditions is None:
         conditions = sample_conditions(sim.streams.stream("conditions"))
     topology = build_path_topology(
@@ -371,7 +397,9 @@ def run_pair_experiment(clip_set: ClipSet, pair: ClipPair, seed: int,
         trace=trace, real_server=real_host.address,
         wmp_server=wmp_host.address, ping_before=ping_before,
         ping_after=ping_after, tracert=tracert_report,
-        tracert_after=tracert_after, stability=stability)
+        tracert_after=tracert_after, stability=stability,
+        fastpath=(sim.fast_path.summary()
+                  if sim.fast_path is not None else None))
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -410,6 +438,7 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
               cc: Optional["CcConfig"] = None,
               abr: Optional["AbrConfig"] = None,
               repair: Optional["RepairConfig"] = None,
+              fast_path: Optional["FlowLevelConfig"] = None,
               min_parallel_runs: int = PARALLEL_MIN_RUNS,
               stream: Optional[StreamingSummary] = None,
               progress: Optional[ProgressCallback] = None) -> StudyResults:
@@ -447,6 +476,11 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             every pair run (see :func:`run_pair_experiment`); pure
             data, so pool workers arm their repair stacks from it
             independently.
+        fast_path: optional
+            :class:`~repro.netsim.flowlevel.FlowLevelConfig` applied to
+            every pair run (see :func:`run_pair_experiment`); a frozen
+            dataclass of pure data, so pool workers build their own
+            directors from it independently.
         min_parallel_runs: sweeps smaller than this auto-downgrade a
             ``jobs > 1`` request to sequential execution (fork overhead
             beats the win on small sweeps); the decision lands on
@@ -485,8 +519,8 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
                                          loss_probability=loss_probability,
                                          telemetry=telemetry, jobs=jobs,
                                          scenario=scenario, cc=cc, abr=abr,
-                                         repair=repair, stream=stream,
-                                         progress=progress)
+                                         repair=repair, fast_path=fast_path,
+                                         stream=stream, progress=progress)
             results.execution = f"parallel jobs={jobs}"
             return results
         execution = (f"sequential (auto-downgraded from jobs={jobs}: "
@@ -521,7 +555,7 @@ def run_study(library: Optional[ClipLibrary] = None, seed: int = 2002,
             results.runs.append(run_pair_experiment(
                 clip_set, pair, seed=seed + index, conditions=conditions,
                 telemetry=facade, scenario=scenario, validate=validate,
-                cc=cc, abr=abr, repair=repair))
+                cc=cc, abr=abr, repair=repair, fast_path=fast_path))
         finally:
             if sink is not None:
                 facade.bus.detach(sink)

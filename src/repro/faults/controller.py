@@ -86,7 +86,50 @@ class FaultController:
             self.sim.schedule_at(
                 base + event.at_frac * self.reference_duration,
                 self._execute, event)
+        if self.sim.fast_path is not None:
+            self._register_blackouts(base)
         return self
+
+    def _register_blackouts(self, base: float) -> None:
+        """Tell the flow-level director when the network is not clean.
+
+        The whole schedule is known at arm time, so the windows are
+        registered up front: every state-degrading action opens one,
+        every restoring action closes the innermost, and a window
+        nobody closes stays open to infinity.  Conservative on purpose
+        — a surge's *scheduled* span blacks out the fast path even
+        while the Pareto source idles between bursts.
+        """
+        opening = {LINK_DOWN_ACTION, BURST_LOSS_ON, SURGE_ON,
+                   SERVER_PAUSE, SERVER_CRASH}
+        closing = {LINK_UP_ACTION, BURST_LOSS_OFF, SURGE_OFF,
+                   SERVER_RESUME, SERVER_RESTART}
+        director = self.sim.fast_path
+        depth = 0
+        start = None
+        for event in sorted(self.scenario.events, key=lambda e: e.at_frac):
+            when = base + event.at_frac * self.reference_duration
+            action = event.action
+            if action in (SET_BANDWIDTH, SET_DELAY):
+                restores = bool(event.param_dict().get("restore"))
+                action_opens = not restores
+            elif action in opening:
+                action_opens = True
+            elif action in closing:
+                action_opens = False
+            else:  # pragma: no cover - future scenario actions
+                action_opens = True
+            if action_opens:
+                if depth == 0:
+                    start = when
+                depth += 1
+            elif depth > 0:
+                depth -= 1
+                if depth == 0:
+                    director.add_blackout(start, when)
+                    start = None
+        if depth > 0 and start is not None:
+            director.add_blackout(start, float("inf"))
 
     # ------------------------------------------------------------------
     # Execution

@@ -73,6 +73,7 @@ class OnOffParetoSource:
         self._gap = packet_bytes * 8.0 / rate_bps
         self._running = False
         self._on_until = 0.0
+        self._started_at = 0.0
         self.packets_sent = 0
 
     def start(self) -> "OnOffParetoSource":
@@ -80,11 +81,19 @@ class OnOffParetoSource:
         if self._running:
             return self
         self._running = True
+        self._started_at = self.sim.now
+        if self.sim.fast_path is not None:
+            # Cross traffic makes queueing state unpredictable: black
+            # out the fast path for the source's whole lifetime (idle
+            # gaps included — a burst may begin inside any of them).
+            self.sim.fast_path.add_blackout(self._started_at, float("inf"))
         self.sim.schedule_in(0.0, self._begin_burst)
         return self
 
     def stop(self) -> None:
         self._running = False
+        if self.sim.fast_path is not None:
+            self.sim.fast_path.close_blackout(self._started_at, self.sim.now)
 
     # ------------------------------------------------------------------
     def _begin_burst(self) -> None:

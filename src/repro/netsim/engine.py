@@ -87,6 +87,13 @@ class Simulator:
             ``sim.validator`` at construction so the validator can
             sweep their conservation laws at run end.  Attaching a
             validator schedules no events and perturbs nothing.
+        fast_path: optional
+            :class:`~repro.netsim.flowlevel.FlowLevelConfig`.  When
+            given, a :class:`~repro.netsim.flowlevel.FlowLevelDirector`
+            delivers eligible packet trains analytically instead of
+            event-per-packet (see :mod:`repro.netsim.flowlevel`); with
+            ``None`` (the default) every packet takes the event path
+            and the run is byte-identical to a pre-fast-path build.
 
     Attributes:
         now: current simulated time in seconds.
@@ -94,11 +101,13 @@ class Simulator:
         telemetry: the attached facade, or None (the default — every
             instrumented path is a no-op then).
         validator: the attached validator, or None (the default).
+        fast_path: the flow-level director, or None (the default).
     """
 
     def __init__(self, seed: int = 0,
                  telemetry: Optional["Telemetry"] = None,
-                 validate: Optional["RunValidator"] = None) -> None:
+                 validate: Optional["RunValidator"] = None,
+                 fast_path: Optional[object] = None) -> None:
         self.now: float = 0.0
         self.streams = RandomStreams(seed)
         self._heap: List[Event] = []
@@ -106,12 +115,23 @@ class Simulator:
         self._running = False
         self._event_count = 0
         self._pending = 0
+        #: Bumped by every link mutator (up/down, bandwidth, delay,
+        #: loss); the flow-level director revalidates its cached
+        #: per-path static profiles when this changes.
+        self.topology_epoch = 0
         self.telemetry = telemetry
         self.validator = validate
         if telemetry is not None:
             telemetry.bind(self)
         if validate is not None:
             validate.bind(self)
+        self.fast_path = None
+        if fast_path is not None:
+            # Local import: flowlevel imports link/packet, which lead
+            # back here for type checking only.
+            from repro.netsim.flowlevel import FlowLevelDirector
+
+            self.fast_path = FlowLevelDirector(self, fast_path)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -238,6 +238,9 @@ class IpLayer:
         return packets
 
     def _emit(self, packets: List[Packet]) -> None:
+        director = self.host.sim.fast_path
+        if director is not None and director.try_deliver(self, packets):
+            return  # delivered analytically; books already closed
         for packet in packets:
             self.stats.packets_sent += 1
             self.host.send_packet(packet)

@@ -142,6 +142,18 @@ class _Direction:
         #: (serializing or propagating).  The validator's conservation
         #: law counts these; a plain int, maintained unconditionally.
         self._in_flight = 0
+        #: When the in-service packet leaves the serializer (its
+        #: _finish_transmit time); meaningful only while _busy.  The
+        #: flow-level fast path chains its departure recursion through
+        #: this, so a busy transmitter alone never forces a fallback.
+        self._busy_until = 0.0
+        #: Flow-level fast-path state (repro.netsim.flowlevel): virtual
+        #: transmitter occupancy and last virtual entry time.  Both
+        #: stay at their zeros unless a director commits a train here,
+        #: so the check in send() costs one float compare on a
+        #: fast-path-free run.
+        self._reserved_until = 0.0
+        self._fp_last_entry = 0.0
         self.stats = DirectionStats()
         # Telemetry handles are resolved once, here: the facade is
         # attached at Simulator construction, before any topology
@@ -191,6 +203,11 @@ class _Direction:
         if not self._busy:
             self._transmit_next()
 
+    def _end_reservation(self) -> None:
+        """Resume real transmission after a virtual train's occupancy."""
+        self._busy = False
+        self._transmit_next()
+
     def _drop_down(self, packet: Packet) -> None:
         """Account for a packet lost to an administratively-down link."""
         self.stats.packets_lost += 1
@@ -214,6 +231,7 @@ class _Direction:
         if up == self._up:
             return
         self._up = up
+        self._sim.topology_epoch += 1
         if not up:
             while True:
                 packet = self._queue.poll()
@@ -228,6 +246,26 @@ class _Direction:
         if not self._up:
             self._busy = False
             return
+        if self._reserved_until > self._sim.now:
+            # A flow-level train virtually occupies the transmitter
+            # until _reserved_until; a real packet racing past it would
+            # reorder the wire.  Hold the queue until the occupancy
+            # ends.  (One float compare, always false without a
+            # director — _reserved_until never leaves 0.0 then.)
+            if len(self._queue):
+                # A real packet is now waiting out a virtual train —
+                # the packet-level schedule might have interleaved it
+                # mid-train, so this run is no longer provably exact.
+                # The director surfaces the count; the equivalence
+                # harness demands byte-identity only when it is zero.
+                director = self._sim.fast_path
+                if director is not None:
+                    director.reals_parked += 1
+            self._busy = True
+            self._busy_until = self._reserved_until
+            self._sim.schedule_at(self._reserved_until,
+                                  self._end_reservation)
+            return
         packet = self._queue.poll()
         if packet is None:
             self._busy = False
@@ -238,6 +276,7 @@ class _Direction:
             self._spans.tx_started(packet, self._sim.now, self._label)
         tx_delay = units.transmission_delay(packet.wire_bytes,
                                             self._bandwidth_bps)
+        self._busy_until = self._sim.now + tx_delay
         self._sim.schedule_in(tx_delay, self._finish_transmit, packet)
 
     def _finish_transmit(self, packet: Packet) -> None:
@@ -353,6 +392,7 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self._forward._bandwidth_bps = bandwidth_bps
         self._reverse._bandwidth_bps = bandwidth_bps
+        self.sim.topology_epoch += 1
 
     def set_propagation_delay(self, delay: float) -> None:
         """Change the one-way latency mid-run (path degradation)."""
@@ -361,11 +401,13 @@ class Link:
         self.propagation_delay = delay
         self._forward._propagation_delay = delay
         self._reverse._propagation_delay = delay
+        self.sim.topology_epoch += 1
 
     def set_loss(self, loss: LossModel) -> None:
         """Swap the loss model (e.g. toggle Gilbert–Elliott bursts)."""
         self._forward._loss = loss
         self._reverse._loss = loss
+        self.sim.topology_epoch += 1
 
     @property
     def label(self) -> str:

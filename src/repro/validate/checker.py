@@ -90,6 +90,7 @@ INVARIANT_NAMES: Tuple[str, ...] = (
     "stream-equivalence",
     "fec-conservation",
     "repair-no-duplication",
+    "fastpath-equivalence",
 )
 
 
@@ -136,6 +137,7 @@ class RunValidator:
         self._connections: List[object] = []
         self._cc_controllers: List[object] = []
         self._repairs: List[object] = []
+        self._fastpaths: List[object] = []
         # High-water marks into the shared telemetry facade: a study
         # reuses one event stream / span forest across runs, so each
         # sweep examines only what this run appended.
@@ -157,6 +159,7 @@ class RunValidator:
         self._connections = []
         self._cc_controllers = []
         self._repairs = []
+        self._fastpaths = []
 
     def register_link(self, link) -> None:
         self._links.append(link)
@@ -178,6 +181,9 @@ class RunValidator:
 
     def register_repair(self, repair) -> None:
         self._repairs.append(repair)
+
+    def register_fastpath(self, director) -> None:
+        self._fastpaths.append(director)
 
     # ------------------------------------------------------------------
     # The sweep
@@ -215,6 +221,7 @@ class RunValidator:
         self._check_abr(fail)
         self._check_stream(fail)
         self._check_repair(fail)
+        self._check_fastpath(fail)
 
         self.runs_checked += 1
         self.violations.extend(found)
@@ -788,6 +795,35 @@ class RunValidator:
                      f"stats report {player.stats.packets_recovered} "
                      f"recovered packets but the repair ledger holds "
                      f"{recovered}", player=label)
+
+    def _check_fastpath(self, fail) -> None:
+        # The flow-level director keeps a ledger of every accepted
+        # train: the exact inputs it fed the analytic recursion and the
+        # arrivals it committed.  Refolding the ledger through the same
+        # shared kernel must reproduce the arrivals bit for bit — any
+        # drift means the director mutated direction state between the
+        # speculative fold and the commit, or the kernel changed under
+        # it.  Honest skip: a run where every train fell back (or the
+        # fast path was off) leaves an empty ledger and sweeps nothing.
+        for director in self._fastpaths:
+            self.checks_performed += 1
+            packets = 0
+            for index, record in enumerate(director.ledger):
+                packets += len(record.arrivals)
+                if record.refold() != record.arrivals:
+                    fail("fastpath-equivalence",
+                         f"train {index} (sent {record.sent_at:.6f}s) "
+                         "refolds to different arrivals than the "
+                         "director committed")
+            if packets != director.packets_fast:
+                fail("fastpath-equivalence",
+                     f"ledger holds {packets} packets but the director "
+                     f"claims {director.packets_fast} delivered fast")
+            reasons = sum(director.fallback_reasons.values())
+            if reasons != director.trains_fallback:
+                fail("fastpath-equivalence",
+                     f"fallback reasons account for {reasons} trains "
+                     f"but {director.trains_fallback} fell back")
 
     # ------------------------------------------------------------------
     # Reporting

@@ -30,7 +30,9 @@ from repro.experiments.datasets import build_table1_library
 from repro.experiments.runner import run_study
 from repro.faults.scenario import build_scenario
 from repro.media.library import ClipLibrary
+from repro.netsim.flowlevel import FlowLevelConfig
 from repro.repair.base import RepairConfig
+from repro.telemetry import MemorySink, Telemetry
 from repro.telemetry.streaming import StreamingSummary
 from repro.validate.differential import _fresh_telemetry, study_surface
 
@@ -41,7 +43,10 @@ from repro.validate.differential import _fresh_telemetry, study_surface
 #: summary surface also carries the ring's dropped-event count.
 #: Schema 3: scenarios gain a ``repair`` axis (loss-repair stack armed
 #: with the default :class:`~repro.repair.RepairConfig`).
-GOLDEN_SCHEMA = 3
+#: Schema 4: scenarios gain a ``fast_path`` axis (flow-level analytic
+#: delivery, strict mode); fast-path scenarios pin a span-free
+#: telemetry surface because the director refuses span tracing.
+GOLDEN_SCHEMA = 4
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,7 @@ class GoldenScenario:
     cc: Optional[str] = None  # congestion-controller kind, or None
     abr: bool = False  # run on the ABR segment-ladder transport
     repair: bool = False  # arm the default loss-repair stack
+    fast_path: bool = False  # deliver via the flow-level fast path
 
 
 GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
@@ -89,6 +95,13 @@ GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
                         "armed on a clean network (parity flows, "
                         "nothing to repair)",
             seed=424, set_number=3, duration_scale=0.04, repair=True),
+        GoldenScenario(
+            name="fastpath_baseline",
+            description="The baseline set delivered by the flow-level "
+                        "fast path in strict mode — pins the analytic "
+                        "schedule itself to history",
+            seed=424, set_number=3, duration_scale=0.04,
+            fast_path=True),
         GoldenScenario(
             name="fault_burstloss_repair",
             description="Burst loss with repair armed — parity decode "
@@ -128,11 +141,18 @@ def compute_golden(scenario: GoldenScenario) -> Dict[str, object]:
     cc = CcConfig(kind=scenario.cc) if scenario.cc is not None else None
     abr = AbrConfig() if scenario.abr else None
     repair = RepairConfig() if scenario.repair else None
-    telemetry = _fresh_telemetry()
+    fast_path = FlowLevelConfig(strict=True) if scenario.fast_path else None
+    if scenario.fast_path:
+        # The director refuses span tracing (it skips the per-hop
+        # events spans are built from), so this surface is span-free.
+        telemetry = Telemetry(sinks=[MemorySink(capacity=None)])
+    else:
+        telemetry = _fresh_telemetry()
     study = run_study(library=_scenario_library(scenario),
                       seed=scenario.seed, telemetry=telemetry,
                       jobs=1, scenario=fault, cc=cc, abr=abr,
-                      repair=repair, stream=StreamingSummary())
+                      repair=repair, fast_path=fast_path,
+                      stream=StreamingSummary())
     return {
         "schema": GOLDEN_SCHEMA,
         "scenario": scenario.name,
@@ -144,6 +164,7 @@ def compute_golden(scenario: GoldenScenario) -> Dict[str, object]:
         "cc": scenario.cc,
         "abr": scenario.abr,
         "repair": scenario.repair,
+        "fast_path": scenario.fast_path,
         "digests": study_surface(study, telemetry),
     }
 
@@ -169,7 +190,8 @@ def compare_golden(expected: Dict[str, object],
     """
     mismatches: List[str] = []
     for field in ("schema", "scenario", "seed", "set_number",
-                  "duration_scale", "fault", "cc", "abr", "repair"):
+                  "duration_scale", "fault", "cc", "abr", "repair",
+                  "fast_path"):
         if expected.get(field) != actual.get(field):
             mismatches.append(
                 f"{field}: golden has {expected.get(field)!r}, "

@@ -1,0 +1,7 @@
+"""Fast-path vs packet-level equivalence suite.
+
+Exercises :mod:`repro.validate.equivalence` over the conditions grid,
+pins the fallback boundaries (faults, cross-traffic onset, congestion
+control activation), and property-tests the analytic schedule against
+the event-driven serializer on uncontended links.
+"""

@@ -1,0 +1,50 @@
+"""Sweep the equivalence grid: fast path vs packet level, per cell.
+
+Each :class:`ConditionCase` declares the strongest claim its
+conditions support — byte-identity for exact/refusal legs, per-metric
+tolerances for chained/jittery legs — and ``check_case`` enforces it.
+The grid itself lives in :mod:`repro.validate.equivalence` so CI and
+the CLI smoke sweep the very same cells.
+"""
+
+import pytest
+
+from repro.experiments.datasets import build_table1_library
+from repro.validate.equivalence import (
+    DEFAULT_GRID,
+    check_case,
+    run_equivalence,
+)
+
+SEED = 2002
+SCALE = 0.08
+
+
+@pytest.fixture(scope="module")
+def pair():
+    library = build_table1_library(duration_scale=SCALE)
+    return library.all_pairs()[0]
+
+
+@pytest.mark.parametrize("case", DEFAULT_GRID,
+                         ids=[case.name for case in DEFAULT_GRID])
+def test_grid_cell(case, pair):
+    clip_set, clip_pair = pair
+    result = check_case(case, clip_set, clip_pair, seed=SEED)
+    assert result.ok, result.summary()
+
+
+def test_grid_covers_both_modes():
+    exact = [case for case in DEFAULT_GRID if case.exact]
+    tolerant = [case for case in DEFAULT_GRID if not case.exact]
+    refusals = [case for case in DEFAULT_GRID
+                if case.expect_reason is not None]
+    assert exact and tolerant and refusals
+
+
+def test_run_equivalence_returns_one_result_per_cell():
+    results = run_equivalence(grid=DEFAULT_GRID[:1], seed=SEED,
+                              duration_scale=SCALE)
+    assert len(results) == 1
+    assert results[0].ok, results[0].summary()
+    assert "ok" in results[0].summary()
